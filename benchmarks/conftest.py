@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper.  The
+underlying simulations are deterministic, so a single round is both
+sufficient and desirable (pytest-benchmark measures the harness run
+time; the scientific output is printed and shape-checked).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

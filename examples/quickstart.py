@@ -1,0 +1,66 @@
+"""Quickstart: detect a hardware fault with MEEK.
+
+Builds the paper's evaluated system (one BOOM-class big core, four
+optimized Rocket-class little cores behind the F2 fabric), runs a small
+assembly program under checking, then re-runs it with a single-bit
+fault injected into the forwarded data and shows the detection.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common.config import default_meek_config
+from repro.common.prng import DeterministicRng
+from repro.core.faults import FaultInjector
+from repro.core.system import MeekSystem, run_vanilla, slowdown
+from repro.isa import assemble
+
+PROGRAM = assemble(
+    """
+        li   t0, 0          # induction variable
+        li   t1, 3000       # trip count
+        li   t2, 0x2000     # array base
+    loop:
+        sd   t0, 0(t2)      # store the counter
+        ld   t3, 0(t2)      # load it back
+        add  t4, t4, t3     # accumulate
+        addi t2, t2, 8
+        addi t0, t0, 1
+        bne  t0, t1, loop
+        ecall
+    """,
+    name="quickstart",
+)
+
+
+def main():
+    # 1. Baseline: the vanilla big core.
+    vanilla = run_vanilla(PROGRAM)
+    print(f"vanilla      : {vanilla.instructions} instructions in "
+          f"{vanilla.cycles} cycles (IPC {vanilla.ipc:.2f})")
+
+    # 2. The same program under MEEK checking.
+    system = MeekSystem(default_meek_config())
+    checked = system.run(PROGRAM)
+    print(f"MEEK         : {checked.cycles:.0f} cycles "
+          f"({slowdown(checked, vanilla):.3f}x slowdown, "
+          f"{len(checked.segments)} checkpoint segments, "
+          f"all verified: {checked.all_segments_verified})")
+
+    # 3. Inject a single-bit fault into the forwarded data.
+    injector = FaultInjector(DeterministicRng(7, "quickstart"), rate=0.002)
+    faulty_system = MeekSystem(default_meek_config(), injector=injector)
+    faulty = faulty_system.run(PROGRAM)
+    print(f"fault run    : {len(injector.injections)} fault(s) injected")
+    for record in injector.injections:
+        if record.detected:
+            latency_ns = faulty.cycles_to_ns(record.latency_cycles)
+            print(f"  detected   : {record.target.value} bit {record.bit} "
+                  f"({record.detail}) -> {record.detect_reason} "
+                  f"after {latency_ns:.0f} ns")
+        else:
+            print(f"  undetected : {record.target.value} bit {record.bit} "
+                  f"({record.detail}) — masked (dead value)")
+
+
+if __name__ == "__main__":
+    main()

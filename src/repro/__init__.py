@@ -1,0 +1,26 @@
+"""repro — a cycle-level reproduction of MEEK (DAC 2025).
+
+MEEK ("Make Each Error Count", Jiang, Liao, Ainsworth, You, Jones)
+builds heterogeneous parallel error detection into a real OoO
+superscalar SoC: a big core's commit stream is checkpointed and
+replayed on small in-order cores that verify every segment.  This
+package rebuilds the full system — ISA, cores, fabric, checkpointing,
+OS integration, baselines, workloads and the complete evaluation — in
+pure Python.
+
+Entry points:
+
+* :class:`repro.core.system.MeekSystem` — the full SoC; ``run()`` a
+  program under checking.
+* :func:`repro.core.system.run_vanilla` — the unmodified big core.
+* :mod:`repro.workloads` — SPECint06/PARSEC-profile program generator.
+* :mod:`repro.experiments` — regenerate each paper table/figure.
+* ``python -m repro`` — command-line interface.
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

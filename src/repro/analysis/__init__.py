@@ -1,0 +1,34 @@
+"""Analysis utilities: the Table III area model, statistics helpers
+(geomean, densities, percentiles) and plain-text table/figure
+rendering used by the benchmark harness."""
+
+from repro.analysis.area import (
+    AreaModel,
+    DSN18_COMPARISON,
+    boom_area_mm2,
+    lockstep_scale_factor,
+    meek_area_report,
+    rocket_area_mm2,
+)
+from repro.analysis.stats import (
+    density_histogram,
+    geomean,
+    mean,
+    percentile,
+)
+from repro.analysis.report import format_table, render_histogram
+
+__all__ = [
+    "AreaModel",
+    "DSN18_COMPARISON",
+    "boom_area_mm2",
+    "density_histogram",
+    "format_table",
+    "geomean",
+    "lockstep_scale_factor",
+    "mean",
+    "meek_area_report",
+    "percentile",
+    "render_histogram",
+    "rocket_area_mm2",
+]

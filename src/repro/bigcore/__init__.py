@@ -1,0 +1,26 @@
+"""The big core: a SonicBOOM-class OoO superscalar timing model.
+
+The model is *timing-directed-by-functional*: instructions execute
+functionally in commit order (architectural state is always exact)
+while the timing model decides when each one commits, accounting for
+fetch width and I-cache behaviour, TAGE-style branch prediction with
+misprediction redirects, register dependences, functional-unit latency
+and contention, ROB/IQ/LDQ/STQ occupancy windows, cache-hierarchy
+latencies, 4-wide commit, and — when MEEK is attached — commit gating
+from DC-Buffer backpressure and checker availability.
+
+The Data Extraction Unit (DEU, Fig. 3) watches the commit stream and
+produces the status/run-time packets MEEK forwards to little cores.
+"""
+
+from repro.bigcore.branch import BranchPredictor
+from repro.bigcore.core import BigCore, CommitEvent, run_program
+from repro.bigcore.deu import DataExtractionUnit
+
+__all__ = [
+    "BigCore",
+    "BranchPredictor",
+    "CommitEvent",
+    "DataExtractionUnit",
+    "run_program",
+]

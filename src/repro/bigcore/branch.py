@@ -1,0 +1,208 @@
+"""Branch prediction: a TAGE-style predictor with BTB and RAS.
+
+Table II specifies "TAGE algorithm, 256-entry BTB, 32-entry RAS, 6 TAGE
+tables with 2 - 64 bits history".  This is a faithful small TAGE: a
+bimodal base predictor plus tagged tables with geometrically growing
+history lengths; the longest matching tagged entry provides the
+prediction, with standard useful-bit guided allocation on mispredicts.
+
+Because the simulator executes functionally at commit, the predictor is
+consulted with the *true* outcome available: the timing model asks
+"would you have predicted this correctly?" and charges the redirect
+penalty when the answer is no.
+"""
+
+from repro.common.bitops import mask
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self, tag=0, counter=4, useful=0):
+        self.tag = tag
+        self.counter = counter  # 3-bit: >=4 predicts taken
+        self.useful = useful
+
+
+class BranchPredictor:
+    """TAGE + BTB + RAS, sized from a :class:`BigCoreConfig`."""
+
+    BASE_BITS = 12  # 4096-entry bimodal base table
+
+    def __init__(self, config, table_bits=10):
+        self.config = config
+        self._base = {}
+        num_tables = config.tage_tables
+        # Geometric history lengths from 2 to 64 bits (Table II).
+        self._history_lengths = []
+        length = 2
+        for _ in range(num_tables):
+            self._history_lengths.append(min(length, 64))
+            length *= 2
+        self._tables = [{} for _ in range(num_tables)]
+        self._table_bits = table_bits
+        self._history = 0
+        self._btb = {}
+        self._btb_order = []
+        self._ras = []
+        # Statistics.
+        self.branches = 0
+        self.mispredicts = 0
+        self.btb_misses = 0
+        self.ras_mispredicts = 0
+
+    # -- internals ---------------------------------------------------
+
+    def _fold(self, value, bits):
+        folded = 0
+        while value:
+            folded ^= value & mask(bits)
+            value >>= bits
+        return folded
+
+    def _index(self, pc, table):
+        hist = self._history & mask(self._history_lengths[table])
+        return (self._fold(pc >> 2, self._table_bits)
+                ^ self._fold(hist, self._table_bits)
+                ^ table) & mask(self._table_bits)
+
+    def _tag(self, pc, table):
+        hist = self._history & mask(self._history_lengths[table])
+        return (self._fold(pc >> 2, 8) ^ self._fold(hist, 8)
+                ^ (table << 1)) & mask(8)
+
+    def _base_index(self, pc):
+        return (pc >> 2) & mask(self.BASE_BITS)
+
+    def _predict_direction(self, pc):
+        """Return (taken?, provider_table or None, provider index)."""
+        for table in range(len(self._tables) - 1, -1, -1):
+            index = self._index(pc, table)
+            entry = self._tables[table].get(index)
+            if entry is not None and entry.tag == self._tag(pc, table):
+                return entry.counter >= 4, table, index
+        counter = self._base.get(self._base_index(pc), 2)
+        return counter >= 2, None, None
+
+    # -- public API ----------------------------------------------------
+
+    def predict_and_update(self, pc, taken, target=None):
+        """Consult and train the predictor for a conditional branch.
+
+        Returns the redirect class:
+
+        * ``"correct"`` — direction predicted, target known;
+        * ``"btb_bubble"`` — direction correct but the BTB missed; the
+          decode stage computes the direct target and redirects with a
+          short front-end bubble, not a full flush;
+        * ``"mispredict"`` — wrong direction, full pipeline redirect at
+          branch resolution.
+        """
+        self.branches += 1
+        predicted_taken, provider, index = self._predict_direction(pc)
+        correct = predicted_taken == taken
+
+        outcome = "correct" if correct else "mispredict"
+        # A direction-correct taken branch still needs a target; on a
+        # BTB miss the decode stage redirects (cheap, direct target).
+        if taken and correct and target is not None:
+            if self._btb.get(pc) != target:
+                self.btb_misses += 1
+                outcome = "btb_bubble"
+
+        self._train(pc, taken, provider, index, predicted_taken)
+        if taken and target is not None:
+            self._btb_insert(pc, target)
+        self._push_history(taken)
+        if outcome == "mispredict":
+            self.mispredicts += 1
+        return outcome
+
+    def predict_call(self, pc, return_address):
+        """A call (jal/jalr with link): push the RAS, always predicted."""
+        if len(self._ras) >= self.config.ras_entries:
+            self._ras.pop(0)
+        self._ras.append(return_address)
+        self._push_history(True)
+        return True
+
+    def predict_return(self, pc, target):
+        """A return (jalr through ra): pop the RAS and compare."""
+        self.branches += 1
+        predicted = self._ras.pop() if self._ras else None
+        self._push_history(True)
+        if predicted != target:
+            self.ras_mispredicts += 1
+            self.mispredicts += 1
+            return False
+        return True
+
+    def predict_indirect(self, pc, target):
+        """An indirect jump: predicted through the BTB."""
+        self.branches += 1
+        correct = self._btb.get(pc) == target
+        self._btb_insert(pc, target)
+        self._push_history(True)
+        if not correct:
+            self.btb_misses += 1
+            self.mispredicts += 1
+        return correct
+
+    @property
+    def mispredict_rate(self):
+        if not self.branches:
+            return 0.0
+        return self.mispredicts / self.branches
+
+    def stats(self):
+        return {
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "mispredict_rate": self.mispredict_rate,
+            "btb_misses": self.btb_misses,
+            "ras_mispredicts": self.ras_mispredicts,
+        }
+
+    # -- training ------------------------------------------------------
+
+    def _push_history(self, taken):
+        self._history = ((self._history << 1) | int(taken)) & mask(64)
+
+    def _btb_insert(self, pc, target):
+        if pc not in self._btb and len(self._btb) >= self.config.btb_entries:
+            victim = self._btb_order.pop(0)
+            self._btb.pop(victim, None)
+        if pc not in self._btb:
+            self._btb_order.append(pc)
+        self._btb[pc] = target
+
+    def _train(self, pc, taken, provider, index, predicted_taken):
+        if provider is not None:
+            entry = self._tables[provider][index]
+            if taken and entry.counter < 7:
+                entry.counter += 1
+            elif not taken and entry.counter > 0:
+                entry.counter -= 1
+            if predicted_taken == taken:
+                entry.useful = min(3, entry.useful + 1)
+        else:
+            base_index = self._base_index(pc)
+            counter = self._base.get(base_index, 2)
+            if taken and counter < 3:
+                counter += 1
+            elif not taken and counter > 0:
+                counter -= 1
+            self._base[base_index] = counter
+
+        # On a mispredict, allocate in a longer-history table.
+        if predicted_taken != taken:
+            start = (provider + 1) if provider is not None else 0
+            for table in range(start, len(self._tables)):
+                new_index = self._index(pc, table)
+                existing = self._tables[table].get(new_index)
+                if existing is None or existing.useful == 0:
+                    self._tables[table][new_index] = _TaggedEntry(
+                        tag=self._tag(pc, table),
+                        counter=4 if taken else 3)
+                    break
+                existing.useful -= 1

@@ -1,0 +1,366 @@
+"""OoO superscalar big-core model (SonicBOOM-class, Table II).
+
+Timing-directed-by-functional execution: instructions are executed
+functionally in program (commit) order, while an analytical pipeline
+model assigns each one fetch/issue/complete/commit cycles subject to:
+
+* fetch width and I-cache latency, with redirect bubbles after taken
+  branches and full redirects after mispredictions (TAGE + BTB + RAS);
+* register data dependences (renaming removes WAW/WAR, so a value is
+  ready when its producer completes);
+* functional-unit latency and occupancy (iterative divider blocks its
+  unit; pipelined units accept one op per cycle);
+* ROB / issue-queue / LDQ / STQ / physical-register occupancy windows;
+* D-cache hierarchy latency for loads (stores write at commit through
+  a write buffer);
+* commit width, in-order commit, and an optional *commit hook* —
+  MEEK's DEU/controller gates commit through this hook, which is how
+  DC-Buffer backpressure and checker availability slow the big core.
+
+This event-per-instruction formulation is cycle-accurate in the sense
+that every constraint is expressed in cycles of the 3.2 GHz clock; it
+avoids a per-cycle loop so whole SPEC-profile workloads run in seconds.
+"""
+
+from collections import deque
+
+from repro.bigcore.branch import BranchPredictor
+from repro.common.config import BigCoreConfig
+from repro.common.errors import SimulationError
+from repro.isa.instructions import InstrClass
+from repro.isa.semantics import execute
+from repro.isa.state import ArchState
+from repro.mem.hierarchy import AccessKind, MemoryHierarchy
+
+#: Fetch-to-rename depth of the modelled front end, in cycles.
+FRONTEND_DEPTH = 6
+
+#: Front-end bubble when decode redirects a direction-correct taken
+#: branch whose target missed in the BTB.
+BTB_BUBBLE_CYCLES = 3
+
+#: Link register: jal/jalr writing x1 are calls; jalr reading x1 is a
+#: return (standard RISC-V calling convention).
+_RA = 1
+
+
+class CommitEvent:
+    """One committed instruction, as observed by the DEU."""
+
+    __slots__ = ("index", "pc", "instr", "result", "commit_cycle",
+                 "commit_slot")
+
+    def __init__(self, index, pc, instr, result, commit_cycle, commit_slot):
+        self.index = index
+        self.pc = pc
+        self.instr = instr
+        self.result = result
+        self.commit_cycle = commit_cycle
+        self.commit_slot = commit_slot
+
+
+class RunResult:
+    """Summary of one program execution on the big core."""
+
+    def __init__(self, instructions, cycles, state, predictor_stats,
+                 memory_stats, halted_by):
+        self.instructions = instructions
+        self.cycles = cycles
+        self.state = state
+        self.predictor_stats = predictor_stats
+        self.memory_stats = memory_stats
+        self.halted_by = halted_by
+
+    @property
+    def ipc(self):
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self):
+        if not self.instructions:
+            return 0.0
+        return self.cycles / self.instructions
+
+    def __repr__(self):
+        return (f"RunResult({self.instructions} instrs, {self.cycles} cycles, "
+                f"IPC={self.ipc:.2f}, halted_by={self.halted_by})")
+
+
+class _FuPool:
+    """A pool of identical functional units with busy tracking."""
+
+    __slots__ = ("free_at",)
+
+    def __init__(self, count):
+        self.free_at = [0] * max(1, count)
+
+    def acquire(self, ready, occupancy):
+        """Earliest issue >= ready on any unit; occupy it."""
+        best = 0
+        best_time = self.free_at[0]
+        for i in range(1, len(self.free_at)):
+            if self.free_at[i] < best_time:
+                best = i
+                best_time = self.free_at[i]
+        issue = ready if best_time <= ready else best_time
+        self.free_at[best] = issue + occupancy
+        return issue
+
+
+class BigCore:
+    """The big core.  Create once per run (predictor/caches are warm
+    state that belongs to a single execution)."""
+
+    def __init__(self, config=None, hierarchy=None):
+        self.config = config if config is not None else BigCoreConfig()
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else MemoryHierarchy(self.config.memory))
+        self.predictor = BranchPredictor(self.config)
+        cfg = self.config
+        self._pools = {
+            InstrClass.ALU: _FuPool(cfg.int_alus),
+            InstrClass.MUL: _FuPool(cfg.fp_units),   # shared FP/Mult/Div ALU
+            InstrClass.DIV: _FuPool(cfg.fp_units),
+            InstrClass.FP: _FuPool(cfg.fp_units),
+            InstrClass.FPDIV: _FuPool(cfg.fp_units),
+            InstrClass.LOAD: _FuPool(cfg.mem_units),
+            InstrClass.STORE: _FuPool(cfg.mem_units),
+            InstrClass.BRANCH: _FuPool(cfg.int_alus),
+            InstrClass.JUMP: _FuPool(cfg.jump_units),
+            InstrClass.CSR: _FuPool(cfg.csr_units),
+            InstrClass.SYSTEM: _FuPool(cfg.csr_units),
+            InstrClass.MEEK: _FuPool(cfg.csr_units),
+        }
+        self._latency = {
+            InstrClass.ALU: cfg.int_alu_latency,
+            InstrClass.MUL: cfg.mul_latency,
+            InstrClass.DIV: cfg.div_latency,
+            InstrClass.FP: cfg.fp_latency,
+            InstrClass.FPDIV: cfg.fp_div_latency,
+            InstrClass.BRANCH: 1,
+            InstrClass.JUMP: 1,
+            InstrClass.CSR: 1,
+            InstrClass.SYSTEM: 1,
+            InstrClass.MEEK: 1,
+        }
+        # Occupancy: iterative dividers block the unit; the rest pipeline.
+        self._occupancy = {
+            InstrClass.DIV: cfg.div_latency,
+            InstrClass.FPDIV: cfg.fp_div_latency,
+        }
+
+    def run(self, program, max_instructions=None, commit_hook=None,
+            meek_handler=None, initial_state=None, halt_on_trap=True):
+        """Execute ``program`` to completion.
+
+        ``commit_hook(event) -> cycle`` may return a later commit cycle
+        to model MEEK backpressure; it sees every committed instruction
+        in order (this is the DEU observation channel).
+        """
+        cfg = self.config
+        state = initial_state
+        if state is None:
+            state = ArchState(pc=program.entry_pc)
+            program.data.apply(state.memory)
+        predictor = self.predictor
+        hierarchy = self.hierarchy
+
+        int_ready = [0] * 32
+        fp_ready = [0] * 32
+        rob = deque()          # commit cycles of in-flight instructions
+        iq = deque()           # issue cycles
+        ldq = deque()          # commit cycles of in-flight loads
+        stq = deque()          # commit cycles of in-flight stores
+        int_writers = deque()  # commit cycles of int-PRF writers
+        fp_writers = deque()
+        int_prf_window = max(1, cfg.int_phys_regs - 32)
+        fp_prf_window = max(1, cfg.fp_phys_regs - 32)
+
+        next_fetch_cycle = 0
+        fetched_this_cycle = 0
+        current_fetch_line = None
+        last_commit_cycle = 0
+        committed_this_cycle = 0
+        redirect_extra = max(1, cfg.mispredict_penalty - FRONTEND_DEPTH)
+
+        index = 0
+        halted_by = "end"
+        while True:
+            if max_instructions is not None and index >= max_instructions:
+                halted_by = "limit"
+                break
+            pc = state.pc
+            instr = program.fetch(pc)
+            if instr is None:
+                break
+
+            # ---- fetch -------------------------------------------------
+            line = pc >> 6
+            if line != current_fetch_line:
+                ifetch = hierarchy.access(pc, next_fetch_cycle,
+                                          AccessKind.IFETCH)
+                if ifetch > hierarchy.config.l1i.hit_latency:
+                    next_fetch_cycle += ifetch
+                    fetched_this_cycle = 0
+                current_fetch_line = line
+            if fetched_this_cycle >= cfg.fetch_width:
+                next_fetch_cycle += 1
+                fetched_this_cycle = 0
+            fetch_cycle = next_fetch_cycle
+            fetched_this_cycle += 1
+
+            # ---- rename/dispatch (occupancy windows) --------------------
+            rename_cycle = fetch_cycle + FRONTEND_DEPTH
+            if len(rob) >= cfg.rob_entries:
+                rename_cycle = max(rename_cycle, rob.popleft())
+            if len(iq) >= cfg.issue_queue_entries:
+                rename_cycle = max(rename_cycle, iq.popleft())
+            spec = instr.spec
+            iclass = spec.iclass
+            if iclass is InstrClass.LOAD and len(ldq) >= cfg.ldq_entries:
+                rename_cycle = max(rename_cycle, ldq.popleft())
+            if iclass is InstrClass.STORE and len(stq) >= cfg.stq_entries:
+                rename_cycle = max(rename_cycle, stq.popleft())
+            if spec.writes_int_rd and len(int_writers) >= int_prf_window:
+                rename_cycle = max(rename_cycle, int_writers.popleft())
+            if spec.writes_fp_rd and len(fp_writers) >= fp_prf_window:
+                rename_cycle = max(rename_cycle, fp_writers.popleft())
+
+            # ---- operand readiness --------------------------------------
+            ready = rename_cycle + 1
+            if spec.reads_int_rs1 and int_ready[instr.rs1] > ready:
+                ready = int_ready[instr.rs1]
+            if spec.reads_int_rs2 and int_ready[instr.rs2] > ready:
+                ready = int_ready[instr.rs2]
+            if spec.reads_fp_rs1 and fp_ready[instr.rs1] > ready:
+                ready = fp_ready[instr.rs1]
+            if spec.reads_fp_rs2 and fp_ready[instr.rs2] > ready:
+                ready = fp_ready[instr.rs2]
+
+            # ---- functional execution (commit-order semantics) ----------
+            result = execute(instr, state, meek_handler=meek_handler)
+
+            # ---- issue + complete ----------------------------------------
+            pool = self._pools[iclass]
+            occupancy = self._occupancy.get(iclass, 1)
+            if iclass is InstrClass.LOAD:
+                issue = pool.acquire(ready, 1)
+                latency = hierarchy.access(result.mem_addr, issue,
+                                           AccessKind.LOAD)
+                complete = issue + latency
+            elif iclass is InstrClass.STORE:
+                issue = pool.acquire(ready, 1)
+                complete = issue + 1
+            else:
+                issue = pool.acquire(ready, occupancy)
+                complete = issue + self._latency[iclass]
+
+            # ---- control flow / prediction --------------------------------
+            if iclass is InstrClass.BRANCH:
+                outcome = predictor.predict_and_update(
+                    pc, result.taken,
+                    target=result.next_pc if result.taken else None)
+                if outcome == "mispredict":
+                    next_fetch_cycle = complete + redirect_extra
+                    fetched_this_cycle = 0
+                    current_fetch_line = None
+                elif outcome == "btb_bubble":
+                    # Decode-stage redirect: short front-end bubble.
+                    next_fetch_cycle = fetch_cycle + BTB_BUBBLE_CYCLES
+                    fetched_this_cycle = 0
+                    current_fetch_line = None
+                elif result.taken:
+                    next_fetch_cycle = fetch_cycle + 1
+                    fetched_this_cycle = 0
+                    current_fetch_line = None
+            elif iclass is InstrClass.JUMP:
+                if instr.op == "jal":
+                    if instr.rd == _RA:
+                        predictor.predict_call(pc, pc + 4)
+                    correct = True  # direct target known at decode
+                else:  # jalr
+                    if instr.rd == _RA:
+                        predictor.predict_call(pc, pc + 4)
+                        correct = predictor.predict_indirect(pc,
+                                                             result.next_pc)
+                    elif instr.rs1 == _RA and instr.rd == 0:
+                        correct = predictor.predict_return(pc, result.next_pc)
+                    else:
+                        correct = predictor.predict_indirect(pc,
+                                                             result.next_pc)
+                if not correct:
+                    next_fetch_cycle = complete + redirect_extra
+                    fetched_this_cycle = 0
+                    current_fetch_line = None
+                else:
+                    next_fetch_cycle = fetch_cycle + 1
+                    fetched_this_cycle = 0
+                    current_fetch_line = None
+
+            # ---- commit ----------------------------------------------------
+            commit = complete + 1
+            if commit < last_commit_cycle:
+                commit = last_commit_cycle
+            if commit == last_commit_cycle:
+                if committed_this_cycle >= cfg.commit_width:
+                    commit += 1
+                    committed_this_cycle = 0
+            else:
+                committed_this_cycle = 0
+            commit_slot = committed_this_cycle
+
+            if iclass is InstrClass.STORE:
+                # The write buffer retires the store after commit.
+                hierarchy.access(result.mem_addr, commit, AccessKind.STORE)
+
+            if commit_hook is not None:
+                event = CommitEvent(index, pc, instr, result, commit,
+                                    commit_slot)
+                adjusted = commit_hook(event)
+                if adjusted is not None:
+                    if adjusted < commit:
+                        raise SimulationError(
+                            "commit hook moved commit backwards")
+                    if adjusted > commit:
+                        committed_this_cycle = 0
+                        commit_slot = 0
+                    commit = adjusted
+
+            last_commit_cycle = commit
+            committed_this_cycle += 1
+
+            # ---- bookkeeping ------------------------------------------------
+            rob.append(commit)
+            iq.append(issue)
+            if iclass is InstrClass.LOAD:
+                ldq.append(commit)
+            elif iclass is InstrClass.STORE:
+                stq.append(commit)
+            if spec.writes_int_rd and instr.rd:
+                int_ready[instr.rd] = complete
+                int_writers.append(commit)
+            if spec.writes_fp_rd:
+                fp_ready[instr.rd] = complete
+                fp_writers.append(commit)
+
+            index += 1
+            if result.trap and halt_on_trap:
+                halted_by = result.trap
+                break
+
+        return RunResult(
+            instructions=index,
+            cycles=last_commit_cycle,
+            state=state,
+            predictor_stats=predictor.stats(),
+            memory_stats=hierarchy.stats(),
+            halted_by=halted_by,
+        )
+
+
+def run_program(program, config=None, **kwargs):
+    """Convenience helper: run ``program`` on a fresh big core."""
+    core = BigCore(config)
+    return core.run(program, **kwargs)

@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+Usage (``python -m repro ...``)::
+
+    python -m repro run swaptions --instructions 20000 --cores 4
+    python -m repro inject ferret --trials 3
+    python -m repro figure fig6
+    python -m repro figure tab3
+    python -m repro list
+
+``run`` executes one workload under MEEK and reports slowdown and
+segment statistics; ``inject`` runs a fault campaign; ``figure``
+regenerates one of the paper's tables/figures; ``list`` shows the
+available workloads.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table
+from repro.common.config import default_meek_config
+from repro.common.prng import DeterministicRng
+from repro.core.faults import FaultInjector
+from repro.core.system import MeekSystem, run_vanilla, slowdown
+from repro.workloads import all_profiles, generate_program, get_profile
+
+_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "tab3", "ablations")
+
+
+def _cmd_list(_args):
+    rows = [[p.name, p.suite, f"{p.mix.memory_fraction:.2f}",
+             f"{p.mix.fp_fraction:.2f}", p.working_set_kb,
+             p.body_instructions]
+            for p in all_profiles()]
+    print(format_table(
+        ["workload", "suite", "mem frac", "fp frac", "ws (KB)", "body"],
+        rows, title="Available workloads"))
+    return 0
+
+
+def _cmd_run(args):
+    program = generate_program(get_profile(args.workload),
+                               dynamic_instructions=args.instructions,
+                               seed=args.seed)
+    vanilla = run_vanilla(program)
+    config = default_meek_config(num_little_cores=args.cores,
+                                 fabric_kind=args.fabric)
+    result = MeekSystem(config).run(program)
+    stats = result.controller.stats()
+    print(f"workload        : {args.workload}")
+    print(f"instructions    : {result.instructions}")
+    print(f"vanilla IPC     : {vanilla.ipc:.2f}")
+    print(f"slowdown        : {slowdown(result, vanilla):.3f}x "
+          f"({args.cores} little cores, {args.fabric})")
+    print(f"segments        : {stats['segments']} "
+          f"(mean {stats['mean_segment_instrs']:.0f} instrs)")
+    print(f"end reasons     : {stats['end_reasons']}")
+    print(f"stall cycles    : {stats['stall_cycles']}")
+    print(f"all verified    : {result.all_segments_verified}")
+    return 0 if result.all_segments_verified else 1
+
+
+def _cmd_inject(args):
+    program = generate_program(get_profile(args.workload),
+                               dynamic_instructions=args.instructions,
+                               seed=args.seed)
+    latencies = []
+    injected = detected = 0
+    for trial in range(args.trials):
+        rng = DeterministicRng(f"cli/{args.workload}/{args.seed}/{trial}")
+        injector = FaultInjector(rng, rate=args.rate)
+        system = MeekSystem(default_meek_config(), injector=injector)
+        result = system.run(program)
+        injected += len(injector.injections)
+        detected += injector.detected_count
+        latencies.extend(result.detection_latencies_ns())
+    print(f"injections      : {injected}")
+    print(f"detected        : {detected} "
+          f"({detected / injected:.0%})" if injected else "no injections")
+    if latencies:
+        print(f"mean latency    : {sum(latencies) / len(latencies):.0f} ns")
+        print(f"worst latency   : {max(latencies):.0f} ns")
+    return 0
+
+
+def _cmd_figure(args):
+    from repro.experiments import (ablations, fig6_performance, fig7_latency,
+                                   fig8_scalability, fig9_backpressure,
+                                   fig10_perf_area, tab3_area)
+    module = {
+        "fig6": fig6_performance,
+        "fig7": fig7_latency,
+        "fig8": fig8_scalability,
+        "fig9": fig9_backpressure,
+        "fig10": fig10_perf_area,
+        "tab3": tab3_area,
+        "ablations": ablations,
+    }[args.name]
+    if args.name == "tab3":
+        print(module.format_results(module.run()))
+    else:
+        print(module.format_results(
+            module.run(dynamic_instructions=args.instructions)))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MEEK (DAC'25) reproduction: heterogeneous parallel "
+                    "error detection, cycle-level model")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    run_parser = sub.add_parser("run", help="run one workload under MEEK")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--instructions", type=int, default=20_000)
+    run_parser.add_argument("--cores", type=int, default=4)
+    run_parser.add_argument("--fabric", choices=("f2", "axi", "ideal"),
+                            default="f2")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    inject_parser = sub.add_parser("inject", help="fault campaign")
+    inject_parser.add_argument("workload")
+    inject_parser.add_argument("--instructions", type=int, default=15_000)
+    inject_parser.add_argument("--trials", type=int, default=2)
+    inject_parser.add_argument("--rate", type=float, default=0.008)
+    inject_parser.add_argument("--seed", type=int, default=0)
+
+    figure_parser = sub.add_parser("figure",
+                                   help="regenerate a paper table/figure")
+    figure_parser.add_argument("name", choices=_FIGURES)
+    figure_parser.add_argument("--instructions", type=int, default=10_000)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "inject": _cmd_inject,
+        "figure": _cmd_figure,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Shared infrastructure for the MEEK reproduction.
+
+This package holds the pieces every other subsystem leans on: the
+two-domain clock model, bounded FIFO queues (the basic currency of the
+forwarding fabric), bit-manipulation helpers used by the encoder and
+the fault injector, the hardware configuration dataclasses transcribed
+from Table II of the paper, and a small deterministic PRNG wrapper so
+every experiment is reproducible from a seed.
+"""
+
+from repro.common.bitops import (
+    bit_length64,
+    extract_bits,
+    flip_bit,
+    mask,
+    parity,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.common.clock import Clock, ClockDomain
+from repro.common.config import (
+    AxiConfig,
+    BigCoreConfig,
+    CacheConfig,
+    FabricConfig,
+    LittleCoreConfig,
+    LslConfig,
+    MeekConfig,
+    MemoryHierarchyConfig,
+    default_meek_config,
+    default_rocket_config,
+    optimized_rocket_config,
+)
+from repro.common.errors import (
+    AssemblerError,
+    ConfigError,
+    DecodeError,
+    FifoError,
+    PrivilegeError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.fifo import DualChannelFifo, Fifo
+from repro.common.prng import DeterministicRng
+
+__all__ = [
+    "AssemblerError",
+    "AxiConfig",
+    "BigCoreConfig",
+    "CacheConfig",
+    "Clock",
+    "ClockDomain",
+    "ConfigError",
+    "DecodeError",
+    "DeterministicRng",
+    "DualChannelFifo",
+    "FabricConfig",
+    "Fifo",
+    "FifoError",
+    "LittleCoreConfig",
+    "LslConfig",
+    "MeekConfig",
+    "MemoryHierarchyConfig",
+    "PrivilegeError",
+    "ReproError",
+    "SimulationError",
+    "bit_length64",
+    "default_meek_config",
+    "default_rocket_config",
+    "extract_bits",
+    "flip_bit",
+    "mask",
+    "optimized_rocket_config",
+    "parity",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,81 @@
+"""Bit-manipulation helpers.
+
+The ISA encoder, the parity protection modelled in the LSQ (Sec. III-A
+of the paper) and the fault injector all operate on fixed-width
+two's-complement integers.  Python integers are unbounded, so these
+helpers make the 32/64-bit semantics explicit at every call site.
+"""
+
+from repro.common.errors import SimulationError
+
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask(bits):
+    """Return an all-ones mask of ``bits`` bits (``mask(4) == 0b1111``)."""
+    if bits < 0:
+        raise SimulationError(f"mask width must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def to_unsigned(value, bits=WORD_BITS):
+    """Interpret ``value`` as an unsigned ``bits``-wide integer."""
+    return value & mask(bits)
+
+
+def to_signed(value, bits=WORD_BITS):
+    """Interpret the low ``bits`` bits of ``value`` as two's complement."""
+    value &= mask(bits)
+    sign_bit = 1 << (bits - 1)
+    if value & sign_bit:
+        return value - (1 << bits)
+    return value
+
+
+def sign_extend(value, from_bits, to_bits=WORD_BITS):
+    """Sign-extend a ``from_bits``-wide value to ``to_bits`` bits."""
+    if from_bits > to_bits:
+        raise SimulationError(
+            f"cannot sign-extend from {from_bits} to narrower {to_bits} bits"
+        )
+    return to_unsigned(to_signed(value, from_bits), to_bits)
+
+
+def extract_bits(value, hi, lo):
+    """Return bits ``hi:lo`` (inclusive, ``hi >= lo``) of ``value``."""
+    if hi < lo:
+        raise SimulationError(f"extract_bits needs hi >= lo, got {hi} < {lo}")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def flip_bit(value, bit, bits=WORD_BITS):
+    """Flip a single bit of ``value``, staying within ``bits`` width.
+
+    This is the atomic fault operation used by the injection campaign:
+    the paper injects single-bit upsets into data forwarded through F2.
+    """
+    if not 0 <= bit < bits:
+        raise SimulationError(f"bit index {bit} out of range for {bits}-bit value")
+    return (value ^ (1 << bit)) & mask(bits)
+
+
+def parity(value, bits=WORD_BITS):
+    """Even parity of the low ``bits`` bits (1 if an odd number of ones).
+
+    The paper copies the cache's parity bits into the LSQ to close the
+    unprotected window between cache read and LSL duplication.
+    """
+    value &= mask(bits)
+    ones = bin(value).count("1")
+    return ones & 1
+
+
+def bit_length64(value):
+    """Number of significant bits in the unsigned 64-bit view of ``value``."""
+    return to_unsigned(value).bit_length()
+
+
+def popcount(value, bits=WORD_BITS):
+    """Number of set bits in the low ``bits`` bits of ``value``."""
+    return bin(value & mask(bits)).count("1")

@@ -1,0 +1,82 @@
+"""Two-domain clock model.
+
+MEEK spans two clock domains (Fig. 2): the big core and the F2 fabric
+run in the high-frequency domain (3.2 GHz in Table II) while the little
+cores run in a low-frequency domain (1.6 GHz).  The simulator advances
+in *big-core cycles*; a :class:`ClockDomain` answers whether a given
+component ticks on the current global cycle and converts cycle counts
+to wall-clock time.
+"""
+
+from repro.common.errors import ConfigError
+
+PICOSECONDS_PER_SECOND = 1_000_000_000_000
+
+
+class ClockDomain:
+    """One clock domain, defined by its frequency in Hz."""
+
+    def __init__(self, name, frequency_hz):
+        if frequency_hz <= 0:
+            raise ConfigError(f"clock {name}: frequency must be positive")
+        self.name = name
+        self.frequency_hz = frequency_hz
+
+    @property
+    def period_ps(self):
+        """Clock period in picoseconds."""
+        return PICOSECONDS_PER_SECOND / self.frequency_hz
+
+    def cycles_to_ns(self, cycles):
+        """Convert a cycle count in this domain to nanoseconds."""
+        return cycles * 1e9 / self.frequency_hz
+
+    def ns_to_cycles(self, ns):
+        """Convert nanoseconds to (fractional) cycles in this domain."""
+        return ns * self.frequency_hz / 1e9
+
+    def __repr__(self):
+        return f"ClockDomain({self.name!r}, {self.frequency_hz / 1e9:.2f} GHz)"
+
+
+class Clock:
+    """Global simulation clock, stepped at the fastest domain's rate.
+
+    The fast (big-core) domain ticks every global cycle; each slower
+    domain ticks once every ``ratio`` global cycles where ``ratio`` is
+    the integer frequency ratio.  Table II's 3.2 GHz / 1.6 GHz pair
+    gives a ratio of exactly 2, which keeps the model simple and is why
+    non-integer ratios are rejected.
+    """
+
+    def __init__(self, fast_domain, slow_domains=()):
+        self.fast = fast_domain
+        self.cycle = 0
+        self._ratios = {}
+        for domain in slow_domains:
+            self.add_domain(domain)
+
+    def add_domain(self, domain):
+        ratio = self.fast.frequency_hz / domain.frequency_hz
+        if abs(ratio - round(ratio)) > 1e-9 or ratio < 1:
+            raise ConfigError(
+                f"domain {domain.name}: frequency ratio {ratio:.3f} to the fast "
+                "domain must be a positive integer"
+            )
+        self._ratios[domain.name] = int(round(ratio))
+
+    def tick(self):
+        """Advance global time by one fast-domain cycle."""
+        self.cycle += 1
+
+    def domain_ticks(self, domain_name):
+        """Whether the named slow domain has an edge on the current cycle."""
+        ratio = self._ratios[domain_name]
+        return self.cycle % ratio == 0
+
+    def ratio(self, domain_name):
+        return self._ratios[domain_name]
+
+    def now_ns(self):
+        """Current simulated time in nanoseconds."""
+        return self.fast.cycles_to_ns(self.cycle)

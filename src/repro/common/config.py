@@ -1,0 +1,329 @@
+"""Hardware configuration dataclasses (Table II of the paper).
+
+Every experiment builds its system from these configs, so Table II is
+transcribed here once and referenced everywhere.  The defaults are the
+paper's evaluated configuration: a 4-wide SonicBOOM-class big core at
+3.2 GHz, four optimized Rocket-class little cores at 1.6 GHz with a
+4 KB Load-Store Log and a 5000-instruction checkpoint timeout.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigError
+
+#: Commit-stage checkpoint trigger, Sec. IV-B: "each checkpoint is
+#: finite in size (5000-instruction maximum)".
+DEFAULT_RCP_INSTRUCTION_TIMEOUT = 5000
+
+#: Bytes per LSL entry: a load/store record carries a 64-bit address
+#: and 64-bit data word (16 bytes).  A 4 KB LSL therefore holds 256
+#: run-time entries.
+LSL_ENTRY_BYTES = 16
+
+
+def _require(condition, message):
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    mshrs: int = 8
+    hit_latency: int = 2
+
+    def __post_init__(self):
+        _require(self.size_bytes > 0, f"{self.name}: size must be positive")
+        _require(self.ways > 0, f"{self.name}: ways must be positive")
+        _require(self.line_bytes > 0 and (self.line_bytes & (self.line_bytes - 1)) == 0,
+                 f"{self.name}: line size must be a positive power of two")
+        _require(self.size_bytes % (self.ways * self.line_bytes) == 0,
+                 f"{self.name}: size must be divisible by ways*line")
+        _require(self.mshrs >= 1, f"{self.name}: need at least one MSHR")
+
+    @property
+    def num_sets(self):
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryHierarchyConfig:
+    """The full Table II memory hierarchy."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L1I", size_bytes=32 * 1024, ways=4, mshrs=8, hit_latency=1))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L1D", size_bytes=32 * 1024, ways=4, mshrs=8, hit_latency=3))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L2", size_bytes=512 * 1024, ways=8, mshrs=12, hit_latency=12))
+    llc: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "LLC", size_bytes=4 * 1024 * 1024, ways=8, mshrs=8, hit_latency=30))
+    dram_latency: int = 120
+    dram_max_requests: int = 32
+
+
+@dataclass(frozen=True)
+class BigCoreConfig:
+    """SonicBOOM-class OoO superscalar core (Table II, top half)."""
+
+    name: str = "boom"
+    frequency_hz: float = 3.2e9
+    fetch_width: int = 4
+    commit_width: int = 4
+    rob_entries: int = 128
+    issue_queue_entries: int = 96
+    ldq_entries: int = 32
+    stq_entries: int = 32
+    int_phys_regs: int = 128
+    fp_phys_regs: int = 128
+    int_alus: int = 2
+    fp_units: int = 1
+    mem_units: int = 2
+    jump_units: int = 1
+    csr_units: int = 1
+    # Branch predictor (TAGE) timing parameters.
+    btb_entries: int = 256
+    ras_entries: int = 32
+    tage_tables: int = 6
+    mispredict_penalty: int = 12
+    # Execution latencies (cycles).  BOOM's integer divide is iterative;
+    # its FPU is fully pipelined.
+    int_alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    fp_latency: int = 4
+    fp_div_latency: int = 16
+    memory: MemoryHierarchyConfig = field(default_factory=MemoryHierarchyConfig)
+
+    def __post_init__(self):
+        _require(self.fetch_width >= 1, "fetch width must be >= 1")
+        _require(self.commit_width >= 1, "commit width must be >= 1")
+        _require(self.rob_entries >= self.commit_width,
+                 "ROB must hold at least one commit group")
+        _require(self.int_alus >= 1 and self.mem_units >= 1,
+                 "need at least one ALU and one memory unit")
+        _require(self.frequency_hz > 0, "frequency must be positive")
+
+    def scaled(self, factor):
+        """Linearly interpolate every sizeable component by ``factor``.
+
+        Used to build the Equivalent-Area LockStep comparator (Sec. V-A):
+        the paper scales down each configurable BOOM component through
+        linear interpolation until two copies match MEEK's area budget.
+        Unit counts never drop below one and queue sizes below the
+        commit group, so the scaled core remains functional.
+        """
+        _require(0 < factor <= 1.0, f"scale factor must be in (0, 1], got {factor}")
+
+        def scale(value, minimum=1):
+            return max(minimum, int(round(value * factor)))
+
+        def scale_cache(cache):
+            # Shrink capacity through associativity so the set count
+            # (and divisibility invariants) stay intact.
+            ways = scale(cache.ways)
+            return replace(cache,
+                           ways=ways,
+                           size_bytes=cache.num_sets * ways * cache.line_bytes,
+                           mshrs=scale(cache.mshrs))
+
+        memory = self.memory
+        scaled_memory = replace(
+            memory,
+            l1i=scale_cache(memory.l1i),
+            l1d=scale_cache(memory.l1d),
+            l2=scale_cache(memory.l2),
+            llc=scale_cache(memory.llc),
+        )
+
+        width = scale(self.fetch_width)
+        return replace(
+            self,
+            name=f"{self.name}-x{factor:.2f}",
+            fetch_width=width,
+            commit_width=scale(self.commit_width),
+            rob_entries=scale(self.rob_entries, minimum=width * 4),
+            issue_queue_entries=scale(self.issue_queue_entries, minimum=width * 2),
+            ldq_entries=scale(self.ldq_entries, minimum=4),
+            stq_entries=scale(self.stq_entries, minimum=4),
+            int_phys_regs=scale(self.int_phys_regs, minimum=48),
+            fp_phys_regs=scale(self.fp_phys_regs, minimum=48),
+            int_alus=scale(self.int_alus),
+            fp_units=scale(self.fp_units),
+            mem_units=scale(self.mem_units),
+            jump_units=scale(self.jump_units),
+            btb_entries=scale(self.btb_entries, minimum=16),
+            ras_entries=scale(self.ras_entries, minimum=4),
+            tage_tables=scale(self.tage_tables, minimum=2),
+            memory=scaled_memory,
+        )
+
+
+@dataclass(frozen=True)
+class LslConfig:
+    """Load-Store Log: 4 KB with a 5000-instruction timeout (Table II)."""
+
+    size_bytes: int = 4 * 1024
+    instruction_timeout: int = DEFAULT_RCP_INSTRUCTION_TIMEOUT
+
+    def __post_init__(self):
+        _require(self.size_bytes >= LSL_ENTRY_BYTES,
+                 "LSL must hold at least one entry")
+        _require(self.instruction_timeout >= 1,
+                 "instruction timeout must be >= 1")
+
+    @property
+    def entries(self):
+        """Run-time data records the log can hold."""
+        return self.size_bytes // LSL_ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class LittleCoreConfig:
+    """Rocket-class in-order core (Table II, bottom half).
+
+    ``div_unroll`` and ``fpu_stages`` are the two bottleneck components
+    the paper widens to close the performance gap (Sec. III-C): the
+    evaluated cores use an 8-unroll divider and a 3-stage (pipelined)
+    FPU, versus a default Rocket with an iterative 1-bit/cycle divider
+    and a blocking FPU.
+    """
+
+    name: str = "rocket-opt"
+    frequency_hz: float = 1.6e9
+    div_unroll: int = 8
+    fpu_stages: int = 3
+    fpu_pipelined: bool = True
+    icache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L1I-little", size_bytes=4 * 1024, ways=2, mshrs=2, hit_latency=1))
+    dcache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L1D-little", size_bytes=4 * 1024, ways=2, mshrs=2, hit_latency=2))
+    lsl: LslConfig = field(default_factory=LslConfig)
+    mul_latency: int = 4
+    load_use_penalty: int = 1
+    branch_penalty: int = 2
+
+    def __post_init__(self):
+        _require(self.div_unroll >= 1, "divider unroll must be >= 1")
+        _require(self.fpu_stages >= 1, "FPU needs at least one stage")
+        _require(self.frequency_hz > 0, "frequency must be positive")
+
+    @property
+    def div_latency(self):
+        """Cycles for a 64-bit iterative divide at this unroll factor."""
+        return max(2, 64 // self.div_unroll + 2)
+
+    @property
+    def fdiv_latency(self):
+        """Cycles for a double-precision divide/sqrt.
+
+        The mantissa divider iterates like the integer one but benefits
+        from only half the unroll investment (separate datapath), plus
+        the FPU pipeline depth for pack/round.  On the default Rocket
+        this is a painful ~58 cycles; on the optimized core ~16 — the
+        component the paper widens for swaptions-class workloads.
+        """
+        effective_unroll = max(1, self.div_unroll // 4)
+        return max(8, 54 // effective_unroll) + self.fpu_stages
+
+    @property
+    def fp_latency(self):
+        """Cycles a dependent instruction waits on an FP result."""
+        return self.fpu_stages
+
+    @property
+    def fp_occupancy(self):
+        """Cycles the FPU is busy per FP op (1 when pipelined)."""
+        return 1 if self.fpu_pipelined else self.fpu_stages
+
+
+def default_rocket_config():
+    """The *default* Rocket used as the Fig. 10 baseline: iterative
+    1-bit divider, blocking single-issue FPU."""
+    return LittleCoreConfig(
+        name="rocket-default",
+        div_unroll=1,
+        fpu_stages=4,
+        fpu_pipelined=False,
+    )
+
+
+def optimized_rocket_config():
+    """The optimized little core evaluated in the paper (Table II)."""
+    return LittleCoreConfig(name="rocket-opt", div_unroll=8, fpu_stages=3,
+                            fpu_pipelined=True)
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """F2: DC-Buffers plus the half-duplex multicast NoC (Sec. III-B)."""
+
+    kind: str = "f2"
+    width_bits: int = 256
+    packets_per_cycle: int = 2
+    status_fifo_depth: int = 16
+    runtime_fifo_depth: int = 16
+    hop_latency: int = 1
+    multicast: bool = True
+
+    def __post_init__(self):
+        _require(self.kind in ("f2", "axi", "ideal"),
+                 f"unknown fabric kind {self.kind!r}")
+        _require(self.width_bits in (64, 128, 256, 512),
+                 "fabric width must be a standard bus width")
+        _require(self.packets_per_cycle >= 1, "need >= 1 packet per cycle")
+
+
+@dataclass(frozen=True)
+class AxiConfig(FabricConfig):
+    """The full-featured AXI-Interconnect baseline of Fig. 9: a 128-bit
+    narrow bus handling one packet per cycle, no multicast."""
+
+    kind: str = "axi"
+    width_bits: int = 128
+    packets_per_cycle: int = 1
+    multicast: bool = False
+    arbitration_latency: int = 2
+
+
+@dataclass(frozen=True)
+class MeekConfig:
+    """A complete MEEK system: one big core + N little cores + fabric."""
+
+    big_core: BigCoreConfig = field(default_factory=BigCoreConfig)
+    little_core: LittleCoreConfig = field(default_factory=optimized_rocket_config)
+    num_little_cores: int = 4
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    checking_enabled: bool = True
+    #: Keep the checker at least one instruction behind the main thread
+    #: (the Fig. 5 (b) deadlock fix).  Disabled only to demonstrate the
+    #: deadlock in the OS model.
+    one_instruction_behind: bool = True
+
+    def __post_init__(self):
+        _require(self.num_little_cores >= 1, "need at least one little core")
+
+    def with_little_cores(self, count):
+        return replace(self, num_little_cores=count)
+
+    def with_fabric(self, fabric):
+        return replace(self, fabric=fabric)
+
+
+def default_meek_config(num_little_cores=4, fabric_kind="f2"):
+    """The paper's evaluated configuration (Table II): 4 optimized
+    little cores behind the F2 fabric."""
+    if fabric_kind == "axi":
+        fabric = AxiConfig()
+    elif fabric_kind == "ideal":
+        fabric = FabricConfig(kind="ideal", width_bits=512,
+                              packets_per_cycle=8,
+                              status_fifo_depth=64, runtime_fifo_depth=64)
+    else:
+        fabric = FabricConfig()
+    return MeekConfig(num_little_cores=num_little_cores, fabric=fabric)

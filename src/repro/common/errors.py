@@ -1,0 +1,47 @@
+"""Exception hierarchy for the MEEK reproduction.
+
+Every exception raised by library code derives from :class:`ReproError`
+so applications can catch the whole family with one handler while tests
+can assert on the precise subtype.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration dataclass was constructed with invalid values."""
+
+
+class FifoError(ReproError):
+    """Illegal FIFO operation (push to a full queue, pop from empty)."""
+
+
+class DecodeError(ReproError):
+    """An instruction word could not be decoded."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source text was malformed."""
+
+
+class PrivilegeError(ReproError):
+    """A privileged MEEK instruction was executed in user mode."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This signals a bug in the model (or a deliberately provoked illegal
+    condition in a test), never an expected runtime outcome such as a
+    detected fault.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The system made no forward progress for the configured horizon.
+
+    Used by the OS model to report the Fig. 5 (a) page-fault deadlock
+    and by the system simulator as a watchdog against model bugs.
+    """

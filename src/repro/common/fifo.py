@@ -1,0 +1,130 @@
+"""Bounded FIFO queues.
+
+FIFOs are the basic hardware currency of MEEK's data path: the
+DC-Buffers attached to each commit path are pairs of independent FIFOs
+(status + run-time data), and the Load-Store Log in each little core is
+"implemented using dual-way FIFOs" (Sec. III-C).  The model mirrors
+that: a :class:`Fifo` with a hard capacity whose fullness creates
+backpressure, and a :class:`DualChannelFifo` bundling the two channels
+of a DC-Buffer.
+"""
+
+from collections import deque
+
+from repro.common.errors import FifoError
+
+
+class Fifo:
+    """A bounded first-in first-out queue.
+
+    ``capacity`` of ``None`` means unbounded (useful for ideal-fabric
+    experiments); otherwise :meth:`push` raises :class:`FifoError` when
+    full — callers are expected to check :attr:`full` first, exactly
+    like ready/valid handshaking in the RTL.
+    """
+
+    def __init__(self, capacity=None, name="fifo"):
+        if capacity is not None and capacity < 1:
+            raise FifoError(f"{name}: capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items = deque()
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.high_watermark = 0
+
+    def __len__(self):
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __bool__(self):
+        return bool(self._items)
+
+    @property
+    def empty(self):
+        return not self._items
+
+    @property
+    def full(self):
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def free_slots(self):
+        if self.capacity is None:
+            return None
+        return self.capacity - len(self._items)
+
+    def push(self, item):
+        """Append ``item``; raises :class:`FifoError` when full."""
+        if self.full:
+            raise FifoError(f"{self.name}: push to full FIFO (capacity {self.capacity})")
+        self._items.append(item)
+        self.total_pushed += 1
+        if len(self._items) > self.high_watermark:
+            self.high_watermark = len(self._items)
+
+    def try_push(self, item):
+        """Push if there is room; return ``True`` on success."""
+        if self.full:
+            return False
+        self.push(item)
+        return True
+
+    def pop(self):
+        """Remove and return the oldest item; raises when empty."""
+        if not self._items:
+            raise FifoError(f"{self.name}: pop from empty FIFO")
+        self.total_popped += 1
+        return self._items.popleft()
+
+    def peek(self):
+        """Return the oldest item without removing it; raises when empty."""
+        if not self._items:
+            raise FifoError(f"{self.name}: peek at empty FIFO")
+        return self._items[0]
+
+    def clear(self):
+        self._items.clear()
+
+    def drain(self, limit=None):
+        """Pop up to ``limit`` items (all if ``None``) and return them."""
+        out = []
+        while self._items and (limit is None or len(out) < limit):
+            out.append(self.pop())
+        return out
+
+
+class DualChannelFifo:
+    """A DC-Buffer: independent status and run-time data FIFOs.
+
+    The paper adds a DC-Buffer to each commit path so that a run-time
+    packet and a status packet produced in the same commit cycle can
+    both be absorbed without stalling the core (Sec. III-B).
+    """
+
+    def __init__(self, status_capacity, runtime_capacity, name="dcbuf"):
+        self.name = name
+        self.status = Fifo(status_capacity, name=f"{name}.status")
+        self.runtime = Fifo(runtime_capacity, name=f"{name}.runtime")
+
+    @property
+    def empty(self):
+        return self.status.empty and self.runtime.empty
+
+    def occupancy(self):
+        """Return ``(status_depth, runtime_depth)``."""
+        return len(self.status), len(self.runtime)
+
+    def can_accept(self, status_packets=0, runtime_packets=0):
+        """Whether both channels have room for the given packet counts."""
+        status_ok = (
+            self.status.capacity is None
+            or self.status.free_slots >= status_packets
+        )
+        runtime_ok = (
+            self.runtime.capacity is None
+            or self.runtime.free_slots >= runtime_packets
+        )
+        return status_ok and runtime_ok

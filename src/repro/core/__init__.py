@@ -1,0 +1,41 @@
+"""MEEK's primary contribution: heterogeneous parallel error detection.
+
+This package ties the substrates together:
+
+* :class:`~repro.core.segments.Segment` — one checkpointed slice of the
+  application thread, between a start RCP and an end RCP;
+* :class:`~repro.core.lsl.LoadStoreLog` — the per-little-core log that
+  replaces the D-cache during replay;
+* :class:`~repro.core.checker.CheckerRun` — genuine re-execution of a
+  segment on a little core, comparing loads/stores/CSRs against the log
+  and the register files at the ERCP;
+* :class:`~repro.core.controller.MeekController` — the commit-stage
+  orchestration: RCP triggers, segment-to-core scheduling, DC-Buffer
+  backpressure, and stall attribution (Fig. 9's decomposition);
+* :class:`~repro.core.faults.FaultInjector` — single-bit upsets in
+  forwarded data, the paper's Sec. V-B campaign;
+* :class:`~repro.core.system.MeekSystem` — the full SoC: one big core,
+  N little cores, a forwarding fabric, and the controller.
+"""
+
+from repro.core.checker import CheckerRun, SegmentVerdict
+from repro.core.controller import MeekController, StallReason
+from repro.core.faults import FaultInjector, FaultTarget, InjectionRecord
+from repro.core.lsl import LoadStoreLog
+from repro.core.segments import Segment, SegmentEndReason
+from repro.core.system import MeekRunResult, MeekSystem
+
+__all__ = [
+    "CheckerRun",
+    "FaultInjector",
+    "FaultTarget",
+    "InjectionRecord",
+    "LoadStoreLog",
+    "MeekController",
+    "MeekRunResult",
+    "MeekSystem",
+    "Segment",
+    "SegmentEndReason",
+    "SegmentVerdict",
+    "StallReason",
+]

@@ -1,0 +1,213 @@
+"""Checker-thread re-execution.
+
+A :class:`CheckerRun` genuinely re-executes one segment on a little
+core: the architectural state is reset from the (possibly corrupted)
+SRCP packet, every load returns data from the Load-Store Log, every
+store and CSR operation is compared entry-by-entry against the log,
+and the ERCP closes with a full register-file comparison — so error
+detection in this model happens by the same mechanism as in the
+hardware, not by scripted outcomes.
+
+The run is *incremental*: the controller calls :meth:`advance` each
+time new run-time entries arrive or the segment closes, and the checker
+executes as far as the log (and the one-instruction-behind rule of
+Fig. 5b) allows.  All timestamps come from the little core's pipeline
+model, in big-core cycles.
+"""
+
+from repro.common.bitops import mask, to_unsigned
+from repro.common.errors import SimulationError
+from repro.fabric.packets import RuntimeKind
+from repro.isa.instructions import InstrClass
+from repro.isa.semantics import execute
+from repro.isa.state import ArchState, Memory
+
+
+class SegmentVerdict:
+    """Outcome of verifying one segment."""
+
+    __slots__ = ("ok", "detect_cycle", "reason", "finish_cycle", "seg_id")
+
+    def __init__(self, ok, finish_cycle, seg_id, detect_cycle=None,
+                 reason=None):
+        self.ok = ok
+        self.finish_cycle = finish_cycle
+        self.seg_id = seg_id
+        self.detect_cycle = detect_cycle
+        self.reason = reason
+
+    def __repr__(self):
+        if self.ok:
+            return f"SegmentVerdict(seg={self.seg_id}, ok @ {self.finish_cycle})"
+        return (f"SegmentVerdict(seg={self.seg_id}, ERROR {self.reason!r} "
+                f"@ {self.detect_cycle})")
+
+
+class _LslPort:
+    """Memory interface that serves loads from, and compares stores
+    against, the current LSL entry (Fig. 4b)."""
+
+    __slots__ = ("entry", "mismatch")
+
+    def __init__(self):
+        self.entry = None
+        self.mismatch = None
+
+    def load(self, addr, size, signed=False):
+        entry = self.entry
+        if entry.rkind is not RuntimeKind.LOAD:
+            self.mismatch = "lsl-kind-mismatch-on-load"
+        elif entry.addr != addr or entry.size != size:
+            self.mismatch = "load-address-mismatch"
+        # Replay proceeds with the logged data either way; a detected
+        # mismatch aborts the segment at this instruction.
+        return entry.data
+
+    def store(self, addr, value, size):
+        entry = self.entry
+        if entry.rkind is not RuntimeKind.STORE:
+            self.mismatch = "lsl-kind-mismatch-on-store"
+        elif entry.addr != addr or entry.size != size:
+            self.mismatch = "store-address-mismatch"
+        elif (value & mask(size * 8)) != entry.data:
+            self.mismatch = "store-data-mismatch"
+
+
+class CheckerRun:
+    """Re-execution of one segment on one little core."""
+
+    #: Little-core cycles of checker-loop runtime around a segment
+    #: (Algorithm 2: l.record, busy-wait exit, l.jal redirect).
+    STARTUP_CYCLES = 6
+
+    #: Architectural registers applied/compared per little-core cycle.
+    REGISTER_PORTS = 8
+
+    def __init__(self, segment, program, pipeline, lsl, clock_ratio=2,
+                 one_instruction_behind=True):
+        self.segment = segment
+        self.program = program
+        self.pipeline = pipeline
+        self.lsl = lsl
+        self.ratio = clock_ratio
+        self.one_behind = one_instruction_behind
+        self.verdict = None
+        self.executed = 0
+        self.next_entry = 0
+        self._port = _LslPort()
+
+        srcp = segment.srcp
+        # The checker's state comes from the forwarded SRCP — including
+        # its PC.  A corrupted SRCP therefore really does start replay
+        # in the wrong place, and is caught by log/ERCP comparison.
+        self.state = ArchState(memory=Memory(), pc=srcp.pc)
+        self.state.apply_register_snapshot(srcp.int_regs, srcp.fp_regs)
+        self.state.csrs = dict(srcp.csrs)
+
+        apply_cycles = -(-64 // self.REGISTER_PORTS)
+        start = max(segment.srcp_delivery, pipeline.time)
+        start += (self.STARTUP_CYCLES + apply_cycles) * clock_ratio
+        pipeline.reset_to(start)
+        self.start_cycle = start
+
+    # -- helpers ---------------------------------------------------------
+
+    @property
+    def _allowed_count(self):
+        """How many instructions the checker may have executed.
+
+        While the segment is open the checker stays one instruction
+        behind the main thread (the Fig. 5b deadlock fix); once closed
+        it runs to the ERCP.
+        """
+        count = self.segment.instr_count
+        if self.one_behind and not self.segment.closed:
+            count -= 1
+        return count
+
+    def _detect(self, cycle, reason):
+        self.verdict = SegmentVerdict(ok=False, finish_cycle=cycle,
+                                      seg_id=self.segment.seg_id,
+                                      detect_cycle=cycle, reason=reason)
+        return self.verdict
+
+    @property
+    def compare_cycles(self):
+        """ERCP register-file comparison latency, big cycles."""
+        return (-(-64 // self.REGISTER_PORTS) + 1) * self.ratio
+
+    # -- main loop -------------------------------------------------------
+
+    def advance(self):
+        """Execute as far as the log allows.  Returns the verdict once
+        the segment is fully verified (or an error detected), else
+        ``None``."""
+        if self.verdict is not None:
+            return self.verdict
+        seg = self.segment
+        while True:
+            if self.executed >= self._allowed_count:
+                if seg.closed and self.executed >= seg.instr_count:
+                    return self._final_compare()
+                return None  # wait for the main thread
+
+            # Fetch from the shared program image.
+            try:
+                instr = self.program.fetch(self.state.pc)
+            except SimulationError:
+                return self._detect(self.pipeline.time, "pc-misaligned")
+            if instr is None:
+                return self._detect(self.pipeline.time, "pc-out-of-program")
+
+            iclass = instr.spec.iclass
+            needs_entry = iclass in (InstrClass.LOAD, InstrClass.STORE,
+                                     InstrClass.CSR)
+            entry = None
+            delivery = None
+            if needs_entry:
+                if self.next_entry >= len(seg.entries):
+                    if seg.closed:
+                        return self._detect(self.pipeline.time,
+                                            "log-exhausted")
+                    return None  # entry not produced yet
+                entry = seg.entries[self.next_entry]
+                delivery = seg.entry_deliveries[self.next_entry]
+                self.next_entry += 1
+
+            pc = self.state.pc
+            self._port.entry = entry
+            self._port.mismatch = None
+            result = execute(instr, self.state,
+                             mem_port=self._port if needs_entry else None)
+            complete = self.pipeline.step(
+                instr, pc, taken_branch=result.taken,
+                load_data_available=(delivery
+                                     if iclass is InstrClass.LOAD else None))
+            self.executed += 1
+
+            if needs_entry:
+                consume = max(complete, delivery)
+                self.lsl.record_consumption(consume)
+                if iclass is InstrClass.CSR:
+                    if entry.rkind is not RuntimeKind.CSR:
+                        self._port.mismatch = "lsl-kind-mismatch-on-csr"
+                    elif (entry.addr != result.csr_addr
+                          or entry.data != result.rd_value):
+                        self._port.mismatch = "csr-mismatch"
+                if self._port.mismatch is not None:
+                    return self._detect(consume, self._port.mismatch)
+
+    def _final_compare(self):
+        seg = self.segment
+        when = max(self.pipeline.time, seg.ercp_delivery)
+        when += self.compare_cycles
+        drained = self.next_entry == len(seg.entries)
+        matches = seg.ercp.matches(self.state.int_regs, self.state.fp_regs,
+                                   self.state.csrs, self.state.pc)
+        if matches and drained:
+            self.verdict = SegmentVerdict(ok=True, finish_cycle=when,
+                                          seg_id=seg.seg_id)
+        else:
+            reason = "ercp-register-mismatch" if drained else "log-not-drained"
+            self.verdict = self._detect(when, reason)
+        return self.verdict

@@ -1,0 +1,253 @@
+"""MEEK commit-stage controller.
+
+This is the orchestration glue the paper distributes between the DEU's
+control circuits, the F2 scheduler and the OS-reserved LSLs: it watches
+every big-core commit through the commit hook, forwards run-time data
+to the active segment's little core, triggers RCPs (LSL full /
+instruction timeout / kernel trap), selectively broadcasts status data
+to the ERCP and SRCP consumers, schedules segments onto free little
+cores, and — crucially for the evaluation — converts resource
+exhaustion into commit stalls attributed to the three Fig. 9
+categories: data collecting, data forwarding, and little-core
+availability.
+"""
+
+import enum
+
+from repro.bigcore.deu import DataExtractionUnit
+from repro.common.errors import SimulationError
+from repro.core.checker import CheckerRun
+from repro.core.lsl import LoadStoreLog
+from repro.core.segments import Segment, SegmentEndReason
+from repro.fabric.dcbuffer import DcBufferModel
+from repro.fabric.packets import Packet, PacketKind
+
+
+class StallReason(enum.Enum):
+    COLLECTING = "data_collecting"
+    FORWARDING = "data_forwarding"
+    LITTLE_CORE = "little_core"
+
+
+class MeekController:
+    """Per-run MEEK orchestration state."""
+
+    def __init__(self, config, program, state, fabric, pipelines, lsls=None,
+                 injector=None):
+        self.config = config
+        self.program = program
+        self.state = state
+        self.fabric = fabric
+        self.pipelines = pipelines
+        self.num_cores = len(pipelines)
+        self.lsls = lsls if lsls is not None else [
+            LoadStoreLog(config.little_core.lsl, core_id=i)
+            for i in range(self.num_cores)]
+        self.injector = injector
+        self.deu = DataExtractionUnit()
+        self.deu.set_enabled(config.checking_enabled)
+        width = config.big_core.commit_width
+        self.dc_buffers = [
+            DcBufferModel(config.fabric.status_fifo_depth,
+                          config.fabric.runtime_fifo_depth,
+                          name=f"dcbuf{i}")
+            for i in range(width)]
+        self.segments = []
+        self.active = None
+        self.checkers = {}          # seg_id -> CheckerRun
+        self.core_free = [0] * self.num_cores
+        self.stall_cycles = {reason: 0 for reason in StallReason}
+        self.detections = []        # (seg_id, cycle, reason)
+        self.verdicts = []
+        self._rcp_counter = 0
+        self._next_core = 0
+        self._pending_srcp = None   # (snapshot, delivery_cycle)
+        self._timeout = config.little_core.lsl.instruction_timeout
+        self._initialized = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, cycle=0):
+        """Take the initial RCP (SRCP of segment 0) and forward it."""
+        if not self.deu.enabled:
+            self._initialized = True
+            return
+        snapshot = self.deu.extract_status(self.state, self._rcp_counter,
+                                           seg_id=0, next_pc=self.state.pc)
+        self._rcp_counter += 1
+        if self.injector is not None:
+            self.injector.maybe_inject_status(snapshot, cycle, seg_id=0)
+        packet = Packet(PacketKind.STATUS, snapshot, seg_id=0,
+                        created_cycle=cycle, dests=(self._next_core,))
+        report = self.fabric.send(packet, cycle)
+        self._pending_srcp = (snapshot,
+                              report.delivery_times[self._next_core])
+        self._initialized = True
+
+    # -- the commit hook (DEU observation channel) ---------------------------
+
+    def commit_hook(self, event):
+        """Observe one commit; return its (possibly stalled) cycle."""
+        if not self._initialized:
+            raise SimulationError("controller used before initialize()")
+        t = event.commit_cycle
+        if not self.deu.enabled:
+            return t
+        if self.active is None:
+            t = self._open_segment(t, event.pc)
+        seg = self.active
+
+        entry = self.deu.extract_runtime(event)
+        if entry is not None:
+            entry = entry.copy()
+            if self.injector is not None and not seg.injected:
+                record = self.injector.maybe_inject_runtime(entry, t,
+                                                            seg.seg_id)
+                if record is not None:
+                    seg.injected = True
+            packet = Packet(PacketKind.RUNTIME, entry, seg.seg_id, t,
+                            dests=(seg.assigned_core,))
+            report = self.fabric.send(packet, t)
+            buffer = self.dc_buffers[event.commit_slot % len(self.dc_buffers)]
+            stall_until = buffer.push("runtime", report.accept_times, t)
+            if stall_until > t:
+                self.stall_cycles[StallReason.FORWARDING] += stall_until - t
+                t = stall_until
+            delivery = report.delivery_times[seg.assigned_core]
+            seg.add_entry(entry, delivery)
+            self.lsls[seg.assigned_core].record_delivery(delivery)
+
+        seg.instr_count += 1
+        checker = self.checkers[seg.seg_id]
+        checker.advance()
+
+        reason = None
+        if entry is not None and self._lsl_credit_full(seg, t):
+            reason = SegmentEndReason.LSL_FULL
+        elif seg.instr_count >= self._timeout:
+            reason = SegmentEndReason.TIMEOUT
+        elif event.result.trap is not None:
+            reason = SegmentEndReason.KERNEL_TRAP
+        if reason is not None:
+            t = self._close_segment(t, reason, event.commit_slot)
+        return t
+
+    def finalize(self, end_cycle):
+        """Close the trailing partial segment and drain all checkers.
+
+        Returns the cycle at which the last checker finished.
+        """
+        if not self.deu.enabled:
+            return end_cycle
+        if self.active is not None and self.active.instr_count > 0:
+            self._close_segment(end_cycle, SegmentEndReason.PROGRAM_END, 0)
+        elif self.active is not None:
+            # An empty segment needs no verification.
+            self.active = None
+        drain = max(self.core_free) if self.core_free else end_cycle
+        return max(drain, end_cycle)
+
+    # -- internals -------------------------------------------------------------
+
+    def _lsl_credit_full(self, seg, now):
+        """LSL-full RCP trigger, credit-based: entries sent minus
+        entries the checker has consumed by ``now``."""
+        lsl = self.lsls[seg.assigned_core]
+        return lsl.outstanding(now) >= lsl.capacity
+
+    def _open_segment(self, t, start_pc):
+        core = self._next_core
+        free = self.core_free[core]
+        if free > t:
+            self.stall_cycles[StallReason.LITTLE_CORE] += free - t
+            t = free
+        snapshot, delivery = self._pending_srcp
+        seg = Segment(seg_id=len(self.segments), start_pc=start_pc,
+                      srcp=snapshot, srcp_delivery=delivery,
+                      assigned_core=core, start_cycle=t)
+        self.segments.append(seg)
+        self.active = seg
+        lsl = self.lsls[core]
+        lsl.bind_segment()
+        checker = CheckerRun(
+            seg, self.program, self.pipelines[core], lsl,
+            clock_ratio=2,
+            one_instruction_behind=self.config.one_instruction_behind)
+        self.checkers[seg.seg_id] = checker
+        return t
+
+    def _choose_next_core(self, closing_core):
+        if self.num_cores == 1:
+            return 0
+        candidates = [c for c in range(self.num_cores) if c != closing_core]
+        return min(candidates, key=lambda c: (self.core_free[c], c))
+
+    def _close_segment(self, t, reason, commit_slot):
+        seg = self.active
+        # Data collecting: the DEU preempts the PRF read ports for a
+        # few cycles to capture the register files (Fig. 3c).
+        extraction = self.deu.status_extraction_cycles
+        self.stall_cycles[StallReason.COLLECTING] += extraction
+        t += extraction
+
+        snapshot = self.deu.extract_status(self.state, self._rcp_counter,
+                                           seg_id=seg.seg_id + 1,
+                                           next_pc=self.state.pc)
+        self._rcp_counter += 1
+        if self.injector is not None and not seg.injected:
+            self.injector.maybe_inject_status(snapshot, t, seg.seg_id)
+
+        next_core = self._choose_next_core(seg.assigned_core)
+        dests = (seg.assigned_core, next_core)
+        if next_core == seg.assigned_core:
+            dests = (seg.assigned_core,)
+        packet = Packet(PacketKind.STATUS, snapshot, seg.seg_id, t,
+                        dests=dests)
+        report = self.fabric.send(packet, t)
+        buffer = self.dc_buffers[commit_slot % len(self.dc_buffers)]
+        stall_until = buffer.push("status", report.accept_times, t)
+        if stall_until > t:
+            self.stall_cycles[StallReason.FORWARDING] += stall_until - t
+            t = stall_until
+
+        seg.close(t, reason, ercp=snapshot,
+                  ercp_delivery=report.delivery_times[seg.assigned_core],
+                  end_pc=self.state.pc)
+        checker = self.checkers[seg.seg_id]
+        verdict = checker.advance()
+        if verdict is None:
+            raise SimulationError(
+                f"checker for segment {seg.seg_id} did not finish at close")
+        self.verdicts.append(verdict)
+        self.core_free[seg.assigned_core] = verdict.finish_cycle
+        if not verdict.ok:
+            self.detections.append((seg.seg_id, verdict.detect_cycle,
+                                    verdict.reason))
+
+        self._pending_srcp = (snapshot, report.delivery_times[next_core])
+        self._next_core = next_core
+        self.active = None
+        return t
+
+    # -- reporting --------------------------------------------------------------
+
+    def total_stall_cycles(self):
+        return sum(self.stall_cycles.values())
+
+    def stats(self):
+        closed = [s for s in self.segments if s.closed]
+        return {
+            "segments": len(self.segments),
+            "rcp_count": self._rcp_counter,
+            "stall_cycles": {r.value: c for r, c in self.stall_cycles.items()},
+            "end_reasons": {
+                reason.value: sum(1 for s in closed if s.end_reason is reason)
+                for reason in SegmentEndReason},
+            "mean_segment_instrs": (
+                sum(s.instr_count for s in closed) / len(closed)
+                if closed else 0.0),
+            "deu": self.deu.stats(),
+            "fabric": self.fabric.stats(),
+            "lsl_peak_occupancy": max(
+                (lsl.peak_occupancy for lsl in self.lsls), default=0),
+        }

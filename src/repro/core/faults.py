@@ -1,0 +1,199 @@
+"""Fault injection into forwarded data (Sec. V-B).
+
+The paper injects errors "in the forwarded data from the F2 connected
+to the big core, e.g., data and address of memory operations and
+architectural register data, simulating the hardware faults without
+disrupting the big core's normal execution".  This module does exactly
+that: single-bit flips applied to the *transmitted copies* of run-time
+records and status snapshots, leaving the big core's architectural
+state untouched.  Detection then happens (or not) through the normal
+checking machinery, and the campaign records injection-to-detection
+latency.
+"""
+
+import enum
+
+from repro.common.bitops import flip_bit
+
+
+class FaultTarget(enum.Enum):
+    RUNTIME_ADDR = "runtime.addr"
+    RUNTIME_DATA = "runtime.data"
+    STATUS_INT_REG = "status.int_reg"
+    STATUS_FP_REG = "status.fp_reg"
+    STATUS_PC = "status.pc"
+
+
+#: Campaign default: memory-operation faults dominate (they are the
+#: bulk of forwarded traffic), with register-checkpoint faults mixed in.
+DEFAULT_TARGET_WEIGHTS = {
+    FaultTarget.RUNTIME_ADDR: 3,
+    FaultTarget.RUNTIME_DATA: 3,
+    FaultTarget.STATUS_INT_REG: 2,
+    FaultTarget.STATUS_FP_REG: 1,
+    FaultTarget.STATUS_PC: 1,
+}
+
+
+class InjectionRecord:
+    """One injected fault."""
+
+    __slots__ = ("injection_id", "cycle", "seg_id", "target", "bit",
+                 "detail", "detect_cycle", "detect_reason")
+
+    def __init__(self, injection_id, cycle, seg_id, target, bit, detail):
+        self.injection_id = injection_id
+        self.cycle = cycle
+        self.seg_id = seg_id
+        self.target = target
+        self.bit = bit
+        self.detail = detail
+        self.detect_cycle = None
+        self.detect_reason = None
+
+    @property
+    def detected(self):
+        return self.detect_cycle is not None
+
+    @property
+    def latency_cycles(self):
+        if not self.detected:
+            return None
+        return self.detect_cycle - self.cycle
+
+    def __repr__(self):
+        status = (f"detected +{self.latency_cycles}cyc" if self.detected
+                  else "undetected")
+        return (f"InjectionRecord(seg={self.seg_id}, {self.target.value}, "
+                f"bit={self.bit}, {status})")
+
+
+class FaultInjector:
+    """Randomized single-bit fault campaign.
+
+    ``rate`` is the injection probability per forwarded packet.  At
+    most one fault lands per segment, with a guard gap of
+    ``segment_gap`` segments after each injection so a corrupted SRCP
+    propagating into the following segment cannot be confused with a
+    fresh fault.
+    """
+
+    def __init__(self, rng, rate=0.0, targets=None, segment_gap=1):
+        self.rng = rng
+        self.rate = rate
+        weights = targets if targets is not None else DEFAULT_TARGET_WEIGHTS
+        self._targets = list(weights.keys())
+        self._weights = [weights[t] for t in self._targets]
+        self.segment_gap = segment_gap
+        self.injections = []
+        self._last_injected_seg = None
+
+    # -- eligibility ----------------------------------------------------
+
+    def _eligible(self, seg_id):
+        if self.rate <= 0.0:
+            return False
+        if self._last_injected_seg is not None:
+            if seg_id - self._last_injected_seg <= self.segment_gap:
+                return False
+        return self.rng.bernoulli(self.rate)
+
+    def _record(self, cycle, seg_id, target, bit, detail):
+        record = InjectionRecord(len(self.injections), cycle, seg_id,
+                                 target, bit, detail)
+        self.injections.append(record)
+        self._last_injected_seg = seg_id
+        return record
+
+    # -- injection points -------------------------------------------------
+
+    def maybe_inject_runtime(self, entry, cycle, seg_id):
+        """Possibly corrupt a run-time record at forward time."""
+        if not self._eligible(seg_id):
+            return None
+        target = self.rng.choices(
+            [t for t in self._targets
+             if t in (FaultTarget.RUNTIME_ADDR, FaultTarget.RUNTIME_DATA)],
+            weights=[self._weights[self._targets.index(t)]
+                     for t in self._targets
+                     if t in (FaultTarget.RUNTIME_ADDR,
+                              FaultTarget.RUNTIME_DATA)])[0]
+        bit = self.rng.bit_index(64)
+        if target is FaultTarget.RUNTIME_ADDR:
+            entry.addr = flip_bit(entry.addr, bit)
+        else:
+            entry.data = flip_bit(entry.data, bit)
+        return self._record(cycle, seg_id, target, bit,
+                            f"{entry.rkind.value}#{entry.seq}")
+
+    def maybe_inject_status(self, snapshot, cycle, seg_id):
+        """Possibly corrupt a status (RCP) packet at forward time.
+
+        The same wire feeds the ERCP consumer and the next segment's
+        SRCP consumer, so one flip corrupts both views.
+        """
+        if not self._eligible(seg_id):
+            return None
+        candidates = [t for t in self._targets
+                      if t in (FaultTarget.STATUS_INT_REG,
+                               FaultTarget.STATUS_FP_REG,
+                               FaultTarget.STATUS_PC)]
+        if not candidates:
+            return None
+        target = self.rng.choices(
+            candidates,
+            weights=[self._weights[self._targets.index(t)]
+                     for t in candidates])[0]
+        bit = self.rng.bit_index(64)
+        if target is FaultTarget.STATUS_INT_REG:
+            reg = self.rng.randint(0, 31)
+            regs = list(snapshot.int_regs)
+            regs[reg] = flip_bit(regs[reg], bit)
+            snapshot.int_regs = tuple(regs)
+            detail = f"x{reg}"
+        elif target is FaultTarget.STATUS_FP_REG:
+            reg = self.rng.randint(0, 31)
+            regs = list(snapshot.fp_regs)
+            regs[reg] = flip_bit(regs[reg], bit)
+            snapshot.fp_regs = tuple(regs)
+            detail = f"f{reg}"
+        else:
+            # Corrupt a plausible instruction-address bit so the flip
+            # lands inside the 32-bit PC space.
+            bit = self.rng.randint(2, 31)
+            snapshot.pc = flip_bit(snapshot.pc, bit)
+            detail = "pc"
+        return self._record(cycle, seg_id, target, bit, detail)
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_detections(self, detections):
+        """Match detection events to injections.
+
+        ``detections`` is a list of ``(seg_id, cycle, reason)``.  A
+        detection matches the injection in the same or the following
+        segment (a corrupted boundary RCP is both an ERCP and an SRCP).
+        """
+        events = sorted(detections, key=lambda d: d[1])
+        used = set()
+        for record in self.injections:
+            for i, (seg_id, cycle, reason) in enumerate(events):
+                if i in used:
+                    continue
+                if cycle < record.cycle:
+                    continue
+                if seg_id in (record.seg_id, record.seg_id + 1):
+                    record.detect_cycle = cycle
+                    record.detect_reason = reason
+                    used.add(i)
+                    break
+        return self.injections
+
+    # -- summaries -----------------------------------------------------------
+
+    @property
+    def detected_count(self):
+        return sum(1 for r in self.injections if r.detected)
+
+    def latencies_cycles(self):
+        return [r.latency_cycles for r in self.injections if r.detected]

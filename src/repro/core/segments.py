@@ -1,0 +1,67 @@
+"""Checkpoint segments.
+
+An application thread is divided into discrete segments by Register
+Checkpoints (Fig. 1).  A segment owns the SRCP that starts it, the
+ordered run-time records produced while it was the active segment, and
+the ERCP that closes it.  Three things close a segment (Sec. II):
+the target LSL filling up, the instruction timeout, or a kernel trap.
+"""
+
+import enum
+
+
+class SegmentEndReason(enum.Enum):
+    LSL_FULL = "lsl_full"
+    TIMEOUT = "timeout"
+    KERNEL_TRAP = "kernel_trap"
+    PROGRAM_END = "program_end"
+
+
+class Segment:
+    """One checkpointed slice of the application thread."""
+
+    __slots__ = ("seg_id", "start_pc", "srcp", "srcp_delivery",
+                 "assigned_core", "entries", "entry_deliveries",
+                 "instr_count", "start_cycle", "close_cycle", "end_reason",
+                 "ercp", "ercp_delivery", "closed", "end_pc", "injected")
+
+    def __init__(self, seg_id, start_pc, srcp, srcp_delivery, assigned_core,
+                 start_cycle):
+        self.seg_id = seg_id
+        self.start_pc = start_pc
+        self.srcp = srcp
+        self.srcp_delivery = srcp_delivery
+        self.assigned_core = assigned_core
+        self.entries = []
+        self.entry_deliveries = []
+        self.instr_count = 0
+        self.start_cycle = start_cycle
+        self.close_cycle = None
+        self.end_reason = None
+        self.ercp = None
+        self.ercp_delivery = None
+        self.closed = False
+        self.end_pc = None
+        self.injected = False
+
+    def add_entry(self, entry, delivery_cycle):
+        """Record a forwarded run-time entry and its LSL arrival time."""
+        self.entries.append(entry)
+        self.entry_deliveries.append(delivery_cycle)
+
+    def close(self, cycle, reason, ercp, ercp_delivery, end_pc):
+        self.closed = True
+        self.close_cycle = cycle
+        self.end_reason = reason
+        self.ercp = ercp
+        self.ercp_delivery = ercp_delivery
+        self.end_pc = end_pc
+
+    @property
+    def num_entries(self):
+        return len(self.entries)
+
+    def __repr__(self):
+        return (f"Segment({self.seg_id}, core={self.assigned_core}, "
+                f"instrs={self.instr_count}, entries={self.num_entries}, "
+                f"end={self.end_reason.value if self.end_reason else None})")

@@ -1,0 +1,119 @@
+"""Ablations over MEEK's design parameters (Sec. V-D context).
+
+Three sweeps over the design choices DESIGN.md calls out:
+
+* **LSL capacity** — the 4 KB log (256 run-time records) balances
+  segment length against checker memory: smaller logs close segments
+  earlier, multiplying RCP traffic and DEU collecting stalls.
+* **Checkpoint instruction timeout** — the 5000-instruction maximum
+  bounds detection latency for compute-heavy code with little memory
+  traffic.
+* **DC-Buffer depth** — buffers must absorb an RCP's multi-flit status
+  burst or the commit stage stalls even behind F2.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.report import format_table
+from repro.common.config import FabricConfig, LslConfig, default_meek_config
+from repro.core.system import MeekSystem, run_vanilla
+from repro.experiments.runner import DEFAULT_DYNAMIC_INSTRUCTIONS, build_workload
+
+DEFAULT_WORKLOAD = "dedup"
+LSL_SIZES_KB = (1, 2, 4, 8)
+TIMEOUTS = (500, 2000, 5000, 20000)
+BUFFER_DEPTHS = (2, 4, 16, 64)
+
+
+@dataclass
+class AblationRow:
+    parameter: str
+    value: object
+    slowdown: float
+    segments: int
+    collecting_stalls: float
+    forwarding_stalls: float
+
+
+def _run(config, program, vanilla, parameter, value):
+    result = MeekSystem(config).run(program)
+    stats = result.controller.stats()
+    return AblationRow(
+        parameter=parameter,
+        value=value,
+        slowdown=result.cycles / vanilla.cycles,
+        segments=stats["segments"],
+        collecting_stalls=stats["stall_cycles"]["data_collecting"],
+        forwarding_stalls=stats["stall_cycles"]["data_forwarding"],
+    )
+
+
+def sweep_lsl_size(workload=DEFAULT_WORKLOAD,
+                   dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
+                   sizes_kb=LSL_SIZES_KB, seed=0):
+    """Vary the Load-Store Log capacity."""
+    program = build_workload(workload, dynamic_instructions, seed)
+    vanilla = run_vanilla(program)
+    rows = []
+    for size_kb in sizes_kb:
+        base = default_meek_config()
+        little = replace(base.little_core,
+                         lsl=LslConfig(size_bytes=size_kb * 1024))
+        config = replace(base, little_core=little)
+        rows.append(_run(config, program, vanilla, "lsl_kb", size_kb))
+    return rows
+
+
+def sweep_timeout(workload="hmmer",
+                  dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
+                  timeouts=TIMEOUTS, seed=0):
+    """Vary the checkpoint instruction timeout."""
+    program = build_workload(workload, dynamic_instructions, seed)
+    vanilla = run_vanilla(program)
+    rows = []
+    for timeout in timeouts:
+        base = default_meek_config()
+        little = replace(base.little_core,
+                         lsl=replace(base.little_core.lsl,
+                                     instruction_timeout=timeout))
+        config = replace(base, little_core=little)
+        rows.append(_run(config, program, vanilla, "timeout", timeout))
+    return rows
+
+
+def sweep_buffer_depth(workload=DEFAULT_WORKLOAD,
+                       dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
+                       depths=BUFFER_DEPTHS, seed=0):
+    """Vary the DC-Buffer depth (both channels)."""
+    program = build_workload(workload, dynamic_instructions, seed)
+    vanilla = run_vanilla(program)
+    rows = []
+    for depth in depths:
+        base = default_meek_config()
+        fabric = FabricConfig(status_fifo_depth=depth,
+                              runtime_fifo_depth=depth)
+        config = replace(base, fabric=fabric)
+        rows.append(_run(config, program, vanilla, "dc_depth", depth))
+    return rows
+
+
+def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS, seed=0):
+    """All three sweeps."""
+    return (sweep_lsl_size(dynamic_instructions=dynamic_instructions,
+                           seed=seed)
+            + sweep_timeout(dynamic_instructions=dynamic_instructions,
+                            seed=seed)
+            + sweep_buffer_depth(dynamic_instructions=dynamic_instructions,
+                                 seed=seed))
+
+
+def format_results(rows):
+    return format_table(
+        ["parameter", "value", "slowdown", "segments", "collect", "forward"],
+        [[r.parameter, r.value, r.slowdown, r.segments,
+          r.collecting_stalls, r.forwarding_stalls] for r in rows],
+        title="Ablations — LSL size / checkpoint timeout / DC-Buffer depth")
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

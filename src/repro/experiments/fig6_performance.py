@@ -1,0 +1,100 @@
+"""Fig. 6: slowdown of MEEK vs EA-LockStep vs Nzdc on SPEC06 + PARSEC.
+
+Paper headline numbers (geomean slowdown over the vanilla big core):
+
+=============  ======  ===========  =====
+suite          MEEK    EA-LockStep  Nzdc
+=============  ======  ===========  =====
+SPECint 2006   1.4%    48.7%        94.2%
+PARSEC 3.0     4.4%    31.2%        60.2%
+=============  ======  ===========  =====
+
+plus the swaptions outlier at 22% for MEEK.  Nzdc has no bar for gcc,
+omnetpp, xalancbmk and freqmine (compilation failures, footnote 6).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import geomean
+from repro.baselines.lockstep import EaLockstep
+from repro.baselines.nzdc import run_nzdc
+from repro.experiments.runner import (
+    DEFAULT_DYNAMIC_INSTRUCTIONS,
+    NZDC_COMPILE_FAILURES,
+    build_workload,
+    run_baseline,
+    run_meek,
+)
+from repro.workloads.profiles import PARSEC_ORDER, SPEC_ORDER, get_profile
+
+
+@dataclass
+class Fig6Row:
+    name: str
+    suite: str
+    meek: float
+    lockstep: float
+    nzdc: Optional[float]  # None when the baseline fails to compile
+
+
+def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS, seed=0,
+        workloads=None):
+    """Regenerate the Fig. 6 slowdown rows."""
+    if workloads is None:
+        workloads = SPEC_ORDER + PARSEC_ORDER
+    rows = []
+    for name in workloads:
+        profile = get_profile(name)
+        program = build_workload(name, dynamic_instructions, seed)
+        vanilla = run_baseline(program)
+        meek = run_meek(program)
+        lockstep = EaLockstep().run(program)
+        nzdc_slowdown = None
+        if name not in NZDC_COMPILE_FAILURES:
+            nzdc_result, _ = run_nzdc(program)
+            nzdc_slowdown = nzdc_result.cycles / vanilla.cycles
+        rows.append(Fig6Row(
+            name=name,
+            suite=profile.suite,
+            meek=meek.cycles / vanilla.cycles,
+            lockstep=lockstep.cycles / vanilla.cycles,
+            nzdc=nzdc_slowdown,
+        ))
+    return rows
+
+
+def geomeans(rows):
+    """Per-suite geomean slowdowns, Nzdc over its compiling subset."""
+    result = {}
+    for suite in ("spec06", "parsec"):
+        suite_rows = [r for r in rows if r.suite == suite]
+        if not suite_rows:
+            continue
+        result[suite] = {
+            "meek": geomean(r.meek for r in suite_rows),
+            "lockstep": geomean(r.lockstep for r in suite_rows),
+            "nzdc": geomean(r.nzdc for r in suite_rows
+                            if r.nzdc is not None),
+        }
+    return result
+
+
+def format_results(rows):
+    """Render the Fig. 6 table (plus geomean rows)."""
+    table_rows = []
+    for row in rows:
+        table_rows.append([row.name, row.suite, row.meek, row.lockstep,
+                           row.nzdc if row.nzdc is not None else "fail"])
+    for suite, values in geomeans(rows).items():
+        table_rows.append([f"geomean({suite})", suite, values["meek"],
+                           values["lockstep"], values["nzdc"]])
+    return format_table(
+        ["benchmark", "suite", "MEEK", "EA-LockStep", "Nzdc"],
+        table_rows,
+        title="Fig. 6 — slowdown vs vanilla big core")
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,43 @@
+"""Forwarding fabrics: F2 (DC-Buffers + HM-NoC) and the AXI baseline.
+
+The fabric's job is to move DEU packets from the big core's commit
+paths to the little cores' LSLs.  Two implementations reproduce the
+Fig. 9 contrast:
+
+* :class:`~repro.fabric.hmnoc.HmNocFabric` — the paper's F2: 256-bit
+  flits, two packet transmissions per (3.2 GHz) cycle, a half-duplex
+  multicast Manhattan-grid NoC so one status packet reaches both the
+  ERCP consumer and the SRCP consumer in a single traversal.
+* :class:`~repro.fabric.axi.AxiInterconnect` — the full-featured AXI
+  baseline: a 128-bit shared bus in the little cores' 1.6 GHz domain,
+  one beat per bus cycle, no multicast (duplicate unicasts).
+
+Both are *resource-counter* models: bandwidth is a shared next-free-
+slot counter, so burst contention (parallel commits, RCP bursts) emerges
+exactly as queueing delay, which is what the paper measures.
+"""
+
+from repro.fabric.axi import AxiInterconnect
+from repro.fabric.base import ForwardingFabric, build_fabric
+from repro.fabric.dcbuffer import DcBufferModel
+from repro.fabric.hmnoc import HmNocFabric
+from repro.fabric.packets import (
+    Packet,
+    PacketKind,
+    RuntimeEntry,
+    RuntimeKind,
+    StatusSnapshot,
+)
+
+__all__ = [
+    "AxiInterconnect",
+    "DcBufferModel",
+    "ForwardingFabric",
+    "HmNocFabric",
+    "Packet",
+    "PacketKind",
+    "RuntimeEntry",
+    "RuntimeKind",
+    "StatusSnapshot",
+    "build_fabric",
+]

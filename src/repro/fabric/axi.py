@@ -1,0 +1,26 @@
+"""AXI-Interconnect baseline (Fig. 9).
+
+The paper's first attempt used a full-featured AXI interconnect and
+found it to be the primary system bottleneck: a 128-bit bus moving one
+packet per cycle *in the little cores' clock domain*, with arbitration
+latency and no multicast (a status packet needed by two little cores is
+sent twice).  This model reproduces exactly those properties; swapping
+it against :class:`~repro.fabric.hmnoc.HmNocFabric` regenerates the
+backpressure decomposition.
+"""
+
+from repro.fabric.base import ForwardingFabric
+
+
+class AxiInterconnect(ForwardingFabric):
+    """Shared 128-bit bus, one beat per low-frequency cycle."""
+
+    def _slot_interval(self):
+        # One beat per bus cycle; the bus runs with the little cores,
+        # so each beat costs `clock_ratio` big-core cycles.
+        return float(self.clock_ratio) / self.config.packets_per_cycle
+
+    def _route_latency(self, dest):
+        # Arbitration plus bus traversal, in the low-frequency domain.
+        arbitration = getattr(self.config, "arbitration_latency", 2)
+        return (arbitration + 2) * self.clock_ratio

@@ -1,0 +1,105 @@
+"""Fabric interface and shared resource-counter machinery.
+
+A fabric accepts a packet's flits (bandwidth-limited by a shared
+next-free-slot counter) and delivers the payload to each destination
+after a routing latency.  Contention is modelled exactly where the
+paper found it: on the shared transfer slots — when the big core
+commits multiple memory operations per cycle, or bursts a multi-flit
+RCP, accept times queue up and the DC-Buffers fill.
+"""
+
+from repro.common.errors import ConfigError
+
+
+class DeliveryReport:
+    """Outcome of submitting one packet to the fabric."""
+
+    __slots__ = ("accept_times", "delivery_times", "last_accept")
+
+    def __init__(self, accept_times, delivery_times):
+        self.accept_times = accept_times
+        self.delivery_times = delivery_times  # dest core id -> cycle
+        self.last_accept = accept_times[-1] if accept_times else 0
+
+
+class ForwardingFabric:
+    """Base class: shared-bandwidth acceptance + per-dest delivery."""
+
+    def __init__(self, config, num_little_cores, clock_ratio=2):
+        if config.packets_per_cycle < 1:
+            raise ConfigError("fabric needs at least one slot per cycle")
+        self.config = config
+        self.num_little_cores = num_little_cores
+        self.clock_ratio = clock_ratio
+        self._next_slot = 0.0
+        self.flits_carried = 0
+        self.packets_carried = 0
+        self.busy_time = 0.0
+
+    # -- hooks for subclasses -------------------------------------------
+
+    def _slot_interval(self):
+        """Big-core cycles between two flit-accept slots."""
+        raise NotImplementedError
+
+    def _route_latency(self, dest):
+        """Big-core cycles from last accept to delivery at ``dest``."""
+        raise NotImplementedError
+
+    def _transfers_for(self, packet):
+        """How many times the flits traverse the fabric.
+
+        A multicast fabric sends once regardless of destination count;
+        a unicast bus repeats the transfer per destination.
+        """
+        if self.config.multicast:
+            return 1
+        return max(1, len(packet.dests))
+
+    # -- public API ------------------------------------------------------
+
+    def send(self, packet, now):
+        """Accept ``packet`` starting at ``now``; return the report."""
+        flits = packet.flit_count(self.config.width_bits)
+        transfers = self._transfers_for(packet)
+        interval = self._slot_interval()
+        accept_times = []
+        cursor = max(self._next_slot, float(now))
+        for _ in range(flits * transfers):
+            cursor = max(cursor + interval, float(now) + interval)
+            accept_times.append(cursor)
+        self._next_slot = cursor
+        self.flits_carried += flits * transfers
+        self.packets_carried += 1
+        self.busy_time += flits * transfers * interval
+
+        last = accept_times[-1]
+        delivery_times = {}
+        for dest in packet.dests:
+            delivery_times[dest] = last + self._route_latency(dest)
+        return DeliveryReport(accept_times, delivery_times)
+
+    def utilization(self, elapsed_cycles):
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed_cycles)
+
+    def stats(self):
+        return {
+            "kind": self.config.kind,
+            "packets": self.packets_carried,
+            "flits": self.flits_carried,
+            "busy_time": self.busy_time,
+        }
+
+
+def build_fabric(config, num_little_cores, clock_ratio=2):
+    """Factory: construct the fabric matching ``config.kind``."""
+    from repro.fabric.axi import AxiInterconnect
+    from repro.fabric.hmnoc import HmNocFabric, IdealFabric
+
+    if config.kind == "axi":
+        return AxiInterconnect(config, num_little_cores, clock_ratio)
+    if config.kind == "ideal":
+        return IdealFabric(config, num_little_cores, clock_ratio)
+    return HmNocFabric(config, num_little_cores, clock_ratio)

@@ -1,0 +1,66 @@
+"""F2's Half-duplex Multicast NoC (HM-NoC, Sec. III-B).
+
+A 1-to-N Manhattan grid in the high-frequency domain: 256-bit flits,
+two packet transmissions per big-core cycle, ordering preserved by the
+shared slot counter, and selective broadcast so a status packet needed
+by two little cores (ERCP of one segment, SRCP of the next) traverses
+the grid once.
+
+Little cores are laid out on a ceil(sqrt(N+1)) grid with the big core
+at the origin; the per-destination route latency is the Manhattan hop
+count times the configured hop latency.
+"""
+
+import math
+
+from repro.fabric.base import ForwardingFabric
+
+
+def _grid_positions(num_cores):
+    """Positions of the little cores on the Manhattan grid, origin
+    (0, 0) reserved for the big core."""
+    side = max(2, math.ceil(math.sqrt(num_cores + 1)))
+    positions = []
+    index = 0
+    for y in range(side):
+        for x in range(side):
+            if (x, y) == (0, 0):
+                continue
+            if index < num_cores:
+                positions.append((x, y))
+                index += 1
+    return positions
+
+
+class HmNocFabric(ForwardingFabric):
+    """The paper's F2 data-path: DC-Buffers feed this NoC."""
+
+    def __init__(self, config, num_little_cores, clock_ratio=2):
+        super().__init__(config, num_little_cores, clock_ratio)
+        self._positions = _grid_positions(num_little_cores)
+
+    def _slot_interval(self):
+        # packets_per_cycle transmissions per high-frequency cycle.
+        return 1.0 / self.config.packets_per_cycle
+
+    def hops_to(self, dest):
+        x, y = self._positions[dest]
+        return x + y
+
+    def _route_latency(self, dest):
+        return (1 + self.hops_to(dest)) * self.config.hop_latency
+
+
+class IdealFabric(ForwardingFabric):
+    """Infinite-bandwidth, single-cycle fabric for ablations.
+
+    Used to isolate the "little core" component of the Fig. 9
+    backpressure decomposition: with an ideal fabric, any remaining
+    overhead is checker-compute-bound.
+    """
+
+    def _slot_interval(self):
+        return 1.0 / self.config.packets_per_cycle
+
+    def _route_latency(self, dest):
+        return 1

@@ -1,0 +1,60 @@
+"""RISC-V RV64 subset + MEEK-ISA extension.
+
+The reproduction executes real programs: a compact but genuine RV64
+subset (integer, multiply/divide, loads/stores, branches/jumps, a
+float slice, CSR and system ops) plus the seven MEEK instructions of
+Table I.  Instructions have real 32-bit encodings so that parity bits
+and single-bit fault injection act on the same representation the
+hardware would carry.
+
+Public surface:
+
+* :class:`~repro.isa.instructions.Instruction` and
+  :class:`~repro.isa.instructions.InstrClass` — the decoded form used
+  throughout the simulators.
+* :func:`~repro.isa.assembler.assemble` — text assembly to a
+  :class:`~repro.isa.program.Program`.
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+  — 32-bit machine-word round trip.
+* :class:`~repro.isa.state.ArchState` and
+  :func:`~repro.isa.semantics.execute` — the functional executor shared
+  by the big and little cores.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction, InstrClass, instruction_spec
+from repro.isa.meek import MEEK_OPS, MeekOp
+from repro.isa.program import DataImage, Program
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    fp_reg_name,
+    int_reg_name,
+    parse_register,
+)
+from repro.isa.semantics import execute
+from repro.isa.state import ArchState, Memory
+
+__all__ = [
+    "ABI_NAMES",
+    "ArchState",
+    "DataImage",
+    "Instruction",
+    "InstrClass",
+    "MEEK_OPS",
+    "MeekOp",
+    "Memory",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "Program",
+    "assemble",
+    "decode",
+    "encode",
+    "execute",
+    "fp_reg_name",
+    "instruction_spec",
+    "int_reg_name",
+    "parse_register",
+]

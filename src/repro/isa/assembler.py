@@ -1,0 +1,248 @@
+"""Two-pass text assembler.
+
+Supports the full instruction set in :mod:`repro.isa.instructions`,
+labels, ``#``/``//`` comments, decimal/hex immediates, and a small set
+of pseudo-instructions (``nop``, ``mv``, ``li``, ``j``, ``ret``,
+``beqz``, ``bnez``, ``call``).  Branch and jump targets may be labels
+or explicit byte offsets.
+
+Example::
+
+    program = assemble('''
+        li   t0, 0
+        li   t1, 10
+    loop:
+        addi t0, t0, 1
+        bne  t0, t1, loop
+        ecall
+    ''')
+"""
+
+import re
+
+from repro.common.errors import AssemblerError
+from repro.isa.instructions import Fmt, Instruction, instruction_spec
+from repro.isa.program import DataImage, Program
+from repro.isa.registers import parse_csr, parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_imm(token, context):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"{context}: bad immediate {token!r}") from None
+
+
+def _split_operands(rest):
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+class _Line:
+    """One instruction-bearing source line after pass 1."""
+
+    def __init__(self, op, operands, source, lineno, index):
+        self.op = op
+        self.operands = operands
+        self.source = source
+        self.lineno = lineno
+        self.index = index  # instruction index within the program
+
+
+def _expand_pseudo(op, operands, lineno):
+    """Rewrite a pseudo-instruction into one or more real ones.
+
+    Returns a list of ``(op, operands)`` pairs, or ``None`` when ``op``
+    is not a pseudo-instruction.
+    """
+    if op == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if op == "mv":
+        if len(operands) != 2:
+            raise AssemblerError(f"line {lineno}: mv needs 2 operands")
+        return [("addi", [operands[0], operands[1], "0"])]
+    if op == "li":
+        if len(operands) != 2:
+            raise AssemblerError(f"line {lineno}: li needs 2 operands")
+        value = _parse_imm(operands[1], f"line {lineno}")
+        if -2048 <= value <= 2047:
+            return [("addi", [operands[0], "x0", str(value)])]
+        upper = (value + 0x800) >> 12
+        lower = value - (upper << 12)
+        if not 0 <= upper <= 0xFFFFF:
+            raise AssemblerError(
+                f"line {lineno}: li immediate {value} needs more than 32 bits")
+        return [("lui", [operands[0], str(upper)]),
+                ("addi", [operands[0], operands[0], str(lower)])]
+    if op == "j":
+        if len(operands) != 1:
+            raise AssemblerError(f"line {lineno}: j needs 1 operand")
+        return [("jal", ["x0", operands[0]])]
+    if op == "call":
+        if len(operands) != 1:
+            raise AssemblerError(f"line {lineno}: call needs 1 operand")
+        return [("jal", ["ra", operands[0]])]
+    if op == "ret":
+        return [("jalr", ["x0", "ra", "0"])]
+    if op == "beqz":
+        if len(operands) != 2:
+            raise AssemblerError(f"line {lineno}: beqz needs 2 operands")
+        return [("beq", [operands[0], "x0", operands[1]])]
+    if op == "bnez":
+        if len(operands) != 2:
+            raise AssemblerError(f"line {lineno}: bnez needs 2 operands")
+        return [("bne", [operands[0], "x0", operands[1]])]
+    return None
+
+
+def assemble(source, base=0x1000, name="program", data=None):
+    """Assemble ``source`` text into a :class:`Program`."""
+    lines = []
+    labels = {}
+    index = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        if not text:
+            continue
+        # A line may be "label:" or "label: instr ..." or "instr ...".
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", text)
+            if not match:
+                break
+            label, text = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = base + 4 * index
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        op = parts[0].lower()
+        operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        expanded = _expand_pseudo(op, operands, lineno)
+        if expanded is None:
+            expanded = [(op, operands)]
+        for real_op, real_operands in expanded:
+            lines.append(_Line(real_op, real_operands, raw.strip(), lineno,
+                               index))
+            index += 1
+
+    instructions = [_encode_line(line, labels, base) for line in lines]
+    return Program(instructions, labels=labels, base=base, data=data,
+                   name=name)
+
+
+def _branch_target(token, labels, pc, context):
+    if token in labels:
+        return labels[token] - pc
+    return _parse_imm(token, context)
+
+
+def _encode_line(line, labels, base):
+    op = line.op
+    context = f"line {line.lineno} ({line.source!r})"
+    try:
+        spec = instruction_spec(op)
+    except Exception:
+        raise AssemblerError(f"{context}: unknown instruction {op!r}") from None
+    ops = line.operands
+    pc = base + 4 * line.index
+    fmt = spec.fmt
+
+    def need(count):
+        if len(ops) != count:
+            raise AssemblerError(
+                f"{context}: {op} expects {count} operands, got {len(ops)}")
+
+    if fmt == Fmt.R:
+        need(3)
+        return Instruction(op, rd=parse_register(ops[0]),
+                           rs1=parse_register(ops[1]),
+                           rs2=parse_register(ops[2]))
+    if fmt in (Fmt.I, Fmt.SHIFT):
+        need(3)
+        return Instruction(op, rd=parse_register(ops[0]),
+                           rs1=parse_register(ops[1]),
+                           imm=_parse_imm(ops[2], context))
+    if fmt == Fmt.LOAD:
+        need(2)
+        match = _MEM_OPERAND_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"{context}: expected imm(base), got {ops[1]!r}")
+        fp = spec.writes_fp_rd
+        return Instruction(op, rd=parse_register(ops[0], fp=fp),
+                           rs1=parse_register(match.group(2)),
+                           imm=_parse_imm(match.group(1), context))
+    if fmt == Fmt.S:
+        need(2)
+        match = _MEM_OPERAND_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"{context}: expected imm(base), got {ops[1]!r}")
+        fp = spec.reads_fp_rs2
+        return Instruction(op, rs2=parse_register(ops[0], fp=fp),
+                           rs1=parse_register(match.group(2)),
+                           imm=_parse_imm(match.group(1), context))
+    if fmt == Fmt.B:
+        need(3)
+        return Instruction(op, rs1=parse_register(ops[0]),
+                           rs2=parse_register(ops[1]),
+                           imm=_branch_target(ops[2], labels, pc, context))
+    if fmt == Fmt.U:
+        need(2)
+        return Instruction(op, rd=parse_register(ops[0]),
+                           imm=_parse_imm(ops[1], context))
+    if fmt == Fmt.J:
+        need(2)
+        return Instruction(op, rd=parse_register(ops[0]),
+                           imm=_branch_target(ops[1], labels, pc, context))
+    if fmt == Fmt.CSR:
+        need(3)
+        return Instruction(op, rd=parse_register(ops[0]),
+                           imm=parse_csr(ops[1]),
+                           rs1=parse_register(ops[2]))
+    if fmt == Fmt.CSRI:
+        need(3)
+        zimm = _parse_imm(ops[2], context)
+        if not 0 <= zimm < 32:
+            raise AssemblerError(f"{context}: zimm must fit in 5 bits")
+        return Instruction(op, rd=parse_register(ops[0]),
+                           imm=parse_csr(ops[1]), rs1=zimm)
+    if fmt == Fmt.SYS:
+        need(0)
+        return Instruction(op)
+    if fmt == Fmt.FR:
+        need(3)
+        return Instruction(op, rd=parse_register(ops[0], fp=True),
+                           rs1=parse_register(ops[1], fp=True),
+                           rs2=parse_register(ops[2], fp=True))
+    if fmt == Fmt.FR1:
+        need(2)
+        return Instruction(op, rd=parse_register(ops[0], fp=True),
+                           rs1=parse_register(ops[1], fp=True))
+    if fmt == Fmt.FCMP:
+        need(3)
+        return Instruction(op, rd=parse_register(ops[0]),
+                           rs1=parse_register(ops[1], fp=True),
+                           rs2=parse_register(ops[2], fp=True))
+    if fmt == Fmt.FMVXD:
+        need(2)
+        return Instruction(op, rd=parse_register(ops[0]),
+                           rs1=parse_register(ops[1], fp=True))
+    if fmt == Fmt.FMVDX:
+        need(2)
+        return Instruction(op, rd=parse_register(ops[0], fp=True),
+                           rs1=parse_register(ops[1]))
+    if fmt == Fmt.M2R:
+        need(2)
+        return Instruction(op, rs1=parse_register(ops[0]),
+                           rs2=parse_register(ops[1]))
+    if fmt == Fmt.M1R:
+        need(1)
+        return Instruction(op, rs1=parse_register(ops[0]))
+    if fmt == Fmt.MRD:
+        need(1)
+        return Instruction(op, rd=parse_register(ops[0]))
+    raise AssemblerError(f"{context}: unhandled format {fmt}")

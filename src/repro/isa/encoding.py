@@ -1,0 +1,270 @@
+"""32-bit machine-word encoding for the RV64 subset + MEEK extension.
+
+The encodings follow the RISC-V base formats (R/I/S/B/U/J) with the
+MEEK extension in the *custom-0* opcode space (0b0001011), matching how
+the paper slots the new instructions into a mature ISA.  Real encodings
+matter for the model: forwarded packets carry bit widths derived from
+them and the fault injector flips bits in genuinely meaningful
+positions.
+"""
+
+from repro.common.bitops import extract_bits, to_signed, to_unsigned
+from repro.common.errors import DecodeError
+from repro.isa.instructions import Fmt, Instruction, instruction_spec
+
+_OPCODE_OP = 0b0110011
+_OPCODE_OP_IMM = 0b0010011
+_OPCODE_LOAD = 0b0000011
+_OPCODE_STORE = 0b0100011
+_OPCODE_BRANCH = 0b1100011
+_OPCODE_LUI = 0b0110111
+_OPCODE_AUIPC = 0b0010111
+_OPCODE_JAL = 0b1101111
+_OPCODE_JALR = 0b1100111
+_OPCODE_SYSTEM = 0b1110011
+_OPCODE_FENCE = 0b0001111
+_OPCODE_FP = 0b1010011
+_OPCODE_FLD = 0b0000111
+_OPCODE_FSD = 0b0100111
+_OPCODE_MEEK = 0b0001011  # custom-0
+
+# op -> (opcode, funct3, funct7) for register/immediate style encodings.
+_ENC = {
+    "add": (_OPCODE_OP, 0b000, 0b0000000),
+    "sub": (_OPCODE_OP, 0b000, 0b0100000),
+    "sll": (_OPCODE_OP, 0b001, 0b0000000),
+    "slt": (_OPCODE_OP, 0b010, 0b0000000),
+    "sltu": (_OPCODE_OP, 0b011, 0b0000000),
+    "xor": (_OPCODE_OP, 0b100, 0b0000000),
+    "srl": (_OPCODE_OP, 0b101, 0b0000000),
+    "sra": (_OPCODE_OP, 0b101, 0b0100000),
+    "or": (_OPCODE_OP, 0b110, 0b0000000),
+    "and": (_OPCODE_OP, 0b111, 0b0000000),
+    "mul": (_OPCODE_OP, 0b000, 0b0000001),
+    "mulh": (_OPCODE_OP, 0b001, 0b0000001),
+    "div": (_OPCODE_OP, 0b100, 0b0000001),
+    "divu": (_OPCODE_OP, 0b101, 0b0000001),
+    "rem": (_OPCODE_OP, 0b110, 0b0000001),
+    "remu": (_OPCODE_OP, 0b111, 0b0000001),
+    "addi": (_OPCODE_OP_IMM, 0b000, None),
+    "slti": (_OPCODE_OP_IMM, 0b010, None),
+    "sltiu": (_OPCODE_OP_IMM, 0b011, None),
+    "xori": (_OPCODE_OP_IMM, 0b100, None),
+    "ori": (_OPCODE_OP_IMM, 0b110, None),
+    "andi": (_OPCODE_OP_IMM, 0b111, None),
+    "slli": (_OPCODE_OP_IMM, 0b001, 0b000000),
+    "srli": (_OPCODE_OP_IMM, 0b101, 0b000000),
+    "srai": (_OPCODE_OP_IMM, 0b101, 0b010000),
+    "lb": (_OPCODE_LOAD, 0b000, None),
+    "lh": (_OPCODE_LOAD, 0b001, None),
+    "lw": (_OPCODE_LOAD, 0b010, None),
+    "ld": (_OPCODE_LOAD, 0b011, None),
+    "lbu": (_OPCODE_LOAD, 0b100, None),
+    "lhu": (_OPCODE_LOAD, 0b101, None),
+    "lwu": (_OPCODE_LOAD, 0b110, None),
+    "sb": (_OPCODE_STORE, 0b000, None),
+    "sh": (_OPCODE_STORE, 0b001, None),
+    "sw": (_OPCODE_STORE, 0b010, None),
+    "sd": (_OPCODE_STORE, 0b011, None),
+    "beq": (_OPCODE_BRANCH, 0b000, None),
+    "bne": (_OPCODE_BRANCH, 0b001, None),
+    "blt": (_OPCODE_BRANCH, 0b100, None),
+    "bge": (_OPCODE_BRANCH, 0b101, None),
+    "bltu": (_OPCODE_BRANCH, 0b110, None),
+    "bgeu": (_OPCODE_BRANCH, 0b111, None),
+    "jalr": (_OPCODE_JALR, 0b000, None),
+    "csrrw": (_OPCODE_SYSTEM, 0b001, None),
+    "csrrs": (_OPCODE_SYSTEM, 0b010, None),
+    "csrrwi": (_OPCODE_SYSTEM, 0b101, None),
+    "fld": (_OPCODE_FLD, 0b011, None),
+    "fsd": (_OPCODE_FSD, 0b011, None),
+    # FP register ops: funct7 selects the operation (RV64D encodings).
+    "fadd.d": (_OPCODE_FP, 0b000, 0b0000001),
+    "fsub.d": (_OPCODE_FP, 0b000, 0b0000101),
+    "fmul.d": (_OPCODE_FP, 0b000, 0b0001001),
+    "fdiv.d": (_OPCODE_FP, 0b000, 0b0001101),
+    "fsqrt.d": (_OPCODE_FP, 0b000, 0b0101101),
+    "fmin.d": (_OPCODE_FP, 0b000, 0b0010101),
+    "fmax.d": (_OPCODE_FP, 0b001, 0b0010101),
+    "fle.d": (_OPCODE_FP, 0b000, 0b1010001),
+    "flt.d": (_OPCODE_FP, 0b001, 0b1010001),
+    "feq.d": (_OPCODE_FP, 0b010, 0b1010001),
+    "fcvt.l.d": (_OPCODE_FP, 0b000, 0b1100001),
+    "fcvt.d.l": (_OPCODE_FP, 0b000, 0b1101001),
+    "fmv.x.d": (_OPCODE_FP, 0b000, 0b1110001),
+    "fmv.d.x": (_OPCODE_FP, 0b000, 0b1111001),
+    # MEEK custom-0: funct3 selects the instruction.
+    "b.hook": (_OPCODE_MEEK, 0b000, 0b0000000),
+    "b.check": (_OPCODE_MEEK, 0b001, 0b0000000),
+    "l.mode": (_OPCODE_MEEK, 0b010, 0b0000000),
+    "l.record": (_OPCODE_MEEK, 0b011, 0b0000000),
+    "l.apply": (_OPCODE_MEEK, 0b100, 0b0000000),
+    "l.jal": (_OPCODE_MEEK, 0b101, 0b0000000),
+    "l.rslt": (_OPCODE_MEEK, 0b110, 0b0000000),
+}
+
+# Distinct rs2 fields disambiguate fcvt directions sharing a funct7.
+_FCVT_RS2 = {"fcvt.l.d": 0b00010, "fcvt.d.l": 0b00010}
+
+
+def _check_imm(op, imm, bits, signed=True, multiple=1):
+    if imm % multiple:
+        raise DecodeError(f"{op}: immediate {imm} must be a multiple of {multiple}")
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= imm <= hi:
+        raise DecodeError(f"{op}: immediate {imm} out of {bits}-bit range")
+
+
+def encode(instr):
+    """Encode a decoded :class:`Instruction` into a 32-bit word."""
+    op = instr.op
+    spec = instr.spec
+    if op == "lui" or op == "auipc":
+        _check_imm(op, instr.imm, 20, signed=False)
+        opcode = _OPCODE_LUI if op == "lui" else _OPCODE_AUIPC
+        return (instr.imm << 12) | (instr.rd << 7) | opcode
+    if op == "jal":
+        _check_imm(op, instr.imm, 21, multiple=2)
+        imm = to_unsigned(instr.imm, 21)
+        word = (extract_bits(imm, 20, 20) << 31
+                | extract_bits(imm, 10, 1) << 21
+                | extract_bits(imm, 11, 11) << 20
+                | extract_bits(imm, 19, 12) << 12
+                | instr.rd << 7 | _OPCODE_JAL)
+        return word
+    if op == "ecall":
+        return _OPCODE_SYSTEM
+    if op == "ebreak":
+        return (1 << 20) | _OPCODE_SYSTEM
+    if op == "fence":
+        return _OPCODE_FENCE
+
+    if op not in _ENC:
+        raise DecodeError(f"no encoding defined for {op!r}")
+    opcode, funct3, funct7 = _ENC[op]
+    fmt = spec.fmt
+
+    if fmt in (Fmt.R, Fmt.FR, Fmt.FCMP, Fmt.M2R, Fmt.M1R, Fmt.MRD):
+        return (funct7 << 25 | instr.rs2 << 20 | instr.rs1 << 15
+                | funct3 << 12 | instr.rd << 7 | opcode)
+    if fmt in (Fmt.FR1, Fmt.FMVXD, Fmt.FMVDX):
+        rs2 = _FCVT_RS2.get(op, 0)
+        return (funct7 << 25 | rs2 << 20 | instr.rs1 << 15
+                | funct3 << 12 | instr.rd << 7 | opcode)
+    if fmt == Fmt.SHIFT:
+        _check_imm(op, instr.imm, 6, signed=False)
+        return (funct7 << 26 | instr.imm << 20 | instr.rs1 << 15
+                | funct3 << 12 | instr.rd << 7 | opcode)
+    if fmt in (Fmt.I, Fmt.LOAD):
+        _check_imm(op, instr.imm, 12)
+        imm = to_unsigned(instr.imm, 12)
+        return (imm << 20 | instr.rs1 << 15 | funct3 << 12
+                | instr.rd << 7 | opcode)
+    if fmt == Fmt.S:
+        _check_imm(op, instr.imm, 12)
+        imm = to_unsigned(instr.imm, 12)
+        return (extract_bits(imm, 11, 5) << 25 | instr.rs2 << 20
+                | instr.rs1 << 15 | funct3 << 12
+                | extract_bits(imm, 4, 0) << 7 | opcode)
+    if fmt == Fmt.B:
+        _check_imm(op, instr.imm, 13, multiple=2)
+        imm = to_unsigned(instr.imm, 13)
+        return (extract_bits(imm, 12, 12) << 31
+                | extract_bits(imm, 10, 5) << 25 | instr.rs2 << 20
+                | instr.rs1 << 15 | funct3 << 12
+                | extract_bits(imm, 4, 1) << 8
+                | extract_bits(imm, 11, 11) << 7 | opcode)
+    if fmt == Fmt.CSR:
+        _check_imm(op, instr.imm, 12, signed=False)
+        return (instr.imm << 20 | instr.rs1 << 15 | funct3 << 12
+                | instr.rd << 7 | opcode)
+    if fmt == Fmt.CSRI:
+        _check_imm(op, instr.imm, 12, signed=False)
+        # rs1 field carries the 5-bit zimm.
+        return (instr.imm << 20 | (instr.rs1 & 0x1F) << 15 | funct3 << 12
+                | instr.rd << 7 | opcode)
+    raise DecodeError(f"unhandled format {fmt} for {op!r}")
+
+
+def _decode_fields(word):
+    return {
+        "opcode": extract_bits(word, 6, 0),
+        "rd": extract_bits(word, 11, 7),
+        "funct3": extract_bits(word, 14, 12),
+        "rs1": extract_bits(word, 19, 15),
+        "rs2": extract_bits(word, 24, 20),
+        "funct7": extract_bits(word, 31, 25),
+    }
+
+
+_BY_OPCODE_F3 = {}
+_BY_OPCODE_F3_F7 = {}
+for _op, (_opc, _f3, _f7) in _ENC.items():
+    if _f7 is None:
+        _BY_OPCODE_F3[(_opc, _f3)] = _op
+    else:
+        _BY_OPCODE_F3_F7[(_opc, _f3, _f7)] = _op
+
+
+def decode(word):
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    word = to_unsigned(word, 32)
+    f = _decode_fields(word)
+    opcode = f["opcode"]
+
+    if opcode == _OPCODE_LUI or opcode == _OPCODE_AUIPC:
+        op = "lui" if opcode == _OPCODE_LUI else "auipc"
+        return Instruction(op, rd=f["rd"], imm=extract_bits(word, 31, 12))
+    if opcode == _OPCODE_JAL:
+        imm = (extract_bits(word, 31, 31) << 20
+               | extract_bits(word, 19, 12) << 12
+               | extract_bits(word, 20, 20) << 11
+               | extract_bits(word, 30, 21) << 1)
+        return Instruction("jal", rd=f["rd"], imm=to_signed(imm, 21))
+    if opcode == _OPCODE_FENCE:
+        return Instruction("fence")
+    if opcode == _OPCODE_SYSTEM and f["funct3"] == 0:
+        return Instruction("ebreak" if extract_bits(word, 31, 20) else "ecall")
+
+    key3 = (opcode, f["funct3"])
+    key7 = (opcode, f["funct3"], f["funct7"])
+    # Shifts hide funct7 in the upper immediate bits.
+    if opcode == _OPCODE_OP_IMM and f["funct3"] in (0b001, 0b101):
+        funct6 = extract_bits(word, 31, 26)
+        shamt = extract_bits(word, 25, 20)
+        op = {(0b001, 0b000000): "slli", (0b101, 0b000000): "srli",
+              (0b101, 0b010000): "srai"}.get((f["funct3"], funct6))
+        if op is None:
+            raise DecodeError(f"bad shift encoding {word:#010x}")
+        return Instruction(op, rd=f["rd"], rs1=f["rs1"], imm=shamt)
+
+    if key7 in _BY_OPCODE_F3_F7:
+        op = _BY_OPCODE_F3_F7[key7]
+        spec = instruction_spec(op)
+        if spec.fmt in (Fmt.FR1, Fmt.FMVXD, Fmt.FMVDX):
+            return Instruction(op, rd=f["rd"], rs1=f["rs1"])
+        return Instruction(op, rd=f["rd"], rs1=f["rs1"], rs2=f["rs2"])
+    if key3 in _BY_OPCODE_F3:
+        op = _BY_OPCODE_F3[key3]
+        spec = instruction_spec(op)
+        if spec.fmt in (Fmt.I, Fmt.LOAD):
+            return Instruction(op, rd=f["rd"], rs1=f["rs1"],
+                               imm=to_signed(extract_bits(word, 31, 20), 12))
+        if spec.fmt == Fmt.S:
+            imm = (extract_bits(word, 31, 25) << 5) | extract_bits(word, 11, 7)
+            return Instruction(op, rs1=f["rs1"], rs2=f["rs2"],
+                               imm=to_signed(imm, 12))
+        if spec.fmt == Fmt.B:
+            imm = (extract_bits(word, 31, 31) << 12
+                   | extract_bits(word, 7, 7) << 11
+                   | extract_bits(word, 30, 25) << 5
+                   | extract_bits(word, 11, 8) << 1)
+            return Instruction(op, rs1=f["rs1"], rs2=f["rs2"],
+                               imm=to_signed(imm, 13))
+        if spec.fmt in (Fmt.CSR, Fmt.CSRI):
+            return Instruction(op, rd=f["rd"], rs1=f["rs1"],
+                               imm=extract_bits(word, 31, 20))
+    raise DecodeError(f"cannot decode word {word:#010x}")

@@ -1,0 +1,250 @@
+"""Instruction definitions for the RV64 subset + MEEK extension.
+
+Each operation has an :class:`InstrSpec` describing its assembly
+format, timing class and register-file usage; a decoded
+:class:`Instruction` is a small slotted object shared between the
+functional executor and both timing models.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import DecodeError
+
+
+class InstrClass(enum.Enum):
+    """Timing class: which functional unit / latency an op occupies."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FP = "fp"
+    FPDIV = "fpdiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CSR = "csr"
+    SYSTEM = "system"
+    MEEK = "meek"
+
+
+class Fmt(enum.Enum):
+    """Assembly/encoding format."""
+
+    R = "r"          # op rd, rs1, rs2
+    I = "i"          # op rd, rs1, imm
+    SHIFT = "shift"  # op rd, rs1, shamt
+    LOAD = "load"    # op rd, imm(rs1)
+    S = "s"          # op rs2, imm(rs1)
+    B = "b"          # op rs1, rs2, label
+    U = "u"          # op rd, imm20
+    J = "j"          # op rd, label
+    CSR = "csr"      # op rd, csr, rs1
+    CSRI = "csri"    # op rd, csr, zimm
+    SYS = "sys"      # op            (ecall, ebreak, fence)
+    FR = "fr"        # op fd, fs1, fs2
+    FR1 = "fr1"      # op fd, fs1    (fsqrt, fmv)
+    FCMP = "fcmp"    # op rd, fs1, fs2
+    FMVXD = "fmvxd"  # op rd, fs1
+    FMVDX = "fmvdx"  # op fd, rs1
+    M2R = "m2r"      # meek: op rs1, rs2
+    M1R = "m1r"      # meek: op rs1
+    MRD = "mrd"      # meek: op rd
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static properties of one operation."""
+
+    name: str
+    iclass: InstrClass
+    fmt: Fmt
+    writes_int_rd: bool = False
+    writes_fp_rd: bool = False
+    reads_int_rs1: bool = False
+    reads_int_rs2: bool = False
+    reads_fp_rs1: bool = False
+    reads_fp_rs2: bool = False
+    privileged: bool = False
+
+    @property
+    def is_load(self):
+        return self.iclass is InstrClass.LOAD
+
+    @property
+    def is_store(self):
+        return self.iclass is InstrClass.STORE
+
+    @property
+    def is_mem(self):
+        return self.iclass in (InstrClass.LOAD, InstrClass.STORE)
+
+    @property
+    def is_control(self):
+        return self.iclass in (InstrClass.BRANCH, InstrClass.JUMP)
+
+
+def _r(name, iclass=InstrClass.ALU):
+    return InstrSpec(name, iclass, Fmt.R, writes_int_rd=True,
+                     reads_int_rs1=True, reads_int_rs2=True)
+
+
+def _i(name, iclass=InstrClass.ALU):
+    return InstrSpec(name, iclass, Fmt.I, writes_int_rd=True,
+                     reads_int_rs1=True)
+
+
+def _shift(name):
+    return InstrSpec(name, InstrClass.ALU, Fmt.SHIFT, writes_int_rd=True,
+                     reads_int_rs1=True)
+
+
+def _load(name):
+    return InstrSpec(name, InstrClass.LOAD, Fmt.LOAD, writes_int_rd=True,
+                     reads_int_rs1=True)
+
+
+def _store(name):
+    return InstrSpec(name, InstrClass.STORE, Fmt.S, reads_int_rs1=True,
+                     reads_int_rs2=True)
+
+
+def _branch(name):
+    return InstrSpec(name, InstrClass.BRANCH, Fmt.B, reads_int_rs1=True,
+                     reads_int_rs2=True)
+
+
+def _fr(name, iclass=InstrClass.FP):
+    return InstrSpec(name, iclass, Fmt.FR, writes_fp_rd=True,
+                     reads_fp_rs1=True, reads_fp_rs2=True)
+
+
+SPECS = {
+    # RV64I register-register.
+    "add": _r("add"), "sub": _r("sub"), "sll": _r("sll"), "slt": _r("slt"),
+    "sltu": _r("sltu"), "xor": _r("xor"), "srl": _r("srl"), "sra": _r("sra"),
+    "or": _r("or"), "and": _r("and"),
+    # RV64M.
+    "mul": _r("mul", InstrClass.MUL), "mulh": _r("mulh", InstrClass.MUL),
+    "div": _r("div", InstrClass.DIV), "divu": _r("divu", InstrClass.DIV),
+    "rem": _r("rem", InstrClass.DIV), "remu": _r("remu", InstrClass.DIV),
+    # RV64I immediates.
+    "addi": _i("addi"), "slti": _i("slti"), "sltiu": _i("sltiu"),
+    "xori": _i("xori"), "ori": _i("ori"), "andi": _i("andi"),
+    "slli": _shift("slli"), "srli": _shift("srli"), "srai": _shift("srai"),
+    # Upper immediates.
+    "lui": InstrSpec("lui", InstrClass.ALU, Fmt.U, writes_int_rd=True),
+    "auipc": InstrSpec("auipc", InstrClass.ALU, Fmt.U, writes_int_rd=True),
+    # Loads / stores.
+    "lb": _load("lb"), "lbu": _load("lbu"), "lh": _load("lh"),
+    "lhu": _load("lhu"), "lw": _load("lw"), "lwu": _load("lwu"),
+    "ld": _load("ld"),
+    "sb": _store("sb"), "sh": _store("sh"), "sw": _store("sw"),
+    "sd": _store("sd"),
+    # Control flow.
+    "beq": _branch("beq"), "bne": _branch("bne"), "blt": _branch("blt"),
+    "bge": _branch("bge"), "bltu": _branch("bltu"), "bgeu": _branch("bgeu"),
+    "jal": InstrSpec("jal", InstrClass.JUMP, Fmt.J, writes_int_rd=True),
+    "jalr": InstrSpec("jalr", InstrClass.JUMP, Fmt.I, writes_int_rd=True,
+                      reads_int_rs1=True),
+    # CSR.
+    "csrrw": InstrSpec("csrrw", InstrClass.CSR, Fmt.CSR, writes_int_rd=True,
+                       reads_int_rs1=True),
+    "csrrs": InstrSpec("csrrs", InstrClass.CSR, Fmt.CSR, writes_int_rd=True,
+                       reads_int_rs1=True),
+    "csrrwi": InstrSpec("csrrwi", InstrClass.CSR, Fmt.CSRI,
+                        writes_int_rd=True),
+    # System.
+    "ecall": InstrSpec("ecall", InstrClass.SYSTEM, Fmt.SYS),
+    "ebreak": InstrSpec("ebreak", InstrClass.SYSTEM, Fmt.SYS),
+    "fence": InstrSpec("fence", InstrClass.SYSTEM, Fmt.SYS),
+    # RV64D slice.
+    "fadd.d": _fr("fadd.d"), "fsub.d": _fr("fsub.d"), "fmul.d": _fr("fmul.d"),
+    "fmin.d": _fr("fmin.d"), "fmax.d": _fr("fmax.d"),
+    "fdiv.d": _fr("fdiv.d", InstrClass.FPDIV),
+    "fsqrt.d": InstrSpec("fsqrt.d", InstrClass.FPDIV, Fmt.FR1,
+                         writes_fp_rd=True, reads_fp_rs1=True),
+    "fld": InstrSpec("fld", InstrClass.LOAD, Fmt.LOAD, writes_fp_rd=True,
+                     reads_int_rs1=True),
+    "fsd": InstrSpec("fsd", InstrClass.STORE, Fmt.S, reads_int_rs1=True,
+                     reads_fp_rs2=True),
+    "fmv.x.d": InstrSpec("fmv.x.d", InstrClass.FP, Fmt.FMVXD,
+                         writes_int_rd=True, reads_fp_rs1=True),
+    "fmv.d.x": InstrSpec("fmv.d.x", InstrClass.FP, Fmt.FMVDX,
+                         writes_fp_rd=True, reads_int_rs1=True),
+    "fcvt.d.l": InstrSpec("fcvt.d.l", InstrClass.FP, Fmt.FMVDX,
+                          writes_fp_rd=True, reads_int_rs1=True),
+    "fcvt.l.d": InstrSpec("fcvt.l.d", InstrClass.FP, Fmt.FMVXD,
+                          writes_int_rd=True, reads_fp_rs1=True),
+    "feq.d": InstrSpec("feq.d", InstrClass.FP, Fmt.FCMP, writes_int_rd=True,
+                       reads_fp_rs1=True, reads_fp_rs2=True),
+    "flt.d": InstrSpec("flt.d", InstrClass.FP, Fmt.FCMP, writes_int_rd=True,
+                       reads_fp_rs1=True, reads_fp_rs2=True),
+    "fle.d": InstrSpec("fle.d", InstrClass.FP, Fmt.FCMP, writes_int_rd=True,
+                       reads_fp_rs1=True, reads_fp_rs2=True),
+    # MEEK-ISA (Table I).  Privilege annotations: b.* and l.mode are
+    # kernel-only; the rest are user-mode (Priv 0).
+    "b.hook": InstrSpec("b.hook", InstrClass.MEEK, Fmt.M2R,
+                        reads_int_rs1=True, reads_int_rs2=True,
+                        privileged=True),
+    "b.check": InstrSpec("b.check", InstrClass.MEEK, Fmt.M1R,
+                         reads_int_rs1=True, privileged=True),
+    "l.mode": InstrSpec("l.mode", InstrClass.MEEK, Fmt.M2R,
+                        reads_int_rs1=True, reads_int_rs2=True,
+                        privileged=True),
+    "l.record": InstrSpec("l.record", InstrClass.MEEK, Fmt.M1R,
+                          reads_int_rs1=True),
+    "l.apply": InstrSpec("l.apply", InstrClass.MEEK, Fmt.M1R,
+                         reads_int_rs1=True),
+    "l.jal": InstrSpec("l.jal", InstrClass.MEEK, Fmt.M1R,
+                       reads_int_rs1=True),
+    "l.rslt": InstrSpec("l.rslt", InstrClass.MEEK, Fmt.MRD,
+                        writes_int_rd=True),
+}
+
+
+def instruction_spec(op):
+    """Return the :class:`InstrSpec` for operation ``op``."""
+    try:
+        return SPECS[op]
+    except KeyError:
+        raise DecodeError(f"unknown operation {op!r}") from None
+
+
+class Instruction:
+    """One decoded instruction.
+
+    ``imm`` holds the immediate (branch/jump immediates are byte
+    offsets relative to the instruction's own PC, as in the real ISA).
+    Register indices are always present and default to 0; the spec says
+    which are meaningful.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "spec")
+
+    def __init__(self, op, rd=0, rs1=0, rs2=0, imm=0):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.spec = instruction_spec(op)
+
+    @property
+    def iclass(self):
+        return self.spec.iclass
+
+    def __repr__(self):
+        return (f"Instruction({self.op!r}, rd={self.rd}, rs1={self.rs1}, "
+                f"rs2={self.rs2}, imm={self.imm})")
+
+    def __eq__(self, other):
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (self.op == other.op and self.rd == other.rd
+                and self.rs1 == other.rs1 and self.rs2 == other.rs2
+                and self.imm == other.imm)
+
+    def __hash__(self):
+        return hash((self.op, self.rd, self.rs1, self.rs2, self.imm))

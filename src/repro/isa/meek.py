@@ -1,0 +1,64 @@
+"""MEEK-ISA extension (Table I of the paper).
+
+Seven instructions split into big-core (``b.*``) and little-core
+(``l.*``) groups.  ``b.hook``, ``b.check`` and ``l.mode`` are
+kernel-mode (Priv 1) because they can cause contention over little
+cores or erroneous memory accesses; the rest are user-mode (Priv 0)
+and are issued by the checker-thread runtime.
+
+The *semantics* live in the hardware models (the DEU reacts to
+``b.check``, the MSU to ``l.mode``/``l.record``/``l.apply``); this
+module defines the stable vocabulary shared by the ISA, the OS model
+and the system simulator.
+"""
+
+import enum
+
+
+class MeekOp(enum.Enum):
+    """The seven Table I operations."""
+
+    B_HOOK = "b.hook"
+    B_CHECK = "b.check"
+    L_MODE = "l.mode"
+    L_RECORD = "l.record"
+    L_APPLY = "l.apply"
+    L_JAL = "l.jal"
+    L_RSLT = "l.rslt"
+
+
+#: Mapping from mnemonic to (privilege level, description), matching
+#: Table I row-for-row.
+MEEK_OPS = {
+    "b.hook": (1, "Hook big core rs1 with little core rs2."),
+    "b.check": (1, "Enable/Disable checking capacity."),
+    "l.mode": (1, "Switch little core rs1's mode to rs2."),
+    "l.record": (0, "Record arch. registers to address rs1."),
+    "l.apply": (0, "Apply arch. registers from address rs1."),
+    "l.jal": (0, "Jump to rs1 (PC of main thread)."),
+    "l.rslt": (0, "Return the check results."),
+}
+
+#: Operational modes selected by ``l.mode`` (Sec. II: application or
+#: check mode).
+MODE_APPLICATION = 0
+MODE_CHECK = 1
+
+#: Values for ``b.check``'s rs1 operand.
+CHECK_DISABLE = 0
+CHECK_ENABLE = 1
+
+
+def is_big_core_op(op):
+    """Whether the mnemonic belongs to the big-core group."""
+    return op.startswith("b.")
+
+
+def is_little_core_op(op):
+    """Whether the mnemonic belongs to the little-core group."""
+    return op.startswith("l.")
+
+
+def privilege_level(op):
+    """Table I privilege level (1 = kernel, 0 = user)."""
+    return MEEK_OPS[op][0]

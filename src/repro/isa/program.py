@@ -1,0 +1,70 @@
+"""Program container.
+
+A :class:`Program` is an ordered list of decoded instructions with a
+base address, a label table, and an optional initial data image.  PCs
+are byte addresses; instruction ``i`` lives at ``base + 4*i``.
+"""
+
+from repro.common.errors import SimulationError
+
+
+class DataImage:
+    """Initial contents for data memory: ``{address: 64-bit word}``."""
+
+    def __init__(self, words=None):
+        self.words = dict(words or {})
+
+    def apply(self, memory):
+        """Write the image into a :class:`~repro.isa.state.Memory`."""
+        for addr, value in self.words.items():
+            memory.store_word(addr, value)
+
+    def __len__(self):
+        return len(self.words)
+
+
+class Program:
+    """An assembled program."""
+
+    def __init__(self, instructions, labels=None, base=0x1000, data=None,
+                 name="program"):
+        self.instructions = list(instructions)
+        self.labels = dict(labels or {})
+        self.base = base
+        self.data = data if data is not None else DataImage()
+        self.name = name
+
+    def __len__(self):
+        return len(self.instructions)
+
+    @property
+    def entry_pc(self):
+        return self.base
+
+    @property
+    def end_pc(self):
+        """First address past the last instruction; reaching it halts."""
+        return self.base + 4 * len(self.instructions)
+
+    def fetch(self, pc):
+        """The instruction at byte address ``pc`` (None past the end)."""
+        offset = pc - self.base
+        if offset < 0 or offset % 4:
+            raise SimulationError(f"bad fetch address {pc:#x} "
+                                  f"(base {self.base:#x})")
+        index = offset // 4
+        if index >= len(self.instructions):
+            return None
+        return self.instructions[index]
+
+    def pc_of_label(self, label):
+        if label not in self.labels:
+            raise SimulationError(f"unknown label {label!r}")
+        return self.labels[label]
+
+    def index_of_pc(self, pc):
+        return (pc - self.base) // 4
+
+    def __repr__(self):
+        return (f"Program({self.name!r}, {len(self.instructions)} instrs, "
+                f"base={self.base:#x})")

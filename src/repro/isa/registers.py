@@ -1,0 +1,98 @@
+"""Register-file naming for the RV64 subset.
+
+Thirty-two integer registers (``x0`` hardwired to zero) and thirty-two
+floating-point registers, with the standard ABI aliases so assembly in
+tests and examples can read naturally.
+"""
+
+from repro.common.errors import AssemblerError
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Standard RISC-V ABI names, index-aligned with x0..x31.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_FP_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1",
+    "fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7",
+    "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9", "fs10", "fs11",
+    "ft8", "ft9", "ft10", "ft11",
+)
+
+_INT_LOOKUP = {}
+_FP_LOOKUP = {}
+for _i in range(NUM_INT_REGS):
+    _INT_LOOKUP[f"x{_i}"] = _i
+    _INT_LOOKUP[ABI_NAMES[_i]] = _i
+for _i in range(NUM_FP_REGS):
+    _FP_LOOKUP[f"f{_i}"] = _i
+    _FP_LOOKUP[_FP_ABI_NAMES[_i]] = _i
+# "fp" is the conventional alias for s0/x8.
+_INT_LOOKUP["fp"] = 8
+
+
+def parse_register(token, fp=False):
+    """Resolve a register token (``x5``, ``t0``, ``f3``, ``fa0``...).
+
+    Raises :class:`AssemblerError` for unknown names.
+    """
+    token = token.strip().lower()
+    table = _FP_LOOKUP if fp else _INT_LOOKUP
+    if token not in table:
+        kind = "FP" if fp else "integer"
+        raise AssemblerError(f"unknown {kind} register {token!r}")
+    return table[token]
+
+
+def int_reg_name(index):
+    """Canonical ABI name for integer register ``index``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise AssemblerError(f"integer register index {index} out of range")
+    return ABI_NAMES[index]
+
+
+def fp_reg_name(index):
+    """Canonical ABI name for FP register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise AssemblerError(f"FP register index {index} out of range")
+    return _FP_ABI_NAMES[index]
+
+
+# A handful of CSR addresses, enough for the model's CSR traffic.
+CSR_ADDRESSES = {
+    "cycle": 0xC00,
+    "time": 0xC01,
+    "instret": 0xC02,
+    "mstatus": 0x300,
+    "mtvec": 0x305,
+    "mepc": 0x341,
+    "mcause": 0x342,
+    "mhartid": 0xF14,
+    # MEEK status CSR: little cores report check results here.
+    "meekrslt": 0x7C0,
+}
+
+CSR_NAMES = {addr: name for name, addr in CSR_ADDRESSES.items()}
+
+
+def parse_csr(token):
+    """Resolve a CSR token: a known name or a numeric address."""
+    token = token.strip().lower()
+    if token in CSR_ADDRESSES:
+        return CSR_ADDRESSES[token]
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"unknown CSR {token!r}") from None
+    if not 0 <= value < 4096:
+        raise AssemblerError(f"CSR address {value:#x} out of 12-bit range")
+    return value

@@ -1,0 +1,359 @@
+"""Functional execution semantics.
+
+One executor is shared by the big core (which executes functionally in
+commit order while the timing model decides *when*) and the little
+cores (which re-execute segments for real during checking).  The
+executor is deliberately free of any timing knowledge: it maps
+``(instruction, state)`` to ``(state', result)`` where the
+:class:`ExecResult` carries everything the timing models and the DEU
+need — next PC, taken-branch flag, and the address/data of any memory
+or CSR operation.
+
+Memory accesses go through a *port* object with ``load``/``store``
+methods.  The default port is the state's own memory; a little core in
+check mode passes its Load-Store Log port instead, which is how replay
+"replaces the L1 cache" (Sec. II).
+"""
+
+import math
+
+from repro.common.bitops import mask, to_signed, to_unsigned
+from repro.common.errors import PrivilegeError, SimulationError
+from repro.isa.instructions import InstrClass
+from repro.isa.state import bits_to_float, float_to_bits
+
+_WORD = mask(64)
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class ExecResult:
+    """Outcome of functionally executing one instruction."""
+
+    __slots__ = ("next_pc", "taken", "is_load", "is_store", "mem_addr",
+                 "mem_size", "mem_value", "csr_addr", "csr_value", "trap",
+                 "meek_op", "wrote_int_rd", "wrote_fp_rd", "rd_value")
+
+    def __init__(self, next_pc):
+        self.next_pc = next_pc
+        self.taken = False
+        self.is_load = False
+        self.is_store = False
+        self.mem_addr = None
+        self.mem_size = 0
+        self.mem_value = 0
+        self.csr_addr = None
+        self.csr_value = 0
+        self.trap = None
+        self.meek_op = None
+        self.wrote_int_rd = False
+        self.wrote_fp_rd = False
+        self.rd_value = 0
+
+
+def _f2b(value):
+    return float_to_bits(value)
+
+
+def _b2f(bits):
+    return bits_to_float(bits)
+
+
+def _fp_div(a, b):
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return float("nan")
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return math.copysign(float("inf"), sign)
+    try:
+        return a / b
+    except OverflowError:
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return math.copysign(float("inf"), sign)
+
+
+def _fp_sqrt(a):
+    if a != a or a < 0.0:
+        return float("nan")
+    return a ** 0.5
+
+
+def _fcvt_l(value):
+    if value != value:  # NaN
+        return _INT64_MAX
+    if value >= _INT64_MAX:
+        return _INT64_MAX
+    if value <= _INT64_MIN:
+        return _INT64_MIN
+    return int(value)
+
+
+def _div_signed(a, b):
+    if b == 0:
+        return -1
+    if a == _INT64_MIN and b == -1:
+        return a
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _rem_signed(a, b):
+    if b == 0:
+        return a
+    if a == _INT64_MIN and b == -1:
+        return 0
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def execute(instr, state, mem_port=None, meek_handler=None):
+    """Execute ``instr`` at ``state.pc``; mutate ``state``; return
+    an :class:`ExecResult`.
+
+    ``mem_port`` overrides the data-memory interface (the little core's
+    LSL in check mode).  ``meek_handler(instr, state)`` implements the
+    MEEK extension; it may return a next-PC override (``l.jal``).
+    """
+    op = instr.op
+    spec = instr.spec
+    pc = state.pc
+    mem = mem_port if mem_port is not None else state.memory
+    res = ExecResult(pc + 4)
+    rs1 = state.int_regs[instr.rs1]
+    rs2 = state.int_regs[instr.rs2]
+    imm = instr.imm
+    iclass = spec.iclass
+
+    if iclass is InstrClass.ALU or iclass is InstrClass.MUL:
+        res.rd_value = _int_alu(op, rs1, rs2, imm, pc)
+        state.write_int(instr.rd, res.rd_value)
+        res.wrote_int_rd = True
+    elif iclass is InstrClass.DIV:
+        res.rd_value = _int_div(op, rs1, rs2)
+        state.write_int(instr.rd, res.rd_value)
+        res.wrote_int_rd = True
+    elif iclass is InstrClass.LOAD:
+        addr = (rs1 + imm) & _WORD
+        size, signed = _LOAD_SIZES[op]
+        value = mem.load(addr, size, signed=signed)
+        res.is_load = True
+        res.mem_addr = addr
+        res.mem_size = size
+        res.mem_value = to_unsigned(value, 64)
+        if spec.writes_fp_rd:
+            state.write_fp(instr.rd, value)
+            res.wrote_fp_rd = True
+        else:
+            state.write_int(instr.rd, value)
+            res.wrote_int_rd = True
+        res.rd_value = to_unsigned(value, 64)
+    elif iclass is InstrClass.STORE:
+        addr = (rs1 + imm) & _WORD
+        size = _STORE_SIZES[op]
+        value = state.fp_regs[instr.rs2] if spec.reads_fp_rs2 else rs2
+        mem.store(addr, value, size)
+        res.is_store = True
+        res.mem_addr = addr
+        res.mem_size = size
+        res.mem_value = value & mask(size * 8)
+    elif iclass is InstrClass.BRANCH:
+        taken = _branch_taken(op, rs1, rs2)
+        res.taken = taken
+        if taken:
+            res.next_pc = (pc + imm) & _WORD
+    elif iclass is InstrClass.JUMP:
+        if op == "jal":
+            state.write_int(instr.rd, pc + 4)
+            res.next_pc = (pc + imm) & _WORD
+        else:  # jalr
+            target = (rs1 + imm) & ~1 & _WORD
+            state.write_int(instr.rd, pc + 4)
+            res.next_pc = target
+        res.taken = True
+        res.wrote_int_rd = instr.rd != 0
+        res.rd_value = (pc + 4) & _WORD
+    elif iclass is InstrClass.CSR:
+        res.csr_addr = imm
+        old = state.read_csr(imm)
+        if op == "csrrw":
+            state.write_csr(imm, rs1)
+            res.csr_value = rs1
+        elif op == "csrrs":
+            state.write_csr(imm, old | rs1)
+            res.csr_value = old | rs1
+        else:  # csrrwi: rs1 field is the zero-extended immediate
+            state.write_csr(imm, instr.rs1)
+            res.csr_value = instr.rs1
+        state.write_int(instr.rd, old)
+        res.wrote_int_rd = instr.rd != 0
+        res.rd_value = old
+    elif iclass is InstrClass.FP or iclass is InstrClass.FPDIV:
+        _exec_fp(op, instr, state, res)
+    elif iclass is InstrClass.SYSTEM:
+        if op == "ecall":
+            res.trap = "ecall"
+        elif op == "ebreak":
+            res.trap = "ebreak"
+        # fence: no architectural effect in this model
+    elif iclass is InstrClass.MEEK:
+        if spec.privileged and not state.priv_kernel:
+            raise PrivilegeError(
+                f"{op} is a kernel-mode instruction (Table I, Priv 1)")
+        res.meek_op = op
+        if meek_handler is not None:
+            override = meek_handler(instr, state)
+            if override is not None:
+                res.next_pc = override & _WORD
+                res.taken = True
+    else:  # pragma: no cover - the classes above are exhaustive
+        raise SimulationError(f"no semantics for class {iclass}")
+
+    state.pc = res.next_pc
+    return res
+
+
+def _int_alu(op, rs1, rs2, imm, pc):
+    s1 = to_signed(rs1)
+    if op == "add":
+        return (rs1 + rs2) & _WORD
+    if op == "addi":
+        return (rs1 + imm) & _WORD
+    if op == "sub":
+        return (rs1 - rs2) & _WORD
+    if op == "and":
+        return rs1 & rs2
+    if op == "andi":
+        return rs1 & to_unsigned(imm, 64)
+    if op == "or":
+        return rs1 | rs2
+    if op == "ori":
+        return rs1 | to_unsigned(imm, 64)
+    if op == "xor":
+        return rs1 ^ rs2
+    if op == "xori":
+        return rs1 ^ to_unsigned(imm, 64)
+    if op == "sll":
+        return (rs1 << (rs2 & 0x3F)) & _WORD
+    if op == "slli":
+        return (rs1 << imm) & _WORD
+    if op == "srl":
+        return rs1 >> (rs2 & 0x3F)
+    if op == "srli":
+        return rs1 >> imm
+    if op == "sra":
+        return to_unsigned(s1 >> (rs2 & 0x3F))
+    if op == "srai":
+        return to_unsigned(s1 >> imm)
+    if op == "slt":
+        return 1 if s1 < to_signed(rs2) else 0
+    if op == "slti":
+        return 1 if s1 < imm else 0
+    if op == "sltu":
+        return 1 if rs1 < rs2 else 0
+    if op == "sltiu":
+        return 1 if rs1 < to_unsigned(imm, 64) else 0
+    if op == "lui":
+        return to_unsigned(imm << 12, 64)
+    if op == "auipc":
+        return (pc + (imm << 12)) & _WORD
+    if op == "mul":
+        return (rs1 * rs2) & _WORD
+    if op == "mulh":
+        return to_unsigned((to_signed(rs1) * to_signed(rs2)) >> 64)
+    raise SimulationError(f"no ALU semantics for {op!r}")
+
+
+def _int_div(op, rs1, rs2):
+    if op == "div":
+        return to_unsigned(_div_signed(to_signed(rs1), to_signed(rs2)))
+    if op == "divu":
+        return (rs1 // rs2) if rs2 else _WORD
+    if op == "rem":
+        return to_unsigned(_rem_signed(to_signed(rs1), to_signed(rs2)))
+    if op == "remu":
+        return (rs1 % rs2) if rs2 else rs1
+    raise SimulationError(f"no divide semantics for {op!r}")
+
+
+def _branch_taken(op, rs1, rs2):
+    if op == "beq":
+        return rs1 == rs2
+    if op == "bne":
+        return rs1 != rs2
+    if op == "blt":
+        return to_signed(rs1) < to_signed(rs2)
+    if op == "bge":
+        return to_signed(rs1) >= to_signed(rs2)
+    if op == "bltu":
+        return rs1 < rs2
+    if op == "bgeu":
+        return rs1 >= rs2
+    raise SimulationError(f"no branch semantics for {op!r}")
+
+
+def _exec_fp(op, instr, state, res):
+    f1 = _b2f(state.fp_regs[instr.rs1])
+    f2 = _b2f(state.fp_regs[instr.rs2])
+    if op == "fadd.d":
+        value = _f2b(f1 + f2)
+    elif op == "fsub.d":
+        value = _f2b(f1 - f2)
+    elif op == "fmul.d":
+        try:
+            value = _f2b(f1 * f2)
+        except OverflowError:
+            value = _f2b(float("inf") if (f1 > 0) == (f2 > 0)
+                         else float("-inf"))
+    elif op == "fdiv.d":
+        value = _f2b(_fp_div(f1, f2))
+    elif op == "fsqrt.d":
+        value = _f2b(_fp_sqrt(f1))
+    elif op == "fmin.d":
+        value = _f2b(min(f1, f2))
+    elif op == "fmax.d":
+        value = _f2b(max(f1, f2))
+    elif op == "fmv.d.x":
+        value = state.int_regs[instr.rs1]
+    elif op == "fcvt.d.l":
+        value = _f2b(float(to_signed(state.int_regs[instr.rs1])))
+    elif op in ("feq.d", "flt.d", "fle.d"):
+        if f1 != f1 or f2 != f2:
+            result = 0
+        elif op == "feq.d":
+            result = 1 if f1 == f2 else 0
+        elif op == "flt.d":
+            result = 1 if f1 < f2 else 0
+        else:
+            result = 1 if f1 <= f2 else 0
+        state.write_int(instr.rd, result)
+        res.wrote_int_rd = True
+        res.rd_value = result
+        return
+    elif op == "fmv.x.d":
+        value = state.fp_regs[instr.rs1]
+        state.write_int(instr.rd, value)
+        res.wrote_int_rd = True
+        res.rd_value = value
+        return
+    elif op == "fcvt.l.d":
+        value = to_unsigned(_fcvt_l(f1))
+        state.write_int(instr.rd, value)
+        res.wrote_int_rd = True
+        res.rd_value = value
+        return
+    else:
+        raise SimulationError(f"no FP semantics for {op!r}")
+    state.write_fp(instr.rd, value)
+    res.wrote_fp_rd = True
+    res.rd_value = value
+
+
+_LOAD_SIZES = {
+    "lb": (1, True), "lbu": (1, False),
+    "lh": (2, True), "lhu": (2, False),
+    "lw": (4, True), "lwu": (4, False),
+    "ld": (8, False),
+    "fld": (8, False),
+}
+
+_STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8, "fsd": 8}

@@ -1,0 +1,138 @@
+"""Architectural state and the flat memory model.
+
+Both cores manipulate the same representation: 32 integer registers
+(64-bit unsigned views), 32 FP registers stored as raw 64-bit bit
+patterns (so checkpoint comparison and fault injection are exact), a
+program counter, and a CSR file.  Memory is a word-granular sparse
+store; sub-word accesses read-modify-write the containing aligned
+64-bit word, which is all the synthetic workloads require.
+"""
+
+import struct
+
+from repro.common.bitops import mask, to_unsigned
+from repro.common.errors import SimulationError
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS
+
+_WORD_MASK = mask(64)
+
+
+def float_to_bits(value):
+    """Raw 64-bit pattern of a Python float."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits):
+    """Python float from a raw 64-bit pattern."""
+    return struct.unpack("<d", struct.pack("<Q", bits & _WORD_MASK))[0]
+
+
+class Memory:
+    """Sparse 64-bit-word-granular memory."""
+
+    def __init__(self):
+        self._words = {}
+        self.reads = 0
+        self.writes = 0
+
+    def load_word(self, addr):
+        """Read the aligned 64-bit word containing ``addr``."""
+        self.reads += 1
+        return self._words.get(addr & ~0x7, 0)
+
+    def store_word(self, addr, value):
+        """Write the aligned 64-bit word containing ``addr``."""
+        self.writes += 1
+        self._words[addr & ~0x7] = value & _WORD_MASK
+
+    def load(self, addr, size, signed=False):
+        """Read ``size`` bytes (1/2/4/8) at ``addr`` (must not straddle
+        an aligned 64-bit word)."""
+        offset = addr & 0x7
+        if offset % size:
+            raise SimulationError(f"misaligned {size}-byte access at {addr:#x}")
+        word = self._words.get(addr & ~0x7, 0)
+        self.reads += 1
+        value = (word >> (offset * 8)) & mask(size * 8)
+        if signed and value >> (size * 8 - 1):
+            value -= 1 << (size * 8)
+        return value
+
+    def store(self, addr, value, size):
+        """Write ``size`` bytes (1/2/4/8) at ``addr``."""
+        offset = addr & 0x7
+        if offset % size:
+            raise SimulationError(f"misaligned {size}-byte access at {addr:#x}")
+        base = addr & ~0x7
+        word = self._words.get(base, 0)
+        field_mask = mask(size * 8) << (offset * 8)
+        word = (word & ~field_mask) | ((value & mask(size * 8)) << (offset * 8))
+        self._words[base] = word & _WORD_MASK
+        self.writes += 1
+
+    def snapshot(self):
+        """A copy of the backing store, for test assertions."""
+        return dict(self._words)
+
+    def copy(self):
+        clone = Memory()
+        clone._words = dict(self._words)
+        return clone
+
+
+class ArchState:
+    """Architectural registers + PC + CSRs of one hardware thread."""
+
+    __slots__ = ("int_regs", "fp_regs", "pc", "csrs", "memory", "priv_kernel")
+
+    def __init__(self, memory=None, pc=0, priv_kernel=False):
+        self.int_regs = [0] * NUM_INT_REGS
+        self.fp_regs = [0] * NUM_FP_REGS
+        self.pc = pc
+        self.csrs = {}
+        self.memory = memory if memory is not None else Memory()
+        self.priv_kernel = priv_kernel
+
+    def read_int(self, index):
+        return self.int_regs[index]
+
+    def write_int(self, index, value):
+        if index:  # x0 is hardwired to zero
+            self.int_regs[index] = value & _WORD_MASK
+
+    def read_fp(self, index):
+        return self.fp_regs[index]
+
+    def write_fp(self, index, bits):
+        self.fp_regs[index] = bits & _WORD_MASK
+
+    def read_csr(self, addr):
+        return self.csrs.get(addr, 0)
+
+    def write_csr(self, addr, value):
+        self.csrs[addr] = value & _WORD_MASK
+
+    def register_file_snapshot(self):
+        """The (int, fp) register values as two tuples.
+
+        This is exactly what an RCP carries: the paper's status data is
+        the architectural register files plus CSRs at a checkpoint.
+        """
+        return tuple(self.int_regs), tuple(self.fp_regs)
+
+    def apply_register_snapshot(self, int_values, fp_values):
+        """Overwrite the register files from a checkpoint (``l.apply``)."""
+        if len(int_values) != NUM_INT_REGS or len(fp_values) != NUM_FP_REGS:
+            raise SimulationError("register snapshot has wrong shape")
+        self.int_regs = [v & _WORD_MASK for v in int_values]
+        self.int_regs[0] = 0
+        self.fp_regs = [v & _WORD_MASK for v in fp_values]
+
+    def copy(self, share_memory=True):
+        clone = ArchState(memory=self.memory if share_memory
+                          else self.memory.copy(),
+                          pc=self.pc, priv_kernel=self.priv_kernel)
+        clone.int_regs = list(self.int_regs)
+        clone.fp_regs = list(self.fp_regs)
+        clone.csrs = dict(self.csrs)
+        return clone

@@ -1,0 +1,19 @@
+"""The little core: a Rocket-class 5-stage in-order scalar core.
+
+Upgraded per Sec. III-C with a Mode Switch Unit (MSU) that flips the
+core between application and check mode, and a Load-Store Log (LSL)
+port that replaces the D-cache during replay.  The timing model is an
+in-order single-issue pipeline with full forwarding, a load-use bubble,
+an iterative (configurably unrolled) divider that blocks its unit, a
+configurable-depth FPU (blocking on the default Rocket, pipelined on
+the optimized one), a taken-branch penalty and a real 4 KB I-cache.
+
+All times are expressed in *big-core* cycles: the little core runs at
+half the big core's frequency (Table II), so every little-core cycle
+costs ``clock_ratio`` (= 2) big cycles.
+"""
+
+from repro.littlecore.msu import Mode, ModeSwitchUnit
+from repro.littlecore.pipeline import LittleCorePipeline
+
+__all__ = ["LittleCorePipeline", "Mode", "ModeSwitchUnit"]

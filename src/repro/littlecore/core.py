@@ -1,0 +1,90 @@
+"""Standalone little-core execution (application mode).
+
+Little cores are real cores: when not checking they run ordinary
+threads (Sec. II — "allowing little cores to execute standard processes
+as well").  :class:`LittleCore` runs a program functionally with the
+5-stage pipeline timing and the little D-cache; it is used by the OS
+model for application-mode threads and by the Fig. 10 experiment to
+measure a little core's raw performance on each workload's instruction
+stream.
+"""
+
+from repro.common.config import LittleCoreConfig
+from repro.isa.semantics import execute
+from repro.isa.state import ArchState
+from repro.littlecore.msu import ModeSwitchUnit
+from repro.littlecore.pipeline import LittleCorePipeline
+
+
+class LittleCoreRunResult:
+    """Summary of one standalone little-core execution."""
+
+    def __init__(self, instructions, cycles, state, halted_by, pipeline):
+        self.instructions = instructions
+        self.cycles = cycles
+        self.state = state
+        self.halted_by = halted_by
+        self.pipeline_stats = pipeline.stats()
+
+    @property
+    def ipc(self):
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self):
+        if not self.instructions:
+            return 0.0
+        return self.cycles / self.instructions
+
+    def __repr__(self):
+        return (f"LittleCoreRunResult({self.instructions} instrs, "
+                f"{self.cycles:.0f} cycles, IPC={self.ipc:.2f})")
+
+
+class LittleCore:
+    """One Rocket-class core in application mode.
+
+    ``clock_ratio`` expresses timing in big-core cycles (2 big cycles
+    per little cycle at Table II frequencies); pass ``clock_ratio=1``
+    to measure in the little core's own cycles.
+    """
+
+    def __init__(self, config=None, clock_ratio=2, core_id=0):
+        self.config = config if config is not None else LittleCoreConfig()
+        self.pipeline = LittleCorePipeline(self.config, clock_ratio=clock_ratio)
+        self.msu = ModeSwitchUnit(core_id)
+        self.ratio = clock_ratio
+
+    def run(self, program, max_instructions=None, initial_state=None,
+            halt_on_trap=True):
+        """Execute ``program`` to completion in application mode."""
+        state = initial_state
+        if state is None:
+            state = ArchState(pc=program.entry_pc)
+            program.data.apply(state.memory)
+        pipeline = self.pipeline
+        executed = 0
+        halted_by = "end"
+        while True:
+            if max_instructions is not None and executed >= max_instructions:
+                halted_by = "limit"
+                break
+            pc = state.pc
+            instr = program.fetch(pc)
+            if instr is None:
+                break
+            result = execute(instr, state)
+            load_available = None
+            if result.is_load:
+                latency = pipeline.dcache_load(result.mem_addr, pipeline.time)
+                load_available = pipeline.time + latency
+            pipeline.step(instr, pc, taken_branch=result.taken,
+                          load_data_available=load_available)
+            executed += 1
+            if result.trap and halt_on_trap:
+                halted_by = result.trap
+                break
+        return LittleCoreRunResult(executed, pipeline.time, state, halted_by,
+                                   pipeline)

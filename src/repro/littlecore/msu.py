@@ -1,0 +1,67 @@
+"""Mode Switch Unit (MSU, Fig. 4a).
+
+The MSU is the little core's control engine: it tracks the core's
+operational mode (application vs check), owns the recorded register
+snapshot used by ``l.record``/``l.apply``, and arbitrates whether
+memory accesses go to the D-cache (application mode) or the LSL
+(check mode).  It also remembers which big-core hart the core is
+hooked to (``b.hook``) and which thread ID owns the checker.
+"""
+
+import enum
+
+from repro.common.errors import SimulationError
+
+
+class Mode(enum.Enum):
+    APPLICATION = 0
+    CHECK = 1
+
+
+class ModeSwitchUnit:
+    """Per-little-core MSU state."""
+
+    def __init__(self, core_id):
+        self.core_id = core_id
+        self.mode = Mode.APPLICATION
+        self.hooked_big_core = None
+        self.checker_tid = None
+        self._recorded_registers = None
+        self.mode_switches = 0
+
+    def set_mode(self, mode):
+        """``l.mode``: switch operational mode."""
+        if not isinstance(mode, Mode):
+            mode = Mode(mode)
+        if mode != self.mode:
+            self.mode_switches += 1
+        self.mode = mode
+
+    def hook(self, big_core_id):
+        """``b.hook``: associate this little core with a big core."""
+        self.hooked_big_core = big_core_id
+
+    def unhook(self):
+        self.hooked_big_core = None
+        self.checker_tid = None
+
+    @property
+    def is_checking(self):
+        return self.mode is Mode.CHECK
+
+    def record_registers(self, snapshot):
+        """``l.record``: stash the core's own architectural registers
+        so it can return to the checker loop after verification."""
+        self._recorded_registers = snapshot
+
+    def recorded_registers(self):
+        """``l.apply`` of the *recorded* set (checker-loop return path)."""
+        if self._recorded_registers is None:
+            raise SimulationError(
+                f"little core {self.core_id}: l.apply before l.record")
+        return self._recorded_registers
+
+    def routes_to_lsl(self):
+        """Whether memory accesses are steered to the LSL (Fig. 4b):
+        only in check mode."""
+        return self.mode is Mode.CHECK

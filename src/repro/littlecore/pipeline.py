@@ -1,0 +1,148 @@
+"""In-order 5-stage pipeline timing for the little core.
+
+The model advances one instruction at a time and answers "when does
+this instruction leave the pipeline?" in big-core cycles.  It captures
+the effects the paper identifies as decisive for the big/little
+performance gap (Sec. III-C): the iterative divider (`div_unroll`),
+the FPU depth and whether it pipelines, the load-use bubble, the
+taken-branch penalty, and I-cache misses into the shared L2.
+
+The pipeline object is persistent per little core so that I-cache and
+divider state carry across checkpoint segments.
+"""
+
+from repro.common.config import LittleCoreConfig
+from repro.isa.instructions import InstrClass
+from repro.mem.cache import CacheModel
+
+
+class LittleCorePipeline:
+    """Cycle bookkeeping for one little core."""
+
+    #: Extra cycles an L1I miss costs (trip to the shared L2).
+    ICACHE_MISS_PENALTY = 16
+
+    def __init__(self, config=None, clock_ratio=2, l2_port=None):
+        self.config = config if config is not None else LittleCoreConfig()
+        self.ratio = clock_ratio
+        self.icache = CacheModel(self.config.icache)
+        self.dcache = CacheModel(self.config.dcache)
+        self._l2_port = l2_port
+        # All in big-core cycles:
+        self.time = 0              # cycle the next instruction may issue
+        self._div_free = 0
+        self._fpu_free = 0
+        self._reg_ready = {}       # reg name -> big-cycle value is ready
+        self.instructions_retired = 0
+        self.busy_cycles = 0
+
+    def reset_to(self, cycle):
+        """Start a fresh activity (segment / thread slice) at ``cycle``."""
+        if cycle > self.time:
+            self.time = cycle
+        self._reg_ready.clear()
+
+    def _source_ready(self, instr):
+        spec = instr.spec
+        ready = 0
+        if spec.reads_int_rs1:
+            ready = max(ready, self._reg_ready.get(("x", instr.rs1), 0))
+        if spec.reads_int_rs2:
+            ready = max(ready, self._reg_ready.get(("x", instr.rs2), 0))
+        if spec.reads_fp_rs1:
+            ready = max(ready, self._reg_ready.get(("f", instr.rs1), 0))
+        if spec.reads_fp_rs2:
+            ready = max(ready, self._reg_ready.get(("f", instr.rs2), 0))
+        return ready
+
+    def _mark_dest(self, instr, ready_cycle):
+        spec = instr.spec
+        if spec.writes_int_rd and instr.rd:
+            self._reg_ready[("x", instr.rd)] = ready_cycle
+        elif spec.writes_fp_rd:
+            self._reg_ready[("f", instr.rd)] = ready_cycle
+
+    def step(self, instr, pc, taken_branch=False, load_data_available=None,
+             extra_stall=0):
+        """Advance the pipeline through one instruction.
+
+        ``load_data_available`` (big cycles) is when the LSL (check
+        mode) or D-cache (application mode) can supply a load's data;
+        ``None`` models an L1 hit.  Returns the cycle at which the
+        instruction's *result* is available (its completion time).
+        """
+        cfg = self.config
+        ratio = self.ratio
+        start = self.time
+
+        # Instruction fetch: a miss on a new line stalls the front end.
+        if not self.icache.lookup(pc):
+            self.icache.fill(pc)
+            start += self.ICACHE_MISS_PENALTY * ratio
+
+        # Structural hazard on issue + source operands.
+        issue = max(start, self._source_ready(instr))
+        if extra_stall:
+            issue += extra_stall
+
+        iclass = instr.spec.iclass
+        complete = issue + ratio  # default single-cycle op
+        next_issue = issue + ratio
+
+        if iclass is InstrClass.DIV:
+            issue = max(issue, self._div_free)
+            busy = cfg.div_latency * ratio
+            complete = issue + busy
+            self._div_free = complete          # iterative: blocks the unit
+            next_issue = issue + ratio
+        elif iclass is InstrClass.FPDIV:
+            issue = max(issue, self._fpu_free)
+            busy = cfg.fdiv_latency * ratio
+            complete = issue + busy
+            self._fpu_free = complete
+            next_issue = issue + ratio
+        elif iclass is InstrClass.FP:
+            issue = max(issue, self._fpu_free)
+            complete = issue + cfg.fp_latency * ratio
+            self._fpu_free = issue + cfg.fp_occupancy * ratio
+            next_issue = issue + ratio
+        elif iclass is InstrClass.MUL:
+            complete = issue + cfg.mul_latency * ratio
+            next_issue = issue + ratio
+        elif iclass is InstrClass.LOAD:
+            data_at = issue + (1 + cfg.load_use_penalty) * ratio
+            if load_data_available is not None:
+                data_at = max(data_at, load_data_available)
+            complete = data_at
+            next_issue = issue + ratio
+        elif iclass is InstrClass.STORE:
+            complete = issue + ratio
+            next_issue = issue + ratio
+        elif iclass in (InstrClass.BRANCH, InstrClass.JUMP):
+            complete = issue + ratio
+            next_issue = issue + ratio
+            if taken_branch:
+                next_issue += cfg.branch_penalty * ratio
+        elif iclass is InstrClass.MEEK or iclass is InstrClass.CSR:
+            complete = issue + ratio
+            next_issue = issue + ratio
+
+        self._mark_dest(instr, complete)
+        self.time = next_issue
+        self.instructions_retired += 1
+        self.busy_cycles += next_issue - start
+        return complete
+
+    def dcache_load(self, addr, now):
+        """Application-mode load latency through the little D-cache."""
+        if self.dcache.lookup(addr):
+            return self.config.dcache.hit_latency * self.ratio
+        self.dcache.fill(addr)
+        return self.ICACHE_MISS_PENALTY * self.ratio
+
+    def stats(self):
+        return {
+            "instructions": self.instructions_retired,
+            "busy_cycles": self.busy_cycles,
+            "icache": self.icache.stats(),
+        }

@@ -1,0 +1,14 @@
+"""Memory-hierarchy timing models (Table II, bottom half).
+
+Set-associative caches with LRU replacement and MSHR-limited miss
+concurrency, a fixed-latency DRAM with bounded outstanding requests,
+and a :class:`~repro.mem.hierarchy.MemoryHierarchy` that chains
+L1 → L2 → LLC → DRAM and answers "how many cycles does this access
+take, starting now?" — which is all the core timing models need.
+"""
+
+from repro.mem.cache import CacheModel
+from repro.mem.dram import DramModel
+from repro.mem.hierarchy import AccessKind, MemoryHierarchy
+
+__all__ = ["AccessKind", "CacheModel", "DramModel", "MemoryHierarchy"]

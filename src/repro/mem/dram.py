@@ -1,0 +1,38 @@
+"""DRAM timing model.
+
+Table II: 16 GB DDR3 @ 1066 MHz with at most 32 outstanding requests.
+The model charges a fixed access latency and, when the request window
+is full, queues behind the oldest outstanding request — the same
+shape of backpressure a real memory controller applies.
+"""
+
+
+class DramModel:
+    """Fixed-latency DRAM with a bounded request window."""
+
+    def __init__(self, latency_cycles=120, max_requests=32):
+        self.latency_cycles = latency_cycles
+        self.max_requests = max_requests
+        self._busy_until = []
+        self.requests = 0
+        self.queue_stall_cycles = 0
+
+    def access(self, now):
+        """Issue a request at cycle ``now``; return its completion cycle."""
+        self.requests += 1
+        active = [t for t in self._busy_until if t > now]
+        self._busy_until = active
+        start = now
+        if len(active) >= self.max_requests:
+            earliest = min(active)
+            self.queue_stall_cycles += earliest - now
+            start = earliest
+        completion = start + self.latency_cycles
+        self._busy_until.append(completion)
+        return completion
+
+    def stats(self):
+        return {
+            "requests": self.requests,
+            "queue_stall_cycles": self.queue_stall_cycles,
+        }

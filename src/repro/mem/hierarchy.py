@@ -1,0 +1,98 @@
+"""The chained memory hierarchy: L1 → L2 → LLC → DRAM.
+
+Each access walks down until it hits, accumulating the hit latency of
+every level it touches plus MSHR queueing at the level that missed.
+Fills happen on the way back up (inclusive hierarchy).  Instruction
+and data accesses share L2 and below but use separate L1s, exactly as
+in Table II.
+"""
+
+import enum
+
+from repro.common.config import MemoryHierarchyConfig
+from repro.mem.cache import CacheModel
+from repro.mem.dram import DramModel
+
+
+class AccessKind(enum.Enum):
+    IFETCH = "ifetch"
+    LOAD = "load"
+    STORE = "store"
+
+
+class MemoryHierarchy:
+    """Timing for one core's view of the memory system.
+
+    ``shared_l2`` lets several cores (the big core and the little
+    cores' instruction paths) sit behind one L2/LLC/DRAM instance, as
+    on the Rocket Chip SoC.
+    """
+
+    def __init__(self, config=None, shared_l2=None):
+        self.config = config if config is not None else MemoryHierarchyConfig()
+        self.l1i = CacheModel(self.config.l1i)
+        self.l1d = CacheModel(self.config.l1d)
+        if shared_l2 is not None:
+            self.l2 = shared_l2.l2
+            self.llc = shared_l2.llc
+            self.dram = shared_l2.dram
+        else:
+            self.l2 = CacheModel(self.config.l2)
+            self.llc = CacheModel(self.config.llc)
+            self.dram = DramModel(self.config.dram_latency,
+                                  self.config.dram_max_requests)
+
+    def access(self, addr, now, kind=AccessKind.LOAD):
+        """Latency in cycles of an access issued at cycle ``now``."""
+        l1 = self.l1i if kind is AccessKind.IFETCH else self.l1d
+        latency = l1.config.hit_latency
+        if l1.lookup(addr):
+            return latency
+        if kind is not AccessKind.IFETCH:
+            # Next-line prefetcher: on a demand miss, pull the adjacent
+            # line into the hierarchy so streaming patterns (libquantum,
+            # streamcluster) hide most of their miss latency, as the
+            # hardware prefetchers on BOOM-class cores do.  Pointer
+            # chasing gets no benefit, exactly as on real hardware.
+            line = l1.config.line_bytes
+            for ahead in (1, 2):
+                next_line = addr + ahead * line
+                self.llc.fill(next_line)
+                self.l2.fill(next_line)
+                l1.fill(next_line)
+        # L1 miss: walk down, charging each level's hit latency.
+        level_chain = [self.l2, self.llc]
+        for level in level_chain:
+            latency += level.config.hit_latency
+            if level.lookup(addr):
+                break
+            if level is self.llc:
+                # LLC miss: go to DRAM.
+                completion = self.dram.access(now + latency)
+                latency = completion - now
+        else:  # pragma: no cover - loop always breaks or hits DRAM path
+            pass
+        # Fill upward and charge MSHR queueing at the L1.
+        self.llc.fill(addr)
+        self.l2.fill(addr)
+        l1.fill(addr)
+        completion = l1.mshr_allocate(now, now + latency)
+        return completion - now
+
+    def load_latency(self, addr, now):
+        return self.access(addr, now, AccessKind.LOAD)
+
+    def store_latency(self, addr, now):
+        return self.access(addr, now, AccessKind.STORE)
+
+    def ifetch_latency(self, addr, now):
+        return self.access(addr, now, AccessKind.IFETCH)
+
+    def stats(self):
+        return {
+            "l1i": self.l1i.stats(),
+            "l1d": self.l1d.stats(),
+            "l2": self.l2.stats(),
+            "llc": self.llc.stats(),
+            "dram": self.dram.stats(),
+        }

@@ -1,0 +1,53 @@
+"""Operating-system model (Sec. IV).
+
+MEEK constrains kernel changes to the context-switch path: the big
+core's scheduler brackets every switch with ``b.check`` and hooks
+little cores to newly released threads (Algorithm 1); the little core's
+scheduler flips the MSU mode when a checker thread is scheduled
+(Algorithm 2); the checker thread itself is a small user-level loop
+built from the MEEK ISA.
+
+The package also reproduces the kernel-verification deadlock of Fig. 5:
+a checker thread that overtakes the main thread can page-fault on an
+instruction and need a lock the main thread holds, while the main
+thread is blocked on the finite LSL — a cycle.  Keeping the checker one
+instruction behind (plus I/O synchronization) makes the fault
+impossible and the system live.
+"""
+
+from repro.osmodel.coordinator import (
+    CheckedProcess,
+    CoordinatorResult,
+    FaultReport,
+    run_checked,
+)
+from repro.osmodel.locks import DeadlockDetector, Mutex
+from repro.osmodel.pagefault import PageFaultScenario, ScenarioResult
+from repro.osmodel.scheduler import MeekDevice, MeekScheduler
+from repro.osmodel.simulation import (
+    BackgroundThread,
+    MixedWorkloadSchedule,
+    validate_schedule,
+)
+from repro.osmodel.syscall import KernelInterface
+from repro.osmodel.thread import Task, TaskKind, TaskState
+
+__all__ = [
+    "BackgroundThread",
+    "CheckedProcess",
+    "CoordinatorResult",
+    "DeadlockDetector",
+    "FaultReport",
+    "run_checked",
+    "KernelInterface",
+    "MeekDevice",
+    "MeekScheduler",
+    "MixedWorkloadSchedule",
+    "Mutex",
+    "PageFaultScenario",
+    "ScenarioResult",
+    "Task",
+    "TaskKind",
+    "TaskState",
+    "validate_schedule",
+]

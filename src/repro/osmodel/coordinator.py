@@ -1,0 +1,157 @@
+"""The checker-thread programming model (Sec. IV-B).
+
+Programs are not transparently checked: their ``main`` is wrapped with
+*coordinator* constructor/destructor functions that (1) request checker
+resources from the OS before ``main`` runs, (2) spawn the checker
+threads of Algorithm 2, and (3) verify the checking outputs afterwards,
+calling fault-handling code if any segment failed.
+
+This module implements that user-level runtime against the kernel
+interface and a finished MEEK run: the constructor path issues the
+``b.hook`` syscalls, the Algorithm 2 checker loop consumes verdicts via
+``l.rslt``, and a detected error raises the interrupt path into the
+registered fault handler — exactly the control flow of Algorithm 2,
+lines 15-21.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.isa.meek import MODE_CHECK
+from repro.osmodel.syscall import KernelInterface
+from repro.osmodel.thread import Task, TaskKind
+
+
+@dataclass
+class FaultReport:
+    """What ``MEEK.ReportErr()`` hands to the fault handler."""
+
+    seg_id: int
+    detect_cycle: float
+    reason: str
+    little_core: int
+
+
+@dataclass
+class CoordinatorResult:
+    """Outcome of a coordinated (wrapped) execution."""
+
+    verified: bool
+    segments_checked: int
+    faults: list = field(default_factory=list)
+    handler_invocations: int = 0
+
+
+class CheckedProcess:
+    """A process whose ``main`` was wrapped by the MEEK coordinator.
+
+    Lifecycle::
+
+        process = CheckedProcess(kernel, checker_cores=(0, 1, 2, 3))
+        process.construct(big_core_id=0)   # before main: request cores
+        result = process.verify(meek_run)  # after main: l.rslt sweep
+        process.destruct()                 # release the little cores
+    """
+
+    def __init__(self, kernel, checker_cores, fault_handler=None,
+                 name="app"):
+        if not isinstance(kernel, KernelInterface):
+            raise SimulationError("coordinator needs the kernel interface")
+        self.kernel = kernel
+        self.checker_cores = tuple(checker_cores)
+        self.fault_handler = fault_handler
+        self.name = name
+        self.task = Task(name, kind=TaskKind.APPLICATION,
+                         checker_index=self.checker_cores)
+        self.checker_tasks = []
+        self._constructed = False
+        self._destructed = False
+
+    # -- constructor (runs before main) ---------------------------------
+
+    def construct(self, big_core_id=0):
+        """Request checker resources from the OS (syscalls: the b.*
+        operations are Priv 1) and spawn the checker threads."""
+        if self._constructed:
+            raise SimulationError(f"{self.name}: constructor ran twice")
+        for core in self.checker_cores:
+            self.kernel.syscall("b.hook", big_core_id, core)
+            self.kernel.syscall("l.mode", core, MODE_CHECK)
+            self.checker_tasks.append(
+                Task(f"{self.name}.checker{core}", kind=TaskKind.CHECKER,
+                     pinned_core=core))
+        self._constructed = True
+        return self.checker_tasks
+
+    # -- the Algorithm 2 verification sweep -------------------------------
+
+    def verify(self, meek_result):
+        """Consume every segment verdict through ``l.rslt``.
+
+        Mirrors Algorithm 2: for each completed checkpoint the checker
+        thread returns its result; a failing ``l.rslt`` triggers
+        ``MEEK.ReportErr()`` — modelled as the fault-handler callback.
+        """
+        if not self._constructed:
+            raise SimulationError(
+                f"{self.name}: verify before the constructor ran")
+        faults = []
+        invocations = 0
+        for verdict in meek_result.verdicts:
+            rslt_ok = verdict.ok  # the l.rslt read-back
+            if not rslt_ok:
+                segment = meek_result.segments[verdict.seg_id]
+                report = FaultReport(
+                    seg_id=verdict.seg_id,
+                    detect_cycle=verdict.detect_cycle,
+                    reason=verdict.reason,
+                    little_core=segment.assigned_core,
+                )
+                faults.append(report)
+                if self.fault_handler is not None:
+                    self.fault_handler(report)
+                    invocations += 1
+        return CoordinatorResult(
+            verified=not faults,
+            segments_checked=len(meek_result.verdicts),
+            faults=faults,
+            handler_invocations=invocations,
+        )
+
+    # -- destructor (runs after main) ----------------------------------------
+
+    def destruct(self):
+        """Release the reserved little cores back to the OS."""
+        if self._destructed:
+            raise SimulationError(f"{self.name}: destructor ran twice")
+        from repro.isa.meek import MODE_APPLICATION
+
+        for core in self.checker_cores:
+            self.kernel.syscall("l.mode", core, MODE_APPLICATION)
+        self._destructed = True
+
+
+def run_checked(program, kernel=None, config=None, fault_handler=None,
+                injector=None, max_instructions=None):
+    """End-to-end convenience: wrap, run under MEEK, verify, unwrap.
+
+    Returns ``(coordinator_result, meek_result)``.
+    """
+    from repro.common.config import default_meek_config
+    from repro.core.system import MeekSystem
+    from repro.osmodel.scheduler import MeekDevice
+
+    if config is None:
+        config = default_meek_config()
+    if kernel is None:
+        kernel = KernelInterface(MeekDevice(config.num_little_cores))
+    process = CheckedProcess(kernel,
+                             checker_cores=range(config.num_little_cores),
+                             fault_handler=fault_handler,
+                             name=program.name)
+    process.construct()
+    meek_result = MeekSystem(config, injector=injector).run(
+        program, max_instructions=max_instructions)
+    outcome = process.verify(meek_result)
+    process.destruct()
+    return outcome, meek_result

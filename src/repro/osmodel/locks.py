@@ -1,0 +1,92 @@
+"""Kernel locks and wait-for-cycle detection.
+
+The Fig. 5 deadlock is a classic wait-for cycle with an unusual edge:
+the finite LSL acts as a lock the checker holds and the big core needs.
+:class:`DeadlockDetector` finds cycles over explicit Mutex edges *and*
+externally registered waits (like that LSL edge).
+"""
+
+from repro.common.errors import SimulationError
+
+
+class Mutex:
+    """A kernel mutex with an owner and a FIFO wait queue."""
+
+    def __init__(self, name):
+        self.name = name
+        self.owner = None
+        self.waiters = []
+        self.acquisitions = 0
+
+    @property
+    def held(self):
+        return self.owner is not None
+
+    def try_acquire(self, task):
+        """Attempt to take the lock; returns ``True`` on success."""
+        if self.owner is task:
+            raise SimulationError(
+                f"{task.name} re-acquiring non-recursive mutex {self.name}")
+        if self.owner is None:
+            self.owner = task
+            self.acquisitions += 1
+            return True
+        if task not in self.waiters:
+            self.waiters.append(task)
+        return False
+
+    def release(self, task):
+        """Release and hand off to the oldest waiter (returns it)."""
+        if self.owner is not task:
+            raise SimulationError(
+                f"{task.name} releasing mutex {self.name} it does not hold "
+                f"(owner: {self.owner.name if self.owner else None})")
+        if self.waiters:
+            self.owner = self.waiters.pop(0)
+            self.acquisitions += 1
+            return self.owner
+        self.owner = None
+        return None
+
+    def __repr__(self):
+        owner = self.owner.name if self.owner else None
+        return f"Mutex({self.name!r}, owner={owner}, waiters={len(self.waiters)})"
+
+
+class DeadlockDetector:
+    """Wait-for graph over tasks."""
+
+    def __init__(self):
+        self._edges = {}  # waiting task -> (blocking task, reason)
+
+    def wait(self, waiter, holder, reason):
+        self._edges[waiter] = (holder, reason)
+
+    def clear(self, waiter):
+        self._edges.pop(waiter, None)
+
+    def find_cycle(self):
+        """Return the wait cycle as ``[(task, reason), ...]`` or None."""
+        for start in self._edges:
+            path = []
+            seen = set()
+            current = start
+            while current in self._edges:
+                holder, reason = self._edges[current]
+                path.append((current, reason))
+                if holder in seen or holder is start:
+                    if holder is not start:
+                        # Trim the path to the actual cycle.
+                        names = [t for t, _ in path]
+                        index = names.index(holder)
+                        path = path[index:]
+                    return path
+                seen.add(current)
+                current = holder
+        return None
+
+    def describe_cycle(self):
+        cycle = self.find_cycle()
+        if cycle is None:
+            return None
+        return " -> ".join(f"{task.name}[{reason}]" for task, reason in cycle)

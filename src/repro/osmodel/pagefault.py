@@ -1,0 +1,159 @@
+"""The Fig. 5 page-fault deadlock, and its fix.
+
+The hazard (Sec. IV-C): the finite LSL makes the checker a lock the
+big core needs (a full log blocks the main thread's commits).  If the
+checker can *overtake* the main thread, it may instruction-fault on a
+page not yet resident and its page-fault handling needs a kernel lock
+— which the main thread may hold.  Then:
+
+* main thread: holds ``page_lock``, blocked pushing into a full LSL;
+* checker: blocked on ``page_lock``, therefore not consuming the LSL.
+
+A cycle (Fig. 5a).  The fix (Fig. 5b): keep the checker at least one
+instruction behind the main thread — the main thread always reaches a
+faulting instruction first, so by the time the checker replays it the
+page is resident and the checker never takes a lock.
+
+:class:`PageFaultScenario` plays this out as a deterministic tick-level
+simulation with a real bounded log and a real mutex; buggy mode
+genuinely deadlocks (detected through the wait-for cycle), fixed mode
+genuinely completes.
+"""
+
+from repro.common.errors import DeadlockError
+from repro.osmodel.locks import DeadlockDetector, Mutex
+from repro.osmodel.thread import Task, TaskKind
+
+
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    def __init__(self, deadlocked, cycle_description, ticks, main_progress,
+                 checker_progress, timeline):
+        self.deadlocked = deadlocked
+        self.cycle_description = cycle_description
+        self.ticks = ticks
+        self.main_progress = main_progress
+        self.checker_progress = checker_progress
+        self.timeline = timeline
+
+    def __repr__(self):
+        status = ("DEADLOCK: " + self.cycle_description if self.deadlocked
+                  else "completed")
+        return (f"ScenarioResult({status}, ticks={self.ticks}, "
+                f"main={self.main_progress}, checker={self.checker_progress})")
+
+
+class PageFaultScenario:
+    """Deterministic reproduction of Fig. 5.
+
+    Parameters model the paper's timeline: the main thread holds a
+    kernel lock across a window of instructions (a syscall touching the
+    page tables), pages become resident only once the main thread first
+    executes them, and the checker replays at double speed so it will
+    catch up and — unless held one instruction behind — overtake.
+    """
+
+    def __init__(self, one_instruction_behind, total_instructions=120,
+                 lsl_capacity=8, lock_window=(40, 70), checker_speed=2):
+        self.one_behind = one_instruction_behind
+        self.total = total_instructions
+        self.lsl_capacity = lsl_capacity
+        self.lock_window = lock_window
+        self.checker_speed = checker_speed
+
+    def run(self, max_ticks=10_000, raise_on_deadlock=False):
+        main = Task("main", kind=TaskKind.APPLICATION)
+        checker = Task("main.checker0", kind=TaskKind.CHECKER, pinned_core=1)
+        page_lock = Mutex("page_lock")
+        detector = DeadlockDetector()
+        timeline = []
+
+        main_progress = 0          # instructions committed by the big core
+        checker_progress = 0       # instructions replayed by the checker
+        resident = set()           # instructions whose pages are resident
+        log_entries = 0            # outstanding LSL entries
+        checker_blocked_on_lock = False
+        lock_acquired = False
+
+        for tick in range(1, max_ticks + 1):
+            # --- main thread (big core), one instruction per tick -----
+            if main_progress < self.total:
+                start, end = self.lock_window
+                if main_progress == start and not lock_acquired:
+                    # Kernel operation: take the page-table lock.
+                    if page_lock.try_acquire(main):
+                        lock_acquired = True
+                        timeline.append((tick, "main", "acquire page_lock"))
+                if log_entries >= self.lsl_capacity:
+                    # LSL full: the checker is a lock the big core needs.
+                    detector.wait(main, checker, "LSL full")
+                    timeline.append((tick, "main", "blocked on full LSL"))
+                else:
+                    detector.clear(main)
+                    resident.add(main_progress)
+                    main_progress += 1
+                    log_entries += 1
+                    if lock_acquired and main_progress >= end:
+                        released_to = page_lock.release(main)
+                        lock_acquired = False
+                        timeline.append((tick, "main", "release page_lock"))
+                        if released_to is checker:
+                            checker_blocked_on_lock = False
+                            detector.clear(checker)
+
+            # --- checker thread (little core) --------------------------
+            for _ in range(self.checker_speed):
+                if checker_blocked_on_lock:
+                    break
+                if checker_progress >= self.total:
+                    break
+                if main_progress >= self.total:
+                    # Main thread finished: the segment is closed and
+                    # the checker may drain to the final RCP.
+                    limit = self.total
+                elif self.one_behind:
+                    limit = main_progress - 1
+                else:
+                    limit = main_progress + 1  # may overtake
+                if checker_progress >= limit:
+                    break  # nothing more to replay yet
+                if checker_progress >= main_progress:
+                    # Overtake: replaying an instruction the main thread
+                    # has not reached — its page is not resident.
+                    if checker_progress not in resident:
+                        if page_lock.try_acquire(checker):
+                            # Handle the fault ourselves; page it in.
+                            resident.add(checker_progress)
+                            page_lock.release(checker)
+                            timeline.append((tick, "checker",
+                                             "self-handled ifetch fault"))
+                        else:
+                            checker_blocked_on_lock = True
+                            detector.wait(checker, page_lock.owner,
+                                          "page_lock")
+                            timeline.append((tick, "checker",
+                                             "FAULT: blocked on page_lock"))
+                            break
+                if log_entries > 0:
+                    log_entries -= 1
+                checker_progress += 1
+
+            if (main_progress >= self.total
+                    and checker_progress >= self.total):
+                return ScenarioResult(False, None, tick, main_progress,
+                                      checker_progress, timeline)
+
+            cycle = detector.find_cycle()
+            if cycle is not None:
+                description = detector.describe_cycle()
+                timeline.append((tick, "kernel",
+                                 f"deadlock detected: {description}"))
+                if raise_on_deadlock:
+                    raise DeadlockError(description)
+                return ScenarioResult(True, description, tick, main_progress,
+                                      checker_progress, timeline)
+
+        return ScenarioResult(True, "no progress within tick budget",
+                              max_ticks, main_progress, checker_progress,
+                              timeline)

@@ -1,0 +1,140 @@
+"""Context switching with MEEK hooks (Algorithms 1 and 2).
+
+:class:`MeekScheduler` implements the two modified context-switch
+functions line-for-line.  The hardware side is abstracted behind
+:class:`MeekDevice`, which records every MEEK-ISA operation in order so
+tests can assert exact orderings (e.g. ``b.check(DISABLE)`` strictly
+before interrupts are disabled, re-enable strictly last before the
+return jump).
+"""
+
+from repro.common.errors import SimulationError
+from repro.isa.meek import CHECK_DISABLE, CHECK_ENABLE, MODE_APPLICATION, MODE_CHECK
+from repro.osmodel.thread import Task, TaskKind, TaskState
+
+
+class MeekDevice:
+    """The kernel's view of the MEEK hardware (DEU + MSUs)."""
+
+    def __init__(self, num_little_cores=4):
+        self.num_little_cores = num_little_cores
+        self.checking_enabled = True
+        self.hooks = {}          # little core -> big core id
+        self.modes = {core: MODE_APPLICATION
+                      for core in range(num_little_cores)}
+        self.op_log = []         # (op, args) in issue order
+
+    def b_check(self, enable):
+        self.op_log.append(("b.check", enable))
+        self.checking_enabled = enable == CHECK_ENABLE
+
+    def b_hook(self, big_core, little_core):
+        if not 0 <= little_core < self.num_little_cores:
+            raise SimulationError(f"b.hook: no little core {little_core}")
+        self.op_log.append(("b.hook", big_core, little_core))
+        self.hooks[little_core] = big_core
+
+    def l_mode(self, little_core, mode):
+        if not 0 <= little_core < self.num_little_cores:
+            raise SimulationError(f"l.mode: no little core {little_core}")
+        self.op_log.append(("l.mode", little_core, mode))
+        self.modes[little_core] = mode
+
+    def ops_of(self, name):
+        return [entry for entry in self.op_log if entry[0] == name]
+
+
+class MeekScheduler:
+    """A minimal kernel scheduler carrying the Algorithm 1/2 changes."""
+
+    def __init__(self, device, big_core_id=0):
+        self.device = device
+        self.big_core_id = big_core_id
+        self.run_queue = []
+        self.current = {"big": None}
+        self.interrupts_enabled = True
+        self.trace = []
+
+    # -- run queue ---------------------------------------------------------
+
+    def submit(self, task):
+        self.run_queue.append(task)
+
+    def _find_next(self):
+        """Kernel.Find_next(): oldest READY task (round robin)."""
+        for index, task in enumerate(self.run_queue):
+            if task.state is TaskState.READY:
+                return self.run_queue.pop(index)
+        return None
+
+    # -- Algorithm 1: big core's context switch -------------------------------
+
+    def context_switch_big(self, current):
+        """Switch the big core from ``current`` to the next task.
+
+        Blue lines of Algorithm 1: checking is disabled across the
+        switch, and a newly released task gets its checker little cores
+        hooked before first dispatch.
+        """
+        self.device.b_check(CHECK_DISABLE)                 # line 3
+        self.interrupts_enabled = False                    # line 4
+        if current is not None:
+            current.save_context(current.context)          # line 7
+            if current.state is TaskState.RUNNING:
+                current.state = TaskState.READY
+                self.run_queue.append(current)
+        next_task = self._find_next()                      # line 8
+        if next_task is None:
+            next_task = current
+        if next_task is not None and next_task.new_release:
+            for little_core in next_task.checker_index:    # lines 10-13
+                self.device.b_hook(self.big_core_id, little_core)
+            next_task.new_release = False                  # Context.init
+        elif next_task is not None:
+            next_task.restore_context()                    # line 16
+        if next_task is not None:
+            next_task.state = TaskState.RUNNING
+            next_task.dispatch_count += 1
+        self.current["big"] = next_task                    # line 18
+        self.interrupts_enabled = True                     # line 19
+        self.device.b_check(CHECK_ENABLE)                  # line 20
+        self.trace.append(("big", next_task.name if next_task else None))
+        return next_task                                   # line 21: jalr
+
+    # -- Algorithm 2: little core's context switch ------------------------------
+
+    def context_switch_little(self, core_id, current, next_task):
+        """Switch little core ``core_id`` to ``next_task``.
+
+        The only modification (Algorithm 2, lines 3-8): default to
+        application mode, and flip to check mode when the incoming task
+        is a checker thread.
+        """
+        self.device.l_mode(core_id, MODE_APPLICATION)      # line 3
+        if current is not None and current.state is TaskState.RUNNING:
+            current.save_context(current.context)
+            current.state = TaskState.READY
+        if next_task is not None:
+            if next_task.is_checker_thread:                # lines 6-8
+                if (next_task.pinned_core is not None
+                        and next_task.pinned_core != core_id):
+                    raise SimulationError(
+                        f"checker {next_task.name} pinned to core "
+                        f"{next_task.pinned_core}, dispatched on {core_id}")
+                self.device.l_mode(core_id, MODE_CHECK)
+            next_task.state = TaskState.RUNNING
+            next_task.dispatch_count += 1
+        self.trace.append((f"little{core_id}",
+                           next_task.name if next_task else None))
+        return next_task                                   # line 9: jalr
+
+
+def make_checked_application(name, checker_cores):
+    """An application task whose main() was wrapped by the constructor
+    function (Sec. IV-B): checker threads are created with it, one per
+    reserved little core."""
+    app = Task(name, kind=TaskKind.APPLICATION, checker_index=checker_cores)
+    checkers = [Task(f"{name}.checker{core}", kind=TaskKind.CHECKER,
+                     pinned_core=core)
+                for core in checker_cores]
+    return app, checkers

@@ -1,0 +1,164 @@
+"""Mixed-workload scheduling: checkers and application threads sharing
+the little cores.
+
+Fig. 1 of the paper shows the point of OS-controlled scheduling: while
+little cores verify the big core's segments, the *same* cores run other
+threads in the gaps ("HW for App. / HW for Chk." alternating on one
+core).  The OS can do this because verification occupancy is visible to
+the scheduler: a core is reserved for its checker thread only from SRCP
+arrival to verdict.
+
+:class:`MixedWorkloadSchedule` takes a finished MEEK run, extracts each
+little core's verification busy intervals, and fills the idle gaps with
+background application threads (Algorithm 2 context switches, with the
+``l.mode`` flip charged on every boundary).  The result quantifies how
+much non-checking work the little cores still deliver — the utilization
+argument for heterogeneous detection over dedicated lockstep cores.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+
+#: Big-core cycles charged per little-core context switch (Algorithm 2:
+#: save/restore plus the l.mode flip).
+CONTEXT_SWITCH_CYCLES = 100
+
+
+@dataclass
+class BackgroundThread:
+    """A non-checked thread wanting time on a little core."""
+
+    name: str
+    required_cycles: int
+    completed_cycles: int = 0
+    finish_cycle: float = None
+    slices: list = field(default_factory=list)  # (core, start, end)
+
+    @property
+    def done(self):
+        return self.completed_cycles >= self.required_cycles
+
+
+class MixedWorkloadSchedule:
+    """Fill little-core idle gaps with background threads."""
+
+    def __init__(self, meek_result, horizon=None):
+        self.result = meek_result
+        self.num_cores = len(meek_result.controller.pipelines)
+        self.horizon = horizon if horizon is not None else \
+            meek_result.drain_cycle
+        self._busy = self._verification_intervals()
+
+    def _verification_intervals(self):
+        """Per-core sorted (start, end) verification reservations."""
+        controller = self.result.controller
+        busy = {core: [] for core in range(self.num_cores)}
+        for seg in controller.segments:
+            checker = controller.checkers.get(seg.seg_id)
+            if checker is None or checker.verdict is None:
+                continue
+            start = checker.start_cycle
+            end = checker.verdict.finish_cycle
+            if end > start:
+                busy[seg.assigned_core].append((start, end))
+        for intervals in busy.values():
+            intervals.sort()
+        return busy
+
+    def idle_gaps(self, core):
+        """Idle (start, end) windows on ``core`` up to the horizon."""
+        gaps = []
+        cursor = 0.0
+        for start, end in self._busy[core]:
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        if cursor < self.horizon:
+            gaps.append((cursor, self.horizon))
+        return gaps
+
+    def verification_utilization(self, core):
+        """Fraction of the horizon ``core`` spends verifying."""
+        if self.horizon <= 0:
+            return 0.0
+        busy = sum(end - start for start, end in self._busy[core])
+        return min(1.0, busy / self.horizon)
+
+    def schedule(self, threads):
+        """Greedy gap-filling of ``threads`` onto the little cores.
+
+        Each occupied gap pays the Algorithm 2 context-switch cost on
+        entry (the checker thread must be restored before the next
+        segment, so leaving a gap costs nothing extra).  Returns the
+        threads, with slices and finish times filled in.
+        """
+        # Collect all gaps across cores, earliest first.
+        all_gaps = []
+        for core in range(self.num_cores):
+            for start, end in self.idle_gaps(core):
+                all_gaps.append((start, end, core))
+        all_gaps.sort()
+
+        pending = list(threads)
+        for start, end, core in all_gaps:
+            cursor = start
+            while pending and cursor + CONTEXT_SWITCH_CYCLES < end:
+                thread = pending[0]
+                if thread.done:
+                    pending.pop(0)
+                    continue
+                cursor += CONTEXT_SWITCH_CYCLES
+                needed = thread.required_cycles - thread.completed_cycles
+                slice_end = min(end, cursor + needed)
+                run = slice_end - cursor
+                if run <= 0:
+                    break
+                thread.completed_cycles += run
+                thread.slices.append((core, cursor, slice_end))
+                cursor = slice_end
+                if thread.done:
+                    thread.finish_cycle = slice_end
+                    pending.pop(0)
+        return threads
+
+    def report(self, threads):
+        finished = [t for t in threads if t.done]
+        background_cycles = sum(t.completed_cycles for t in threads)
+        return {
+            "horizon": self.horizon,
+            "threads_finished": len(finished),
+            "threads_total": len(threads),
+            "background_cycles": background_cycles,
+            "verification_utilization": {
+                core: self.verification_utilization(core)
+                for core in range(self.num_cores)},
+            "background_utilization": (
+                background_cycles / (self.horizon * self.num_cores)
+                if self.horizon else 0.0),
+        }
+
+
+def overlap(slice_a, slice_b):
+    """Whether two (core, start, end) slices overlap on the same core."""
+    core_a, start_a, end_a = slice_a
+    core_b, start_b, end_b = slice_b
+    return core_a == core_b and start_a < end_b and start_b < end_a
+
+
+def validate_schedule(schedule, threads):
+    """Invariant checks: no slice overlaps another slice or any
+    verification reservation.  Raises :class:`SimulationError`."""
+    slices = [s for t in threads for s in t.slices]
+    for i, a in enumerate(slices):
+        for b in slices[i + 1:]:
+            if overlap(a, b):
+                raise SimulationError(f"background slices overlap: {a}, {b}")
+    for core, intervals in schedule._busy.items():
+        for start, end in intervals:
+            for s in slices:
+                if overlap((core, start, end), s):
+                    raise SimulationError(
+                        f"slice {s} overlaps verification ({core}, "
+                        f"{start}, {end})")
+    return True

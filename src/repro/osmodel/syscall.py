@@ -1,0 +1,52 @@
+"""Syscall layer for privileged MEEK operations.
+
+``b.hook``, ``b.check`` and ``l.mode`` are Priv-1 instructions
+(Table I): user code must enter the kernel to issue them, because they
+can cause contention over little cores or erroneous memory accesses.
+:class:`KernelInterface` is the thin syscall surface the checker-thread
+runtime and the scheduler use; it enforces the privilege boundary the
+ISA defines.
+"""
+
+from repro.common.errors import PrivilegeError
+from repro.isa.meek import privilege_level
+
+
+class KernelInterface:
+    """Mediates MEEK-ISA access for user and kernel contexts."""
+
+    def __init__(self, device):
+        self.device = device
+        self.syscalls = 0
+
+    def _require_kernel(self, op, kernel_mode):
+        if privilege_level(op) == 1 and not kernel_mode:
+            raise PrivilegeError(
+                f"{op} requires kernel mode; issue it via syscall")
+
+    def b_check(self, enable, kernel_mode=False):
+        self._require_kernel("b.check", kernel_mode)
+        self.device.b_check(enable)
+
+    def b_hook(self, big_core, little_core, kernel_mode=False):
+        self._require_kernel("b.hook", kernel_mode)
+        self.device.b_hook(big_core, little_core)
+
+    def l_mode(self, little_core, mode, kernel_mode=False):
+        self._require_kernel("l.mode", kernel_mode)
+        self.device.l_mode(little_core, mode)
+
+    # User-mode (Priv 0) operations need no mediation; they are listed
+    # here for completeness of the programming model.
+    def syscall(self, op, *args):
+        """Enter the kernel and issue a privileged op on behalf of the
+        caller (the OS validates the request first)."""
+        self.syscalls += 1
+        handler = {
+            "b.check": self.b_check,
+            "b.hook": self.b_hook,
+            "l.mode": self.l_mode,
+        }.get(op)
+        if handler is None:
+            raise PrivilegeError(f"unknown privileged operation {op!r}")
+        return handler(*args, kernel_mode=True)

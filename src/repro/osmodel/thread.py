@@ -1,0 +1,76 @@
+"""Kernel task model.
+
+Mirrors the fields Algorithm 1 consults: a task knows whether it is a
+*new release* (first dispatch) and which little cores its checker
+threads should be hooked to (``checker_index``).  Checker threads are
+ordinary tasks of kind ``CHECKER`` pinned to a little core — they
+cannot migrate before re-execution completes (Sec. IV-B).
+"""
+
+import enum
+
+from repro.common.errors import SimulationError
+
+
+class TaskKind(enum.Enum):
+    APPLICATION = "application"
+    CHECKER = "checker"
+    OTHER = "other"
+    KERNEL = "kernel"
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class Task:
+    """One schedulable thread."""
+
+    _NEXT_TID = 1
+
+    def __init__(self, name, kind=TaskKind.OTHER, checker_index=(),
+                 pinned_core=None, body=None):
+        self.tid = Task._NEXT_TID
+        Task._NEXT_TID += 1
+        self.name = name
+        self.kind = kind
+        self.state = TaskState.READY
+        self.new_release = True
+        #: Little cores reserved for this task's checker threads
+        #: (Algorithm 1, lines 10-13).
+        self.checker_index = tuple(checker_index)
+        #: Checker threads cannot migrate off their little core.
+        self.pinned_core = pinned_core
+        #: Saved context (opaque to the scheduler model).
+        self.context = {"pc": 0}
+        #: Optional behaviour callable used by scenario simulations.
+        self.body = body
+        self.dispatch_count = 0
+        self.blocked_on = None
+
+    @property
+    def is_checker_thread(self):
+        return self.kind is TaskKind.CHECKER
+
+    def save_context(self, context):
+        self.context = dict(context)
+
+    def restore_context(self):
+        if self.context is None:
+            raise SimulationError(f"task {self.name}: no saved context")
+        return dict(self.context)
+
+    def block(self, resource):
+        self.state = TaskState.BLOCKED
+        self.blocked_on = resource
+
+    def unblock(self):
+        self.state = TaskState.READY
+        self.blocked_on = None
+
+    def __repr__(self):
+        return (f"Task({self.name!r}, tid={self.tid}, {self.kind.value}, "
+                f"{self.state.value})")

@@ -1,0 +1,34 @@
+"""Synthetic workloads standing in for SPECint 2006 and PARSEC 3.0.
+
+We cannot ship SPEC/PARSEC binaries (licensing, and the model executes
+a custom RV64 subset), so each benchmark is represented by a
+:class:`~repro.workloads.profiles.WorkloadProfile` — an instruction
+mix, branch behaviour, working-set size, access pattern and code
+footprint chosen from published characterizations — and a deterministic
+generator that expands the profile into a real program for the
+simulator.  What MEEK's evaluation measures (checker keep-up vs
+instruction mix, forwarding bandwidth vs memory intensity, divider
+pressure in swaptions, code-footprint pressure on the little I-cache)
+depends exactly on these properties, which is why the substitution
+preserves the result shapes (see DESIGN.md).
+"""
+
+from repro.workloads.generator import generate_program
+from repro.workloads.mixes import InstructionMix
+from repro.workloads.profiles import (
+    PARSEC_PROFILES,
+    SPEC_PROFILES,
+    WorkloadProfile,
+    all_profiles,
+    get_profile,
+)
+
+__all__ = [
+    "InstructionMix",
+    "PARSEC_PROFILES",
+    "SPEC_PROFILES",
+    "WorkloadProfile",
+    "all_profiles",
+    "generate_program",
+    "get_profile",
+]

@@ -1,0 +1,337 @@
+"""Synthetic program generator.
+
+Expands a :class:`~repro.workloads.profiles.WorkloadProfile` into a
+real assembly program: an outer loop whose body realizes the profile's
+instruction mix, memory behaviour and branch behaviour, plus a few
+callable helper functions (exercising the RAS) and a data image.
+
+Design notes:
+
+* **Memory access** walks a power-of-two working set through a block
+  pointer (``x26``) refreshed every few accesses, with 12-bit signed
+  offsets for the individual loads/stores.  Pointer-chasing profiles
+  derive the next block address from loaded data, serializing the
+  address chain exactly like mcf's linked structures.
+* **Unpredictable branches** test bits of a register-resident LCG
+  (``x27``) — a pseudo-random sequence a TAGE predictor cannot learn —
+  while predictable branches test loop-counter bits it learns quickly.
+* **Divisions** guard the divisor with ``ori 1`` so semantics stay
+  total; swaptions' profile emits enough ``div``/``fdiv.d``/``fsqrt.d``
+  to recreate its little-core divider bottleneck.
+* Registers ``x28–x31`` and ``f28–f31`` are never touched: they are
+  reserved as scratch for the Nzdc duplication transform
+  (:mod:`repro.baselines.nzdc`).
+
+Everything is deterministic in ``(profile, seed)``.
+"""
+
+from repro.common.prng import DeterministicRng
+from repro.isa.assembler import assemble
+from repro.isa.program import DataImage
+
+_BASE_ADDRESS = 0x100000
+_INT_POOL = list(range(5, 16))          # x5..x15
+_FP_POOL = list(range(0, 8))            # f0..f7
+_FP_DIVISOR = 8                         # f8: safe non-zero divisor
+_FP_ONE = 10                            # f10
+_LCG_MULT_REG = 25                      # x25
+_LCG_STATE_REG = 27                     # x27
+_BLOCK_PTR = 26                         # x26
+_SCRATCH = 24                           # x24
+_FUNC_SCRATCH = 16                      # x16
+_MAX_OFFSET = 2040
+_FUNC_COUNT = 4
+_FUNC_BODY = 5
+
+_ALU_RR = ["add", "sub", "xor", "or", "and"]
+_ALU_RI = ["addi", "xori", "ori", "andi"]
+_FP_RR = ["fadd.d", "fmul.d", "fsub.d"]
+
+
+class _BodyBuilder:
+    """Accumulates the loop body for one profile."""
+
+    def __init__(self, profile, rng):
+        self.profile = profile
+        self.rng = rng
+        self.lines = []
+        self.counts = {kind: 0 for kind, _ in profile.mix.as_weights()}
+        self.emitted = 0
+        self._last_int = _INT_POOL[0]
+        self._last_fp = _FP_POOL[0]
+        self._skip_label = 0
+        self._mem_ops = 0
+        self._branch_sites = 0
+        # Locality shapes the per-block access window and how often the
+        # block pointer advances through the working set.
+        window = 192 + int((1.0 - profile.locality) * (_MAX_OFFSET - 192))
+        offset_cap = min(window, profile.working_set_kb * 1024 - 8)
+        self._offsets = [8 * i for i in range(0, offset_cap // 8 + 1)]
+        self._refresh_period = 3 + int(profile.locality * 9)
+        self._fp_loads = profile.mix.fp_fraction > 0.10
+        # Streaming profiles walk their block sequentially (spatial
+        # locality a next-line prefetcher can follow); pointer chasers
+        # scatter within the block.
+        self._sequential = not profile.pointer_chase
+        self._next_offset = 0
+
+    # -- small helpers ----------------------------------------------------
+
+    def _emit(self, text, kind):
+        self.lines.append(f"    {text}")
+        if kind is not None:
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.emitted += 1
+
+    def _label(self, name):
+        self.lines.append(f"{name}:")
+
+    def _pick_src(self):
+        if self.rng.bernoulli(self.profile.ilp_chain):
+            return self._last_int
+        return self.rng.choice(_INT_POOL)
+
+    def _pick_dst(self):
+        dst = self.rng.choice(_INT_POOL)
+        self._last_int = dst
+        return dst
+
+    def _pick_fp_src(self):
+        if self.rng.bernoulli(self.profile.ilp_chain):
+            return self._last_fp
+        return self.rng.choice(_FP_POOL)
+
+    def _pick_fp_dst(self):
+        dst = self.rng.choice(_FP_POOL)
+        self._last_fp = dst
+        return dst
+
+    def _offset(self):
+        if self._sequential:
+            offset = self._offsets[self._next_offset % len(self._offsets)]
+            self._next_offset += 1
+            return offset
+        return self.rng.choice(self._offsets)
+
+    # -- templates -----------------------------------------------------------
+
+    def emit_alu(self):
+        if self.rng.bernoulli(0.35):
+            op = self.rng.choice(_ALU_RI)
+            imm = self.rng.randint(-512, 511)
+            if op == "andi":
+                imm = self.rng.randint(0, 511)
+            self._emit(f"{op} x{self._pick_dst()}, x{self._pick_src()}, {imm}",
+                       "alu")
+        elif self.rng.bernoulli(0.15):
+            op = self.rng.choice(["slli", "srli", "srai"])
+            shamt = self.rng.randint(1, 31)
+            self._emit(f"{op} x{self._pick_dst()}, x{self._pick_src()}, "
+                       f"{shamt}", "alu")
+        else:
+            op = self.rng.choice(_ALU_RR)
+            self._emit(f"{op} x{self._pick_dst()}, x{self._pick_src()}, "
+                       f"x{self.rng.choice(_INT_POOL)}", "alu")
+
+    def emit_mul(self):
+        self._emit(f"mul x{self._pick_dst()}, x{self._pick_src()}, "
+                   f"x{self.rng.choice(_INT_POOL)}", "mul")
+
+    def emit_div(self):
+        # Guard the divisor so division never traps semantics.
+        src = self._pick_src()
+        self._emit(f"ori x{_SCRATCH}, x{src}, 1", "alu")
+        op = self.rng.choice(["div", "divu", "rem"])
+        self._emit(f"{op} x{self._pick_dst()}, "
+                   f"x{self.rng.choice(_INT_POOL)}, x{_SCRATCH}", "div")
+
+    def emit_fp(self):
+        op = self.rng.choice(_FP_RR)
+        self._emit(f"{op} f{self._pick_fp_dst()}, f{self._pick_fp_src()}, "
+                   f"f{self.rng.choice(_FP_POOL)}", "fp")
+
+    def emit_fpdiv(self):
+        if self.rng.bernoulli(0.25):
+            self._emit(f"fsqrt.d f{self._pick_fp_dst()}, "
+                       f"f{self._pick_fp_src()}", "fpdiv")
+        else:
+            self._emit(f"fdiv.d f{self._pick_fp_dst()}, "
+                       f"f{self._pick_fp_src()}, f{_FP_DIVISOR}", "fpdiv")
+
+    def _refresh_block_pointer(self):
+        stride_bytes = 8 * self.profile.stride_words * 4
+        self._emit(f"addi x21, x21, {min(stride_bytes, 2047)}", "alu")
+        self._emit("and x21, x21, x22", "alu")
+        self._emit("add x26, x20, x21", "alu")
+
+    def emit_load(self):
+        self._mem_ops += 1
+        if self._mem_ops % self._refresh_period == 0:
+            self._refresh_block_pointer()
+        if self.profile.pointer_chase and self._mem_ops % 2 == 0:
+            # Chase: the next block address depends on the loaded value.
+            self._emit(f"ld x{_SCRATCH}, {self._offset()}(x{_BLOCK_PTR})",
+                       "load")
+            self._emit(f"add x{_SCRATCH}, x{_SCRATCH}, x{_LCG_STATE_REG}",
+                       "alu")
+            self._emit(f"and x{_SCRATCH}, x{_SCRATCH}, x22", "alu")
+            self._emit(f"add x{_BLOCK_PTR}, x20, x{_SCRATCH}", "alu")
+            return
+        if self._fp_loads and self.rng.bernoulli(0.4):
+            self._emit(f"fld f{self._pick_fp_dst()}, "
+                       f"{self._offset()}(x{_BLOCK_PTR})", "load")
+        else:
+            self._emit(f"ld x{self._pick_dst()}, "
+                       f"{self._offset()}(x{_BLOCK_PTR})", "load")
+
+    def emit_store(self):
+        self._mem_ops += 1
+        if self._mem_ops % self._refresh_period == 0:
+            self._refresh_block_pointer()
+        if self._fp_loads and self.rng.bernoulli(0.3):
+            self._emit(f"fsd f{self._pick_fp_src()}, "
+                       f"{self._offset()}(x{_BLOCK_PTR})", "store")
+        else:
+            op = self.rng.choice(["sd", "sd", "sd", "sw"])
+            self._emit(f"{op} x{self._pick_src()}, "
+                       f"{self._offset()}(x{_BLOCK_PTR})", "store")
+
+    def emit_branch(self):
+        self._branch_sites += 1
+        label = f"skip_{self._skip_label}"
+        self._skip_label += 1
+        if self._branch_sites % 8 == 0:
+            # Re-seed the register LCG so bit patterns keep moving.
+            self._emit(f"mul x{_LCG_STATE_REG}, x{_LCG_STATE_REG}, "
+                       f"x{_LCG_MULT_REG}", "mul")
+            self._emit(f"addi x{_LCG_STATE_REG}, x{_LCG_STATE_REG}, 1013",
+                       "alu")
+        if self.rng.bernoulli(self.profile.branch_randomness):
+            # Unpredictable: tests a pseudo-random LCG bit.
+            bit = self.rng.randint(3, 23)
+            self._emit(f"srli x{_SCRATCH}, x{_LCG_STATE_REG}, {bit}", "alu")
+            self._emit(f"andi x{_SCRATCH}, x{_SCRATCH}, 1", "alu")
+            self._emit(f"bne x{_SCRATCH}, x0, {label}", "branch")
+        elif self.rng.bernoulli(0.75):
+            # Heavily biased site (the common case in real code): the
+            # bimodal base predictor learns it after one visit.
+            op = self.rng.choice(["bne", "beq"])
+            self._emit(f"{op} x18, x19, {label}", "branch")
+        else:
+            # Short repeating pattern on loop-counter bits.
+            mask = self.rng.choice([1, 3, 7])
+            self._emit(f"andi x{_SCRATCH}, x18, {mask}", "alu")
+            self._emit(f"bne x{_SCRATCH}, x0, {label}", "branch")
+        self.emit_alu()  # the skipped shadow
+        self._label(label)
+
+    def emit_call(self):
+        index = self.rng.randint(0, _FUNC_COUNT - 1)
+        self._emit(f"jal x1, helper_{index}", "call")
+
+    def emit_csr(self):
+        self._emit(f"csrrs x{self._pick_dst()}, 0x300, x0", "csr")
+
+    # -- body assembly -----------------------------------------------------
+
+    def build(self):
+        """Emit ~body_instructions lines honouring the mix."""
+        mix = self.profile.mix
+        body = self.profile.body_instructions
+        targets = {kind: weight * body for kind, weight in mix.as_weights()}
+        emitters = {
+            "alu": self.emit_alu, "mul": self.emit_mul,
+            "div": self.emit_div, "fp": self.emit_fp,
+            "fpdiv": self.emit_fpdiv, "load": self.emit_load,
+            "store": self.emit_store, "branch": self.emit_branch,
+            "call": self.emit_call, "csr": self.emit_csr,
+        }
+        while self.emitted < body:
+            remaining = [(kind, targets[kind] - self.counts[kind])
+                         for kind in targets]
+            candidates = [(k, r) for k, r in remaining if r > 0]
+            if not candidates:
+                self.emit_alu()
+                continue
+            kinds = [k for k, _ in candidates]
+            weights = [r for _, r in candidates]
+            kind = self.rng.choices(kinds, weights=weights)[0]
+            emitters[kind]()
+        return self.lines
+
+
+def _prologue(profile, iterations, rng):
+    ws_bytes = profile.working_set_kb * 1024
+    lines = [
+        f"    li x20, {_BASE_ADDRESS}",
+        "    li x21, 0",
+        # Mask keeps the offset inside the working set *and* 8-aligned
+        # (the working set is a power of two, so ws-8 is ...111000).
+        f"    li x22, {ws_bytes - 8}",
+        "    add x26, x20, x21",
+        "    li x18, 0",
+        f"    li x19, {iterations}",
+        "    li x25, 0x41C64E6D",
+        f"    li x27, {rng.randint(1, 0x7FFFFFFF)}",
+    ]
+    # FP constants: f0..f7 from small integers, f8 a safe divisor,
+    # f10 = 1.0.
+    for reg in _FP_POOL:
+        value = rng.randint(1, 97)
+        lines.append(f"    li x{_SCRATCH}, {value}")
+        lines.append(f"    fcvt.d.l f{reg}, x{_SCRATCH}")
+    lines.append(f"    li x{_SCRATCH}, 3")
+    lines.append(f"    fcvt.d.l f{_FP_DIVISOR}, x{_SCRATCH}")
+    lines.append(f"    li x{_SCRATCH}, 1")
+    lines.append(f"    fcvt.d.l f{_FP_ONE}, x{_SCRATCH}")
+    return lines
+
+
+def _functions(rng):
+    lines = []
+    for index in range(_FUNC_COUNT):
+        lines.append(f"helper_{index}:")
+        for _ in range(_FUNC_BODY):
+            op = rng.choice(_ALU_RR)
+            lines.append(f"    {op} x{_FUNC_SCRATCH}, x{_FUNC_SCRATCH}, "
+                         f"x{rng.choice(_INT_POOL)}")
+        lines.append("    ret")
+    return lines
+
+
+def _data_image(profile, rng):
+    """Initial data: pseudo-random words near the base of the working
+    set (capped so multi-megabyte sets stay cheap to build)."""
+    ws_words = profile.working_set_kb * 1024 // 8
+    init_words = min(ws_words, 4096)
+    words = {}
+    for i in range(init_words):
+        words[_BASE_ADDRESS + 8 * i] = rng.bit64()
+    return DataImage(words)
+
+
+def generate_program(profile, dynamic_instructions=30_000, seed=0):
+    """Generate the synthetic program for ``profile``.
+
+    ``dynamic_instructions`` sets the approximate committed-instruction
+    count; the loop trip count is derived from the realized body size.
+    """
+    rng = DeterministicRng(seed, name=profile.name).fork(profile.name)
+    builder = _BodyBuilder(profile, rng.fork("body"))
+    body_lines = builder.build()
+    calls_per_iter = builder.counts.get("call", 0)
+    cost_per_iter = builder.emitted + calls_per_iter * (_FUNC_BODY + 1) + 3
+    iterations = max(1, round(dynamic_instructions / cost_per_iter))
+
+    lines = _prologue(profile, iterations, rng.fork("prologue"))
+    lines.append("main_loop:")
+    lines.extend(body_lines)
+    lines.append("    addi x18, x18, 1")
+    lines.append("    beq x18, x19, main_done")
+    lines.append("    jal x0, main_loop")
+    lines.append("main_done:")
+    lines.append("    ecall")
+    lines.extend(_functions(rng.fork("funcs")))
+
+    data = _data_image(profile, rng.fork("data"))
+    return assemble("\n".join(lines), name=profile.name, data=data)

@@ -1,0 +1,68 @@
+"""Instruction-mix description.
+
+Fractions of the dynamic instruction stream per timing class.  They
+must sum to 1 (within tolerance); the generator consumes the mix as
+sampling weights.
+"""
+
+from dataclasses import dataclass, fields
+
+from repro.common.errors import ConfigError
+
+_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction-class fractions."""
+
+    alu: float = 0.459
+    mul: float = 0.02
+    div: float = 0.0
+    fp: float = 0.0
+    fpdiv: float = 0.0
+    load: float = 0.25
+    store: float = 0.10
+    branch: float = 0.15
+    call: float = 0.02
+    csr: float = 0.001
+
+    def __post_init__(self):
+        total = self.total
+        if abs(total - 1.0) > 1e-3:
+            raise ConfigError(
+                f"instruction mix sums to {total:.4f}, expected 1.0")
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ConfigError(f"mix fraction {field.name} is negative")
+
+    @property
+    def total(self):
+        return (self.alu + self.mul + self.div + self.fp + self.fpdiv
+                + self.load + self.store + self.branch + self.call
+                + self.csr)
+
+    @property
+    def memory_fraction(self):
+        """Fraction of instructions producing run-time log entries."""
+        return self.load + self.store + self.csr
+
+    @property
+    def fp_fraction(self):
+        return self.fp + self.fpdiv
+
+    def as_weights(self):
+        """``(kind, weight)`` pairs for the generator's sampler."""
+        return [
+            ("alu", self.alu),
+            ("mul", self.mul),
+            ("div", self.div),
+            ("fp", self.fp),
+            ("fpdiv", self.fpdiv),
+            ("load", self.load),
+            ("store", self.store),
+            ("branch", self.branch),
+            ("call", self.call),
+            ("csr", self.csr),
+        ]

@@ -1,0 +1,232 @@
+"""Per-benchmark workload profiles.
+
+One profile per SPECint 2006 and PARSEC 3.0 workload evaluated in the
+paper (Fig. 6).  The parameters are drawn from published
+characterizations of the suites:
+
+* instruction mixes (integer vs FP vs memory vs control);
+* branch behaviour — ``branch_randomness`` is the fraction of
+  conditional branches whose direction follows loaded (pseudo-random)
+  data, which a TAGE predictor cannot learn;
+* memory behaviour — working-set size against the cache hierarchy,
+  streaming stride vs pointer chasing (mcf/omnetpp);
+* static code footprint — gcc/xalancbmk/perlbench-class workloads
+  overflow the little core's 4 KB I-cache, which the paper calls out
+  in its gap analysis (Sec. V-F);
+* ``swaptions`` carries the heavy division content responsible for its
+  22% outlier slowdown in Fig. 6.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.workloads.mixes import InstructionMix
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the generator needs to synthesize one benchmark."""
+
+    name: str
+    suite: str
+    mix: InstructionMix
+    #: Fraction of data-dependent (unpredictable) conditional branches.
+    branch_randomness: float = 0.10
+    #: Data working set; drives cache miss rates.
+    working_set_kb: int = 256
+    #: Words between consecutive streaming accesses.
+    stride_words: int = 1
+    #: Pointer-chasing access pattern (serialized, cache-hostile).
+    pointer_chase: bool = False
+    #: Static loop-body size in instructions (code footprint).
+    body_instructions: int = 400
+    #: Dependency density in [0, 1]: 1 chains every result.
+    ilp_chain: float = 0.35
+    #: Temporal locality in [0, 1]: high values concentrate accesses on
+    #: a few hot lines per block and slow the sweep through the working
+    #: set; low values scatter accesses (cache-hostile).
+    locality: float = 0.7
+    seed_salt: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.branch_randomness <= 1.0:
+            raise ConfigError(f"{self.name}: branch_randomness out of range")
+        if self.working_set_kb < 1:
+            raise ConfigError(f"{self.name}: working set too small")
+        if self.body_instructions < 50:
+            raise ConfigError(f"{self.name}: body too small to be meaningful")
+        if not 0.0 <= self.ilp_chain <= 1.0:
+            raise ConfigError(f"{self.name}: ilp_chain out of range")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigError(f"{self.name}: locality out of range")
+
+
+def _spec(name, **kwargs):
+    return WorkloadProfile(name=name, suite="spec06", **kwargs)
+
+
+def _parsec(name, **kwargs):
+    return WorkloadProfile(name=name, suite="parsec", **kwargs)
+
+
+SPEC_PROFILES = {
+    "perlbench": _spec(
+        "perlbench",
+        mix=InstructionMix(alu=0.439, mul=0.015, div=0.002, load=0.24,
+                           store=0.12, branch=0.15, call=0.033, csr=0.001),
+        branch_randomness=0.12, working_set_kb=512, body_instructions=1150,
+        ilp_chain=0.40, locality=0.60),
+    "bzip2": _spec(
+        "bzip2",
+        mix=InstructionMix(alu=0.489, mul=0.02, load=0.26, store=0.11,
+                           branch=0.11, call=0.01, csr=0.001),
+        branch_randomness=0.14, working_set_kb=2048, stride_words=2,
+        body_instructions=500, ilp_chain=0.35, locality=0.50),
+    "gcc": _spec(
+        "gcc",
+        mix=InstructionMix(alu=0.434, mul=0.01, div=0.001, load=0.25,
+                           store=0.13, branch=0.14, call=0.034, csr=0.001),
+        branch_randomness=0.15, working_set_kb=4096, body_instructions=1200,
+        ilp_chain=0.40, locality=0.45),
+    "mcf": _spec(
+        "mcf",
+        mix=InstructionMix(alu=0.364, mul=0.005, load=0.35, store=0.08,
+                           branch=0.18, call=0.02, csr=0.001),
+        branch_randomness=0.22, working_set_kb=8192, pointer_chase=True,
+        body_instructions=300, ilp_chain=0.55, locality=0.10),
+    "gobmk": _spec(
+        "gobmk",
+        mix=InstructionMix(alu=0.459, mul=0.01, load=0.24, store=0.10,
+                           branch=0.16, call=0.03, csr=0.001),
+        branch_randomness=0.30, working_set_kb=512, body_instructions=950,
+        ilp_chain=0.40, locality=0.70),
+    "hmmer": _spec(
+        "hmmer",
+        mix=InstructionMix(alu=0.559, mul=0.03, load=0.24, store=0.09,
+                           branch=0.07, call=0.01, csr=0.001),
+        branch_randomness=0.04, working_set_kb=64, stride_words=1,
+        body_instructions=400, ilp_chain=0.25, locality=0.90),
+    "sjeng": _spec(
+        "sjeng",
+        mix=InstructionMix(alu=0.469, mul=0.01, div=0.002, load=0.22,
+                           store=0.09, branch=0.18, call=0.028, csr=0.001),
+        branch_randomness=0.28, working_set_kb=256, body_instructions=800,
+        ilp_chain=0.40, locality=0.70),
+    "libquantum": _spec(
+        "libquantum",
+        mix=InstructionMix(alu=0.489, mul=0.03, load=0.27, store=0.09,
+                           branch=0.11, call=0.01, csr=0.001),
+        branch_randomness=0.02, working_set_kb=4096, stride_words=4,
+        body_instructions=250, ilp_chain=0.20, locality=0.25),
+    "h264ref": _spec(
+        "h264ref",
+        mix=InstructionMix(alu=0.499, mul=0.04, load=0.27, store=0.10,
+                           branch=0.07, call=0.02, csr=0.001),
+        branch_randomness=0.08, working_set_kb=512, stride_words=1,
+        body_instructions=700, ilp_chain=0.30, locality=0.80),
+    "omnetpp": _spec(
+        "omnetpp",
+        mix=InstructionMix(alu=0.389, mul=0.01, load=0.31, store=0.12,
+                           branch=0.14, call=0.029, csr=0.001),
+        branch_randomness=0.20, working_set_kb=4096, pointer_chase=True,
+        body_instructions=800, ilp_chain=0.50, locality=0.20),
+    "astar": _spec(
+        "astar",
+        mix=InstructionMix(alu=0.44, mul=0.01, div=0.001, load=0.29,
+                           store=0.09, branch=0.15, call=0.018, csr=0.001),
+        branch_randomness=0.25, working_set_kb=2048, pointer_chase=True,
+        body_instructions=400, ilp_chain=0.45, locality=0.30),
+    "xalancbmk": _spec(
+        "xalancbmk",
+        mix=InstructionMix(alu=0.415, mul=0.01, load=0.27, store=0.11,
+                           branch=0.16, call=0.034, csr=0.001),
+        branch_randomness=0.16, working_set_kb=2048, body_instructions=1300,
+        ilp_chain=0.40, locality=0.50),
+}
+
+PARSEC_PROFILES = {
+    "blackscholes": _parsec(
+        "blackscholes",
+        mix=InstructionMix(alu=0.272, mul=0.01, fp=0.407, fpdiv=0.010,
+                           load=0.18, store=0.06, branch=0.05, call=0.01,
+                           csr=0.001),
+        branch_randomness=0.03, working_set_kb=64, body_instructions=350,
+        ilp_chain=0.30, locality=0.90),
+    "bodytrack": _parsec(
+        "bodytrack",
+        mix=InstructionMix(alu=0.351, mul=0.02, fp=0.22, fpdiv=0.008,
+                           load=0.22, store=0.07, branch=0.09, call=0.02,
+                           csr=0.001),
+        branch_randomness=0.12, working_set_kb=512, body_instructions=600,
+        ilp_chain=0.35, locality=0.70),
+    "dedup": _parsec(
+        "dedup",
+        mix=InstructionMix(alu=0.439, mul=0.03, load=0.27, store=0.14,
+                           branch=0.10, call=0.02, csr=0.001),
+        branch_randomness=0.12, working_set_kb=2048, stride_words=2,
+        body_instructions=600, ilp_chain=0.35, locality=0.45),
+    "ferret": _parsec(
+        "ferret",
+        mix=InstructionMix(alu=0.345, mul=0.02, fp=0.14, fpdiv=0.005,
+                           load=0.26, store=0.09, branch=0.12, call=0.019,
+                           csr=0.001),
+        branch_randomness=0.15, working_set_kb=1024, body_instructions=750,
+        ilp_chain=0.40, locality=0.50),
+    "fluidanimate": _parsec(
+        "fluidanimate",
+        mix=InstructionMix(alu=0.290, mul=0.01, fp=0.30, fpdiv=0.012,
+                           load=0.24, store=0.08, branch=0.05, call=0.017,
+                           csr=0.001),
+        branch_randomness=0.06, working_set_kb=512, body_instructions=500,
+        ilp_chain=0.35, locality=0.60),
+    "streamcluster": _parsec(
+        "streamcluster",
+        mix=InstructionMix(alu=0.299, mul=0.02, fp=0.26, fpdiv=0.002,
+                           load=0.28, store=0.06, branch=0.06, call=0.017,
+                           csr=0.001),
+        branch_randomness=0.03, working_set_kb=4096, stride_words=4,
+        body_instructions=300, ilp_chain=0.25, locality=0.30),
+    "freqmine": _parsec(
+        "freqmine",
+        mix=InstructionMix(alu=0.429, mul=0.02, load=0.26, store=0.11,
+                           branch=0.15, call=0.029, csr=0.001),
+        branch_randomness=0.18, working_set_kb=1024, body_instructions=850,
+        ilp_chain=0.40, locality=0.55),
+    "swaptions": _parsec(
+        "swaptions",
+        mix=InstructionMix(alu=0.249, mul=0.01, div=0.02, fp=0.27,
+                           fpdiv=0.06, load=0.21, store=0.06, branch=0.10,
+                           call=0.02, csr=0.001),
+        branch_randomness=0.08, working_set_kb=128, body_instructions=450,
+        ilp_chain=0.40, locality=0.85),
+}
+
+_ALL = {}
+_ALL.update(SPEC_PROFILES)
+_ALL.update(PARSEC_PROFILES)
+
+#: Fig. 6 presentation order.
+SPEC_ORDER = ["perlbench", "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng",
+              "libquantum", "h264ref", "omnetpp", "astar", "xalancbmk"]
+PARSEC_ORDER = ["blackscholes", "bodytrack", "dedup", "ferret",
+                "fluidanimate", "streamcluster", "freqmine", "swaptions"]
+
+
+def get_profile(name):
+    """Look up one profile by benchmark name."""
+    if name not in _ALL:
+        raise ConfigError(f"unknown workload {name!r}; "
+                          f"known: {sorted(_ALL)}")
+    return _ALL[name]
+
+
+def all_profiles(suite=None):
+    """All profiles, optionally filtered by suite, in paper order."""
+    if suite == "spec06":
+        return [SPEC_PROFILES[n] for n in SPEC_ORDER]
+    if suite == "parsec":
+        return [PARSEC_PROFILES[n] for n in PARSEC_ORDER]
+    if suite is None:
+        return ([SPEC_PROFILES[n] for n in SPEC_ORDER]
+                + [PARSEC_PROFILES[n] for n in PARSEC_ORDER])
+    raise ConfigError(f"unknown suite {suite!r}")

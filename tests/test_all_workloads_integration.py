@@ -1,0 +1,34 @@
+"""Every one of the 20 evaluated workloads, end-to-end under MEEK.
+
+Small slices, but full-stack: generation, vanilla baseline, MEEK run,
+verification, segment accounting — for each SPECint06 and PARSEC
+profile the paper evaluates.
+"""
+
+import pytest
+
+from repro.common.config import default_meek_config
+from repro.core.system import MeekSystem, run_vanilla
+from repro.workloads import generate_program
+from repro.workloads.profiles import PARSEC_ORDER, SPEC_ORDER
+
+ALL_WORKLOADS = SPEC_ORDER + PARSEC_ORDER
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_workload_end_to_end(name):
+    program = generate_program(
+        __import__("repro.workloads", fromlist=["get_profile"])
+        .get_profile(name), dynamic_instructions=2500)
+    vanilla = run_vanilla(program)
+    assert vanilla.halted_by == "ecall"
+    assert vanilla.ipc > 0.05
+
+    meek = MeekSystem(default_meek_config()).run(program)
+    # Functional equivalence with the baseline.
+    assert meek.big.state.int_regs == vanilla.state.int_regs
+    # Complete, error-free verification.
+    assert meek.all_segments_verified, meek.detections
+    assert sum(s.instr_count for s in meek.segments) == meek.instructions
+    # MEEK never speeds the big core up.
+    assert meek.cycles >= vanilla.cycles

@@ -1,0 +1,148 @@
+"""Tests for statistics helpers, the area model and report rendering."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.area import (
+    AreaModel,
+    boom_area_mm2,
+    lockstep_scale_factor,
+    meek_area_report,
+    performance_per_area,
+    rocket_area_mm2,
+)
+from repro.analysis.report import format_table, render_histogram
+from repro.analysis.stats import (
+    coverage_within,
+    density_histogram,
+    geomean,
+    mean,
+    percentile,
+)
+from repro.common.config import (
+    BigCoreConfig,
+    default_meek_config,
+    default_rocket_config,
+    optimized_rocket_config,
+)
+from repro.common.errors import SimulationError
+
+POSITIVE = st.floats(min_value=0.01, max_value=1e6)
+
+
+class TestStats:
+    def test_geomean_known(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            geomean([])
+
+    def test_geomean_nonpositive_rejected(self):
+        with pytest.raises(SimulationError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(POSITIVE, min_size=1, max_size=30))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+    @given(st.lists(POSITIVE, min_size=1, max_size=30))
+    def test_geomean_below_arithmetic_mean(self, values):
+        assert geomean(values) <= mean(values) * 1.0001
+
+    def test_percentile_bounds(self):
+        values = [1, 2, 3, 4, 5]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 5
+        assert percentile(values, 0.5) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_coverage_within(self):
+        assert coverage_within([1, 2, 3, 10], 3) == pytest.approx(0.75)
+
+    def test_density_histogram_sums_to_one(self):
+        bins = density_histogram([10, 20, 30, 250, 900], 100)
+        assert sum(d for _, d in bins) == pytest.approx(1.0)
+
+    def test_density_histogram_overflow_bin(self):
+        bins = density_histogram([50, 5000], 100, max_value=200)
+        assert bins[-1][1] == pytest.approx(0.5)
+
+    def test_density_histogram_empty(self):
+        assert density_histogram([], 100) == []
+
+
+class TestAreaModel:
+    def test_boom_matches_table3(self):
+        assert boom_area_mm2() == pytest.approx(2.811, abs=0.01)
+
+    def test_optimized_rocket_matches_table3(self):
+        assert rocket_area_mm2(optimized_rocket_config()) == \
+            pytest.approx(0.092, abs=0.002)
+
+    def test_default_rocket_matches_dsn18(self):
+        assert rocket_area_mm2(default_rocket_config()) == \
+            pytest.approx(0.078, abs=0.002)
+
+    def test_meek_overhead_is_25_8_percent(self):
+        report = meek_area_report(default_meek_config())
+        assert report["overhead_fraction"] == pytest.approx(0.258, abs=0.005)
+
+    def test_wrapper_is_4_3_percent_of_boom(self):
+        model = AreaModel()
+        assert model.big_wrapper_mm2() / boom_area_mm2() == \
+            pytest.approx(0.043, abs=0.002)
+
+    def test_scaled_config_smaller_area(self):
+        assert boom_area_mm2(BigCoreConfig().scaled(0.5)) < boom_area_mm2()
+
+    def test_area_monotone_in_scale(self):
+        areas = [boom_area_mm2(BigCoreConfig().scaled(f))
+                 for f in (0.3, 0.5, 0.7, 0.9)]
+        assert areas == sorted(areas)
+
+    def test_lockstep_factor_converges(self):
+        config = default_meek_config()
+        factor = lockstep_scale_factor(config)
+        pair = 2 * boom_area_mm2(config.big_core.scaled(factor))
+        budget = AreaModel().meek_total_mm2(config)
+        assert pair == pytest.approx(budget, rel=0.03)
+
+    def test_performance_per_area_positive(self):
+        assert performance_per_area(0.5) > 0
+
+    def test_performance_per_area_validates(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            performance_per_area(0.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+        assert "=" * len("My Table") in text
+
+    def test_render_histogram(self):
+        text = render_histogram([(0, 0.8), (200, 0.2)])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_render_empty_histogram(self):
+        assert "empty" in render_histogram([])

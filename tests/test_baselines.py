@@ -1,0 +1,159 @@
+"""Tests for the Nzdc transform and the EA-LockStep baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.area import boom_area_mm2, lockstep_scale_factor
+from repro.baselines.lockstep import EaLockstep
+from repro.baselines.nzdc import expansion_factor, nzdc_transform, run_nzdc
+from repro.bigcore.core import run_program
+from repro.common.config import default_meek_config
+from repro.isa import assemble
+from repro.isa.instructions import InstrClass
+from repro.workloads import generate_program, get_profile
+
+
+def sample_program(name="hmmer", instructions=4000, seed=0):
+    return generate_program(get_profile(name),
+                            dynamic_instructions=instructions, seed=seed)
+
+
+class TestNzdcSemantics:
+    def test_architectural_state_preserved(self):
+        program = sample_program()
+        original = run_program(program)
+        transformed_result, transformed = run_nzdc(program)
+        # All non-shadow registers are bit-identical.  x1 (ra) holds
+        # a return address: instruction addresses shift under the
+        # transform, so it legitimately differs.
+        assert original.state.int_regs[2:28] == \
+            transformed_result.state.int_regs[2:28]
+        assert original.state.fp_regs[:28] == \
+            transformed_result.state.fp_regs[:28]
+
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=8, deadline=None)
+    def test_semantics_preserved_across_seeds(self, seed):
+        program = sample_program("ferret", instructions=2000, seed=seed)
+        original = run_program(program)
+        result, _ = run_nzdc(program)
+        assert original.state.int_regs[2:28] == result.state.int_regs[2:28]
+
+    def test_memory_state_preserved(self):
+        program = assemble("""
+            li t0, 0x2000
+            li t1, 42
+            sd t1, 0(t0)
+            sd t1, 8(t0)
+            ecall
+        """)
+        original = run_program(program)
+        result, _ = run_nzdc(program)
+        assert result.state.memory.load_word(0x2000) == 42
+        assert (original.state.memory.snapshot()
+                == result.state.memory.snapshot())
+
+    def test_branch_targets_remapped(self):
+        program = assemble("""
+            li t0, 0
+            li t1, 20
+        loop:
+            add t2, t2, t0
+            sd t2, 0(t3)
+            addi t0, t0, 1
+            bne t0, t1, loop
+            ecall
+        """)
+        transformed = nzdc_transform(program)
+        result = run_program(transformed)
+        assert result.halted_by == "ecall"
+        assert result.state.read_int(7) == sum(range(20))
+
+
+class TestNzdcStructure:
+    def test_expansion_factor_near_two(self):
+        program = sample_program()
+        transformed = nzdc_transform(program)
+        factor = expansion_factor(program, transformed)
+        assert 1.8 < factor < 3.0
+
+    def test_alu_duplicated(self):
+        program = assemble("add t2, t0, t1\necall")
+        transformed = nzdc_transform(program)
+        adds = [i for i in transformed.instructions if i.op == "add"]
+        assert len(adds) == 2
+        assert adds[1].rd == 31  # shadow register
+
+    def test_store_preceded_by_checks(self):
+        program = assemble("sd t0, 0(t1)\necall")
+        transformed = nzdc_transform(program)
+        ops = [i.op for i in transformed.instructions]
+        store_at = ops.index("sd")
+        assert "bne" in ops[:store_at]
+        assert "xor" in ops[:store_at]
+
+    def test_int_load_reloaded_and_checked(self):
+        program = assemble("ld t2, 0(t1)\necall")
+        transformed = nzdc_transform(program)
+        loads = [i for i in transformed.instructions if i.op == "ld"]
+        assert len(loads) == 2
+        assert loads[1].rd == 31
+
+    def test_branch_gets_operand_check(self):
+        program = assemble("""
+        top:
+            beq t0, t1, top
+            ecall
+        """)
+        transformed = nzdc_transform(program)
+        ops = [i.op for i in transformed.instructions]
+        assert ops.count("bne") == 1  # the check branch
+        assert ops.count("beq") == 1  # the original
+
+    def test_slowdown_meaningful(self):
+        program = sample_program()
+        original = run_program(program)
+        result, _ = run_nzdc(program)
+        assert result.cycles > original.cycles * 1.3
+
+    def test_fp_ops_not_duplicated(self):
+        program = assemble("fadd.d f1, f2, f3\necall")
+        transformed = nzdc_transform(program)
+        fadds = [i for i in transformed.instructions if i.op == "fadd.d"]
+        assert len(fadds) == 1
+
+
+class TestEaLockstep:
+    def test_scale_factor_in_sensible_range(self):
+        factor = lockstep_scale_factor(default_meek_config())
+        assert 0.3 < factor < 0.8
+
+    def test_pair_area_matches_meek_budget(self):
+        from repro.analysis.area import AreaModel
+        system = EaLockstep()
+        budget = AreaModel().meek_total_mm2(default_meek_config())
+        assert system.pair_area_mm2 == pytest.approx(budget, rel=0.02)
+
+    def test_scaled_core_smaller(self):
+        system = EaLockstep()
+        assert system.per_core_area_mm2 < boom_area_mm2()
+
+    def test_lockstep_slower_than_vanilla(self):
+        program = sample_program()
+        vanilla = run_program(program)
+        lockstep = EaLockstep().run(program)
+        assert lockstep.cycles > vanilla.cycles
+
+    def test_lockstep_functionally_identical(self):
+        program = sample_program()
+        vanilla = run_program(program)
+        lockstep = EaLockstep().run(program)
+        assert lockstep.state.int_regs == vanilla.state.int_regs
+
+    def test_more_little_cores_shrink_lockstep_core(self):
+        cfg4 = default_meek_config(num_little_cores=4)
+        cfg8 = default_meek_config(num_little_cores=8)
+        # A larger MEEK budget leaves *more* area per lockstep core.
+        assert (lockstep_scale_factor(cfg8)
+                > lockstep_scale_factor(cfg4))

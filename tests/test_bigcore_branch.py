@@ -1,0 +1,132 @@
+"""Unit tests for the TAGE-style branch predictor."""
+
+from repro.bigcore.branch import BranchPredictor
+from repro.common.config import BigCoreConfig
+
+
+def make_predictor():
+    return BranchPredictor(BigCoreConfig())
+
+
+class TestDirectionPrediction:
+    def test_learns_always_taken(self):
+        p = make_predictor()
+        outcomes = [p.predict_and_update(0x1000, True, target=0x2000)
+                    for _ in range(50)]
+        # After warmup, the branch is predicted correctly.
+        assert outcomes[-10:] == ["correct"] * 10
+
+    def test_learns_always_not_taken(self):
+        p = make_predictor()
+        outcomes = [p.predict_and_update(0x1000, False) for _ in range(50)]
+        assert outcomes[-10:] == ["correct"] * 10
+
+    def test_learns_short_pattern(self):
+        # T T T N repeating: the tagged tables capture it.
+        p = make_predictor()
+        outcomes = []
+        for i in range(400):
+            taken = (i % 4) != 3
+            outcomes.append(p.predict_and_update(0x1000, taken,
+                                                 target=0x2000 if taken
+                                                 else None))
+        tail = outcomes[-100:]
+        accuracy = tail.count("correct") / len(tail)
+        assert accuracy > 0.9
+
+    def test_random_stream_mispredicts(self):
+        import random
+        rng = random.Random(1)
+        p = make_predictor()
+        mispredicts = 0
+        for _ in range(600):
+            taken = rng.random() < 0.5
+            out = p.predict_and_update(0x1000, taken,
+                                       target=0x2000 if taken else None)
+            mispredicts += out == "mispredict"
+        # Should hover near 50%; definitely not learnable.
+        assert mispredicts > 150
+
+    def test_independent_sites(self):
+        p = make_predictor()
+        for _ in range(60):
+            p.predict_and_update(0x1000, True, target=0x2000)
+            p.predict_and_update(0x3000, False)
+        assert p.predict_and_update(0x1000, True, target=0x2000) == "correct"
+        assert p.predict_and_update(0x3000, False) == "correct"
+
+
+class TestBtb:
+    def test_cold_taken_branch_is_bubble_not_mispredict(self):
+        p = make_predictor()
+        # Train direction first with the same target so the direction
+        # is right but the BTB is evicted.
+        for _ in range(10):
+            p.predict_and_update(0x1000, True, target=0x2000)
+        # Thrash the BTB with many other branches.
+        for i in range(BigCoreConfig().btb_entries + 10):
+            p.predict_and_update(0x100000 + i * 8, True,
+                                 target=0x200000 + i * 8)
+        outcome = p.predict_and_update(0x1000, True, target=0x2000)
+        assert outcome == "btb_bubble"
+
+    def test_btb_capacity_enforced(self):
+        p = make_predictor()
+        for i in range(600):
+            p.predict_and_update(0x1000 + i * 8, True, target=0x2000)
+        assert len(p._btb) <= BigCoreConfig().btb_entries
+
+
+class TestRas:
+    def test_call_return_pairs(self):
+        p = make_predictor()
+        p.predict_call(0x1000, 0x1004)
+        assert p.predict_return(0x5000, 0x1004)
+
+    def test_nested_calls(self):
+        p = make_predictor()
+        p.predict_call(0x1000, 0x1004)
+        p.predict_call(0x2000, 0x2004)
+        assert p.predict_return(0x6000, 0x2004)
+        assert p.predict_return(0x7000, 0x1004)
+
+    def test_wrong_return_mispredicts(self):
+        p = make_predictor()
+        p.predict_call(0x1000, 0x1004)
+        assert not p.predict_return(0x5000, 0x9999)
+        assert p.ras_mispredicts == 1
+
+    def test_empty_ras_mispredicts(self):
+        p = make_predictor()
+        assert not p.predict_return(0x5000, 0x1004)
+
+    def test_ras_overflow_drops_oldest(self):
+        config = BigCoreConfig()
+        p = BranchPredictor(config)
+        for i in range(config.ras_entries + 5):
+            p.predict_call(0x1000 + 8 * i, 0x1004 + 8 * i)
+        # The newest return addresses still predict correctly.
+        assert p.predict_return(0x5000,
+                                0x1004 + 8 * (config.ras_entries + 4))
+
+
+class TestIndirect:
+    def test_learns_stable_target(self):
+        p = make_predictor()
+        p.predict_indirect(0x1000, 0x4000)
+        assert p.predict_indirect(0x1000, 0x4000)
+
+    def test_changed_target_mispredicts(self):
+        p = make_predictor()
+        p.predict_indirect(0x1000, 0x4000)
+        assert not p.predict_indirect(0x1000, 0x5000)
+
+
+class TestStats:
+    def test_rate_computation(self):
+        p = make_predictor()
+        for _ in range(10):
+            p.predict_and_update(0x1000, True, target=0x2000)
+        stats = p.stats()
+        assert stats["branches"] == 10
+        assert 0.0 <= stats["mispredict_rate"] <= 1.0

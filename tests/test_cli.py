@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "hmmer"])
+        assert args.cores == 4
+        assert args.fabric == "f2"
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "mcf", "--cores", "6", "--fabric", "axi"])
+        assert args.cores == 6
+        assert args.fabric == "axi"
+
+    def test_bad_fabric_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mcf", "--fabric", "pcie"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "tab3"])
+        assert args.name == "tab3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "swaptions" in out and "mcf" in out
+
+    def test_run_small(self, capsys):
+        code = main(["run", "hmmer", "--instructions", "3000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slowdown" in out
+        assert "all verified    : True" in out
+
+    def test_inject_small(self, capsys):
+        code = main(["inject", "dedup", "--instructions", "4000",
+                     "--trials", "1", "--rate", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "injections" in out
+
+    def test_figure_tab3(self, capsys):
+        assert main(["figure", "tab3"]) == 0
+        assert "25.8%" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Unit tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import (
+    extract_bits,
+    flip_bit,
+    mask,
+    parity,
+    popcount,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.common.errors import SimulationError
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(4) == 0b1111
+
+    def test_word(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            mask(-1)
+
+
+class TestSignedness:
+    def test_to_signed_positive(self):
+        assert to_signed(5, 8) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFF, 8) == -1
+
+    def test_to_signed_min(self):
+        assert to_signed(0x80, 8) == -128
+
+    def test_to_unsigned_negative(self):
+        assert to_unsigned(-1, 8) == 0xFF
+
+    @given(U64)
+    def test_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    def test_sign_extend_widens(self):
+        assert sign_extend(0x8, 4, 8) == 0xF8
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0x7, 4, 8) == 0x7
+
+    def test_sign_extend_narrowing_rejected(self):
+        with pytest.raises(SimulationError):
+            sign_extend(1, 16, 8)
+
+
+class TestExtractBits:
+    def test_low_nibble(self):
+        assert extract_bits(0xABCD, 3, 0) == 0xD
+
+    def test_high_nibble(self):
+        assert extract_bits(0xABCD, 15, 12) == 0xA
+
+    def test_single_bit(self):
+        assert extract_bits(0b100, 2, 2) == 1
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SimulationError):
+            extract_bits(0, 0, 1)
+
+    @given(U64, st.integers(0, 63), st.integers(0, 63))
+    def test_width_bound(self, value, a, b):
+        hi, lo = max(a, b), min(a, b)
+        assert extract_bits(value, hi, lo) <= mask(hi - lo + 1)
+
+
+class TestFlipBit:
+    def test_flips(self):
+        assert flip_bit(0, 3) == 8
+
+    def test_involution(self):
+        assert flip_bit(flip_bit(0xDEAD, 7), 7) == 0xDEAD
+
+    @given(U64, st.integers(0, 63))
+    def test_always_changes_value(self, value, bit):
+        assert flip_bit(value, bit) != value
+
+    @given(U64, st.integers(0, 63))
+    def test_changes_exactly_one_bit(self, value, bit):
+        assert popcount(flip_bit(value, bit) ^ value) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            flip_bit(0, 64)
+
+
+class TestParity:
+    def test_zero(self):
+        assert parity(0) == 0
+
+    def test_single_bit(self):
+        assert parity(1) == 1
+
+    def test_two_bits(self):
+        assert parity(0b11) == 0
+
+    @given(U64, st.integers(0, 63))
+    def test_flip_changes_parity(self, value, bit):
+        assert parity(flip_bit(value, bit)) != parity(value)

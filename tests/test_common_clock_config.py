@@ -1,0 +1,163 @@
+"""Unit tests for repro.common.clock and repro.common.config."""
+
+import pytest
+
+from repro.common.clock import Clock, ClockDomain
+from repro.common.config import (
+    AxiConfig,
+    BigCoreConfig,
+    CacheConfig,
+    FabricConfig,
+    LittleCoreConfig,
+    LslConfig,
+    MeekConfig,
+    default_meek_config,
+    default_rocket_config,
+    optimized_rocket_config,
+)
+from repro.common.errors import ConfigError
+
+
+class TestClockDomain:
+    def test_cycles_to_ns(self):
+        big = ClockDomain("big", 3.2e9)
+        assert big.cycles_to_ns(32) == pytest.approx(10.0)
+
+    def test_ns_to_cycles(self):
+        big = ClockDomain("big", 3.2e9)
+        assert big.ns_to_cycles(10.0) == pytest.approx(32)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigError):
+            ClockDomain("bad", 0)
+
+
+class TestClock:
+    def make(self):
+        big = ClockDomain("big", 3.2e9)
+        little = ClockDomain("little", 1.6e9)
+        return Clock(big, [little])
+
+    def test_ratio_is_two(self):
+        assert self.make().ratio("little") == 2
+
+    def test_slow_domain_edges(self):
+        clock = self.make()
+        edges = []
+        for _ in range(6):
+            clock.tick()
+            edges.append(clock.domain_ticks("little"))
+        assert edges == [False, True, False, True, False, True]
+
+    def test_non_integer_ratio_rejected(self):
+        big = ClockDomain("big", 3.2e9)
+        odd = ClockDomain("odd", 1.3e9)
+        with pytest.raises(ConfigError):
+            Clock(big, [odd])
+
+    def test_now_ns(self):
+        clock = self.make()
+        for _ in range(320):
+            clock.tick()
+        assert clock.now_ns() == pytest.approx(100.0)
+
+
+class TestCacheConfig:
+    def test_table2_l1d_geometry(self):
+        cache = CacheConfig("L1D", size_bytes=32 * 1024, ways=4)
+        assert cache.num_sets == 128
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=1024, ways=2, line_bytes=48)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size_bytes=1000, ways=3)
+
+
+class TestBigCoreConfig:
+    def test_table2_defaults(self):
+        cfg = BigCoreConfig()
+        assert cfg.fetch_width == 4
+        assert cfg.rob_entries == 128
+        assert cfg.issue_queue_entries == 96
+        assert cfg.ldq_entries == 32
+        assert cfg.int_phys_regs == 128
+        assert cfg.frequency_hz == pytest.approx(3.2e9)
+
+    def test_scaled_shrinks_everything(self):
+        cfg = BigCoreConfig().scaled(0.5)
+        assert cfg.rob_entries == 64
+        assert cfg.fetch_width == 2
+        assert cfg.int_alus == 1
+
+    def test_scaled_keeps_minimums(self):
+        cfg = BigCoreConfig().scaled(0.05)
+        assert cfg.int_alus >= 1
+        assert cfg.mem_units >= 1
+        assert cfg.rob_entries >= cfg.fetch_width * 4
+
+    def test_scale_factor_validated(self):
+        with pytest.raises(ConfigError):
+            BigCoreConfig().scaled(0.0)
+        with pytest.raises(ConfigError):
+            BigCoreConfig().scaled(1.5)
+
+
+class TestLittleCoreConfig:
+    def test_optimized_divider(self):
+        # 8-unroll divider: 64/8 + 2 = 10 cycles per divide.
+        assert optimized_rocket_config().div_latency == 10
+
+    def test_default_divider_is_slow(self):
+        # Default Rocket iterates 1 bit/cycle: 64 + 2 = 66 cycles.
+        assert default_rocket_config().div_latency == 66
+
+    def test_default_fpu_blocks(self):
+        default = default_rocket_config()
+        assert default.fp_occupancy == default.fpu_stages
+
+    def test_optimized_fpu_pipelines(self):
+        assert optimized_rocket_config().fp_occupancy == 1
+
+    def test_lsl_entries(self):
+        # 4 KB / 16-byte entries = 256 run-time records (Table II).
+        assert LslConfig().entries == 256
+
+    def test_lsl_timeout_default(self):
+        assert LslConfig().instruction_timeout == 5000
+
+
+class TestFabricConfig:
+    def test_f2_defaults(self):
+        fabric = FabricConfig()
+        assert fabric.width_bits == 256
+        assert fabric.packets_per_cycle == 2
+        assert fabric.multicast
+
+    def test_axi_baseline_is_narrow(self):
+        axi = AxiConfig()
+        assert axi.width_bits == 128
+        assert axi.packets_per_cycle == 1
+        assert not axi.multicast
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FabricConfig(kind="infiniband")
+
+
+class TestMeekConfig:
+    def test_default_four_little_cores(self):
+        assert default_meek_config().num_little_cores == 4
+
+    def test_with_little_cores(self):
+        assert default_meek_config().with_little_cores(6).num_little_cores == 6
+
+    def test_axi_variant(self):
+        cfg = default_meek_config(fabric_kind="axi")
+        assert cfg.fabric.kind == "axi"
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            MeekConfig(num_little_cores=0)

@@ -1,0 +1,135 @@
+"""Unit tests for repro.common.fifo."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import FifoError
+from repro.common.fifo import DualChannelFifo, Fifo
+
+
+class TestFifoBasics:
+    def test_starts_empty(self):
+        f = Fifo(4)
+        assert f.empty
+        assert not f.full
+        assert len(f) == 0
+
+    def test_push_pop_order(self):
+        f = Fifo(4)
+        f.push(1)
+        f.push(2)
+        assert f.pop() == 1
+        assert f.pop() == 2
+
+    def test_peek_does_not_remove(self):
+        f = Fifo(4)
+        f.push("a")
+        assert f.peek() == "a"
+        assert len(f) == 1
+
+    def test_full_push_raises(self):
+        f = Fifo(1)
+        f.push(1)
+        with pytest.raises(FifoError):
+            f.push(2)
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(FifoError):
+            Fifo(1).pop()
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(FifoError):
+            Fifo(1).peek()
+
+    def test_try_push_reports_full(self):
+        f = Fifo(1)
+        assert f.try_push(1)
+        assert not f.try_push(2)
+        assert len(f) == 1
+
+    def test_unbounded(self):
+        f = Fifo(None)
+        for i in range(1000):
+            f.push(i)
+        assert not f.full
+        assert f.free_slots is None
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(FifoError):
+            Fifo(0)
+
+    def test_drain_all(self):
+        f = Fifo(8)
+        for i in range(5):
+            f.push(i)
+        assert f.drain() == [0, 1, 2, 3, 4]
+        assert f.empty
+
+    def test_drain_limited(self):
+        f = Fifo(8)
+        for i in range(5):
+            f.push(i)
+        assert f.drain(limit=2) == [0, 1]
+        assert len(f) == 3
+
+    def test_statistics(self):
+        f = Fifo(4)
+        f.push(1)
+        f.push(2)
+        f.pop()
+        assert f.total_pushed == 2
+        assert f.total_popped == 1
+        assert f.high_watermark == 2
+
+
+class TestFifoProperties:
+    @given(st.lists(st.integers(), max_size=50))
+    def test_fifo_order_preserved(self, items):
+        f = Fifo(None)
+        for item in items:
+            f.push(item)
+        assert f.drain() == items
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_occupancy_invariant(self, operations):
+        f = Fifo(8)
+        model = []
+        for is_push in operations:
+            if is_push and not f.full:
+                f.push(len(model))
+                model.append(len(model))
+            elif not is_push and not f.empty:
+                assert f.pop() == model.pop(0)
+            assert len(f) == len(model)
+            assert len(f) <= 8
+
+
+class TestDualChannelFifo:
+    def test_channels_independent(self):
+        buf = DualChannelFifo(2, 2)
+        buf.status.push("rcp")
+        assert buf.runtime.empty
+        assert not buf.status.empty
+
+    def test_can_accept_respects_both(self):
+        buf = DualChannelFifo(1, 2)
+        assert buf.can_accept(status_packets=1, runtime_packets=2)
+        buf.status.push("s")
+        assert not buf.can_accept(status_packets=1)
+        assert buf.can_accept(runtime_packets=2)
+
+    def test_same_cycle_status_and_runtime(self):
+        # The DC-Buffer exists so one commit cycle can produce both
+        # packet kinds without stalling (Sec. III-B).
+        buf = DualChannelFifo(4, 4)
+        assert buf.can_accept(status_packets=1, runtime_packets=1)
+        buf.status.push("rcp")
+        buf.runtime.push("load")
+        assert buf.occupancy() == (1, 1)
+
+    def test_empty_property(self):
+        buf = DualChannelFifo(2, 2)
+        assert buf.empty
+        buf.runtime.push("x")
+        assert not buf.empty

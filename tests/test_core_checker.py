@@ -1,0 +1,208 @@
+"""Direct unit tests for CheckerRun (segment re-execution)."""
+
+import pytest
+
+from repro.common.bitops import flip_bit
+from repro.common.config import LslConfig
+from repro.core.checker import CheckerRun
+from repro.core.lsl import LoadStoreLog
+from repro.core.segments import Segment, SegmentEndReason
+from repro.fabric.packets import RuntimeEntry, RuntimeKind, StatusSnapshot
+from repro.isa import ArchState, assemble, execute
+from repro.isa.state import Memory
+from repro.littlecore.pipeline import LittleCorePipeline
+
+
+def build_segment(source, corrupt=None, one_behind=True):
+    """Execute ``source`` on a reference state, log its memory ops and
+    checkpoints exactly as the DEU would, then build a CheckerRun.
+
+    ``corrupt(segment)`` may mutate the logged data before replay.
+    """
+    program = assemble(source)
+    state = ArchState(pc=program.entry_pc)
+    program.data.apply(state.memory)
+    srcp = StatusSnapshot(0, 0, program.entry_pc,
+                          *state.register_file_snapshot(), state.csrs)
+    segment = Segment(seg_id=0, start_pc=program.entry_pc, srcp=srcp,
+                      srcp_delivery=0, assigned_core=0, start_cycle=0)
+    seq = 0
+    cycle = 0
+    while True:
+        instr = program.fetch(state.pc)
+        if instr is None:
+            break
+        result = execute(instr, state)
+        cycle += 1
+        if result.is_load or result.is_store:
+            kind = RuntimeKind.LOAD if result.is_load else RuntimeKind.STORE
+            seq += 1
+            entry = RuntimeEntry(kind, result.mem_addr, result.mem_value,
+                                 result.mem_size, seq=seq)
+            segment.add_entry(entry, delivery_cycle=cycle)
+        elif result.csr_addr is not None:
+            seq += 1
+            entry = RuntimeEntry(RuntimeKind.CSR, result.csr_addr,
+                                 result.rd_value, 8, seq=seq)
+            segment.add_entry(entry, delivery_cycle=cycle)
+        segment.instr_count += 1
+        if result.trap:
+            break
+    ercp = StatusSnapshot(1, 1, state.pc, *state.register_file_snapshot(),
+                          state.csrs)
+    if corrupt is not None:
+        corrupt(segment, ercp)
+    segment.close(cycle, SegmentEndReason.PROGRAM_END, ercp,
+                  ercp_delivery=cycle + 5, end_pc=state.pc)
+    pipeline = LittleCorePipeline(clock_ratio=2)
+    lsl = LoadStoreLog(LslConfig(), core_id=0)
+    for delivery in segment.entry_deliveries:
+        lsl.record_delivery(delivery)
+    checker = CheckerRun(segment, program, pipeline, lsl,
+                         one_instruction_behind=one_behind)
+    return checker
+
+
+CLEAN = """
+    li t0, 0
+    li t1, 30
+    li t2, 0x2000
+loop:
+    sd t0, 0(t2)
+    ld t3, 0(t2)
+    add t4, t4, t3
+    addi t2, t2, 8
+    addi t0, t0, 1
+    bne t0, t1, loop
+"""
+
+
+class TestCleanReplay:
+    def test_clean_segment_verifies(self):
+        checker = build_segment(CLEAN)
+        verdict = checker.advance()
+        assert verdict is not None and verdict.ok
+
+    def test_all_entries_consumed(self):
+        checker = build_segment(CLEAN)
+        checker.advance()
+        assert checker.next_entry == len(checker.segment.entries)
+
+    def test_finish_after_ercp_delivery(self):
+        checker = build_segment(CLEAN)
+        verdict = checker.advance()
+        assert verdict.finish_cycle >= checker.segment.ercp_delivery
+
+    def test_csr_replay_verifies(self):
+        checker = build_segment("csrrs t0, 0x300, x0\ncsrrs t1, 0x300, x0")
+        assert checker.advance().ok
+
+    def test_fp_segment_verifies(self):
+        checker = build_segment("""
+            li t0, 5
+            li t5, 0x2000
+            fcvt.d.l f1, t0
+            fadd.d f2, f1, f1
+            fsd f2, 0(t5)
+            fld f3, 0(t5)
+        """)
+        assert checker.advance().ok
+
+
+class TestCorruptedReplay:
+    def corrupt_entry(self, index, field, bit):
+        def mutate(segment, ercp):
+            entry = segment.entries[index]
+            if field == "data":
+                entry.data = flip_bit(entry.data, bit)
+            else:
+                entry.addr = flip_bit(entry.addr, bit)
+        return mutate
+
+    def test_store_data_corruption_detected(self):
+        checker = build_segment(CLEAN,
+                                corrupt=self.corrupt_entry(0, "data", 3))
+        verdict = checker.advance()
+        assert not verdict.ok
+        assert verdict.reason == "store-data-mismatch"
+
+    def test_store_addr_corruption_detected(self):
+        checker = build_segment(CLEAN,
+                                corrupt=self.corrupt_entry(0, "addr", 5))
+        verdict = checker.advance()
+        assert verdict.reason == "store-address-mismatch"
+
+    def test_load_addr_corruption_detected(self):
+        checker = build_segment(CLEAN,
+                                corrupt=self.corrupt_entry(1, "addr", 4))
+        verdict = checker.advance()
+        assert verdict.reason == "load-address-mismatch"
+
+    def test_load_data_corruption_reaches_ercp(self):
+        # Entry 1 is the first load; its value feeds t4, which lives to
+        # the end of the segment.
+        checker = build_segment(CLEAN,
+                                corrupt=self.corrupt_entry(1, "data", 7))
+        verdict = checker.advance()
+        assert not verdict.ok
+        assert verdict.reason == "ercp-register-mismatch"
+        assert verdict.detect_cycle >= checker.segment.ercp_delivery
+
+    def test_ercp_register_corruption_detected(self):
+        def mutate(segment, ercp):
+            regs = list(ercp.int_regs)
+            regs[29] = flip_bit(regs[29], 11)  # t4, the accumulator
+            ercp.int_regs = tuple(regs)
+        checker = build_segment(CLEAN, corrupt=mutate)
+        assert checker.advance().reason == "ercp-register-mismatch"
+
+    def test_srcp_pc_corruption_detected(self):
+        def mutate(segment, ercp):
+            segment.srcp.pc = segment.srcp.pc + 8  # replay starts late
+        checker = build_segment(CLEAN, corrupt=mutate)
+        verdict = checker.advance()
+        assert not verdict.ok
+
+    def test_wild_srcp_pc_detected_as_fetch_error(self):
+        def mutate(segment, ercp):
+            segment.srcp.pc = 0xDEAD_0000
+        checker = build_segment(CLEAN, corrupt=mutate)
+        verdict = checker.advance()
+        assert verdict.reason in ("pc-out-of-program", "pc-misaligned",
+                                  "log-exhausted")
+
+
+class TestIncrementalAdvance:
+    def test_blocks_until_closed(self):
+        program = assemble("addi t0, zero, 1\naddi t1, zero, 2")
+        state = ArchState(pc=program.entry_pc)
+        srcp = StatusSnapshot(0, 0, program.entry_pc,
+                              *state.register_file_snapshot(), {})
+        segment = Segment(0, program.entry_pc, srcp, 0, 0, 0)
+        pipeline = LittleCorePipeline(clock_ratio=2)
+        lsl = LoadStoreLog(LslConfig(), core_id=0)
+        checker = CheckerRun(segment, program, pipeline, lsl)
+        # Nothing committed yet: the checker cannot run.
+        assert checker.advance() is None
+        assert checker.executed == 0
+        # One commit, one-behind: still cannot run.
+        segment.instr_count = 1
+        assert checker.advance() is None
+        # Second commit: may now replay the first instruction.
+        segment.instr_count = 2
+        assert checker.advance() is None
+        assert checker.executed == 1
+
+    def test_one_behind_disabled_allows_catchup(self):
+        program = assemble("addi t0, zero, 1\naddi t1, zero, 2")
+        state = ArchState(pc=program.entry_pc)
+        srcp = StatusSnapshot(0, 0, program.entry_pc,
+                              *state.register_file_snapshot(), {})
+        segment = Segment(0, program.entry_pc, srcp, 0, 0, 0)
+        checker = CheckerRun(segment, program,
+                             LittleCorePipeline(clock_ratio=2),
+                             LoadStoreLog(LslConfig(), core_id=0),
+                             one_instruction_behind=False)
+        segment.instr_count = 1
+        checker.advance()
+        assert checker.executed == 1

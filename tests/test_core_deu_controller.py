@@ -1,0 +1,141 @@
+"""Tests for the DEU and controller-level behaviours."""
+
+import pytest
+
+from repro.bigcore.deu import DataExtractionUnit
+from repro.common.config import default_meek_config
+from repro.core.controller import StallReason
+from repro.core.system import MeekSystem
+from repro.fabric.packets import RuntimeKind
+from repro.isa import ArchState, assemble, execute
+
+
+class _FakeEvent:
+    def __init__(self, instr, result):
+        self.instr = instr
+        self.result = result
+
+
+def commit(source):
+    """Execute one instruction and wrap it as a commit event."""
+    program = assemble(source)
+    state = ArchState(pc=program.entry_pc)
+    state.write_int(1, 0x2000)
+    state.write_int(2, 0x55)
+    instr = program.fetch(state.pc)
+    result = execute(instr, state)
+    return _FakeEvent(instr, result)
+
+
+class TestDeu:
+    def test_load_extracted(self):
+        deu = DataExtractionUnit()
+        entry = deu.extract_runtime(commit("ld x3, 0(x1)"))
+        assert entry.rkind is RuntimeKind.LOAD
+        assert entry.addr == 0x2000
+
+    def test_store_extracted_with_data(self):
+        deu = DataExtractionUnit()
+        entry = deu.extract_runtime(commit("sd x2, 8(x1)"))
+        assert entry.rkind is RuntimeKind.STORE
+        assert entry.addr == 0x2008
+        assert entry.data == 0x55
+
+    def test_csr_extracted(self):
+        deu = DataExtractionUnit()
+        entry = deu.extract_runtime(commit("csrrs x3, 0x300, x0"))
+        assert entry.rkind is RuntimeKind.CSR
+        assert entry.addr == 0x300
+
+    def test_alu_not_extracted(self):
+        deu = DataExtractionUnit()
+        assert deu.extract_runtime(commit("add x3, x1, x2")) is None
+
+    def test_branch_not_extracted(self):
+        deu = DataExtractionUnit()
+        assert deu.extract_runtime(commit("beq x0, x0, 8")) is None
+
+    def test_disabled_extracts_nothing(self):
+        deu = DataExtractionUnit()
+        deu.set_enabled(False)
+        assert deu.extract_runtime(commit("ld x3, 0(x1)")) is None
+        state = ArchState()
+        assert deu.extract_status(state, 0, 0, 0) is None
+
+    def test_status_snapshot_contents(self):
+        deu = DataExtractionUnit()
+        state = ArchState()
+        state.write_int(5, 99)
+        state.write_csr(0x300, 7)
+        snap = deu.extract_status(state, rcp_id=3, seg_id=1, next_pc=0x1234)
+        assert snap.int_regs[5] == 99
+        assert snap.csrs[0x300] == 7
+        assert snap.pc == 0x1234
+        assert snap.rcp_id == 3
+
+    def test_extraction_latency(self):
+        # 64 registers over 4 read ports + a cycle for CSR slots.
+        deu = DataExtractionUnit(prf_read_ports=4)
+        assert deu.status_extraction_cycles == 17
+        wide = DataExtractionUnit(prf_read_ports=8)
+        assert wide.status_extraction_cycles < 17
+
+    def test_parity_checked_on_forward(self):
+        deu = DataExtractionUnit()
+        deu.extract_runtime(commit("ld x3, 0(x1)"))
+        assert deu.parity_checks == 1
+        assert deu.parity_errors == 0
+
+    def test_sequence_numbers_increase(self):
+        deu = DataExtractionUnit()
+        first = deu.extract_runtime(commit("ld x3, 0(x1)"))
+        second = deu.extract_runtime(commit("ld x3, 0(x1)"))
+        assert second.seq == first.seq + 1
+
+
+class TestControllerStallAccounting:
+    def run_mixed(self, fabric_kind="f2", cores=4):
+        program = assemble("""
+            li   t0, 0
+            li   t1, 800
+            li   t2, 0x2000
+        loop:
+            sd   t0, 0(t2)
+            ld   t3, 0(t2)
+            add  t4, t4, t3
+            addi t2, t2, 8
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            ecall
+        """)
+        config = default_meek_config(num_little_cores=cores,
+                                     fabric_kind=fabric_kind)
+        return MeekSystem(config).run(program)
+
+    def test_collecting_stalls_proportional_to_rcps(self):
+        result = self.run_mixed()
+        per_rcp = result.controller.deu.status_extraction_cycles
+        expected = per_rcp * len(result.segments)
+        assert result.stall_cycles(StallReason.COLLECTING) == expected
+
+    def test_axi_forwarding_stalls_dominate(self):
+        f2 = self.run_mixed("f2")
+        axi = self.run_mixed("axi")
+        assert (axi.stall_cycles(StallReason.FORWARDING)
+                > 5 * f2.stall_cycles(StallReason.FORWARDING))
+
+    def test_single_core_serializes(self):
+        one = self.run_mixed(cores=1)
+        four = self.run_mixed(cores=4)
+        assert (one.stall_cycles(StallReason.LITTLE_CORE)
+                > four.stall_cycles(StallReason.LITTLE_CORE))
+
+    def test_controller_stats_end_reasons_sum(self):
+        result = self.run_mixed()
+        stats = result.controller.stats()
+        assert sum(stats["end_reasons"].values()) == stats["segments"]
+
+    def test_rcp_count_is_segments_plus_initial(self):
+        result = self.run_mixed()
+        stats = result.controller.stats()
+        assert stats["rcp_count"] == stats["segments"] + 1

@@ -1,0 +1,99 @@
+"""Tests for the Load-Store Log occupancy model and segments."""
+
+import pytest
+
+from repro.common.config import LslConfig
+from repro.common.errors import SimulationError
+from repro.core.lsl import LoadStoreLog
+from repro.core.segments import Segment, SegmentEndReason
+from repro.fabric.packets import StatusSnapshot
+
+
+def make_lsl(entries=4):
+    return LoadStoreLog(LslConfig(size_bytes=entries * 16), core_id=0)
+
+
+def make_snapshot(pc=0x1000):
+    return StatusSnapshot(0, 0, pc, [0] * 32, [0] * 32, {})
+
+
+class TestLoadStoreLog:
+    def test_capacity_from_config(self):
+        assert make_lsl(4).capacity == 4
+        assert LoadStoreLog(LslConfig(), core_id=0).capacity == 256
+
+    def test_occupancy_counts_delivered_unconsumed(self):
+        lsl = make_lsl()
+        lsl.record_delivery(10)
+        lsl.record_delivery(20)
+        assert lsl.occupancy(5) == 0
+        assert lsl.occupancy(15) == 1
+        assert lsl.occupancy(25) == 2
+
+    def test_consumption_drains(self):
+        lsl = make_lsl()
+        lsl.record_delivery(10)
+        lsl.record_consumption(30)
+        assert lsl.occupancy(20) == 1
+        assert lsl.occupancy(30) == 0
+
+    def test_outstanding_counts_in_flight(self):
+        lsl = make_lsl()
+        lsl.record_delivery(100)  # still in flight at t=0
+        assert lsl.outstanding(0) == 1
+        assert lsl.occupancy(0) == 0
+
+    def test_would_overflow(self):
+        lsl = make_lsl(entries=2)
+        lsl.record_delivery(0)
+        lsl.record_delivery(0)
+        assert lsl.would_overflow(1)
+
+    def test_over_consumption_rejected(self):
+        lsl = make_lsl()
+        lsl.record_delivery(0)
+        lsl.record_consumption(1)
+        with pytest.raises(SimulationError):
+            lsl.record_consumption(2)
+
+    def test_monotonic_clamping(self):
+        lsl = make_lsl()
+        lsl.record_delivery(50)
+        lsl.record_delivery(10)  # fabric preserves ordering
+        assert lsl.occupancy(50) == 2
+
+    def test_bind_segment_resets(self):
+        lsl = make_lsl()
+        lsl.record_delivery(0)
+        lsl.bind_segment()
+        assert lsl.occupancy(100) == 0
+        assert lsl.total_entries == 1  # lifetime statistic survives
+
+    def test_peak_occupancy_tracked(self):
+        lsl = make_lsl()
+        for _ in range(3):
+            lsl.record_delivery(0)
+        lsl.occupancy(10)
+        assert lsl.peak_occupancy == 3
+
+
+class TestSegment:
+    def test_lifecycle(self):
+        seg = Segment(0, 0x1000, make_snapshot(), srcp_delivery=5,
+                      assigned_core=1, start_cycle=10)
+        assert not seg.closed
+        seg.close(100, SegmentEndReason.TIMEOUT, make_snapshot(0x2000),
+                  ercp_delivery=110, end_pc=0x2000)
+        assert seg.closed
+        assert seg.end_reason is SegmentEndReason.TIMEOUT
+        assert seg.ercp_delivery == 110
+
+    def test_entry_bookkeeping(self):
+        seg = Segment(0, 0x1000, make_snapshot(), 0, 0, 0)
+        seg.add_entry("entry", 42)
+        assert seg.num_entries == 1
+        assert seg.entry_deliveries == [42]
+
+    def test_repr_stable(self):
+        seg = Segment(3, 0x1000, make_snapshot(), 0, 2, 0)
+        assert "Segment(3" in repr(seg)

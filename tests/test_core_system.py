@@ -1,0 +1,187 @@
+"""Integration tests for the full MEEK system.
+
+The strongest invariant of the whole reproduction: in a fault-free run
+the checkers, which genuinely re-execute every segment and compare
+against the log and the register checkpoints, must never flag an error
+— across every workload, fabric, and core count.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import default_meek_config
+from repro.core.segments import SegmentEndReason
+from repro.core.system import MeekSystem, run_vanilla, slowdown
+from repro.isa import assemble
+from repro.workloads import generate_program, get_profile
+
+
+def small_workload(name="hmmer", instructions=4000, seed=0):
+    return generate_program(get_profile(name),
+                            dynamic_instructions=instructions, seed=seed)
+
+
+MIXED_PROGRAM = assemble("""
+    li   t0, 0
+    li   t1, 400
+    li   t2, 0x2000
+    li   t5, 7
+    fcvt.d.l f1, t5
+    fcvt.d.l f2, t1
+loop:
+    sd   t0, 0(t2)
+    ld   t3, 0(t2)
+    fadd.d f1, f1, f2
+    fsd  f1, 8(t2)
+    fld  f3, 8(t2)
+    ori  t4, t3, 1
+    div  t5, t1, t4
+    csrrs t6, 0x300, x0
+    addi t2, t2, 16
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    ecall
+""")
+
+
+class TestFaultFreeVerification:
+    def test_mixed_program_verifies(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        assert result.all_segments_verified
+        assert result.detections == []
+        assert len(result.segments) >= 2
+
+    @pytest.mark.parametrize("workload", ["hmmer", "mcf", "swaptions",
+                                          "blackscholes", "gcc"])
+    def test_workloads_verify(self, workload):
+        program = small_workload(workload)
+        result = MeekSystem(default_meek_config()).run(program)
+        assert result.all_segments_verified, (
+            f"{workload}: false positive {result.detections}")
+
+    @pytest.mark.parametrize("fabric", ["f2", "axi", "ideal"])
+    def test_all_fabrics_verify(self, fabric):
+        program = small_workload()
+        config = default_meek_config(fabric_kind=fabric)
+        result = MeekSystem(config).run(program)
+        assert result.all_segments_verified
+
+    @pytest.mark.parametrize("cores", [1, 2, 3, 4, 6, 8])
+    def test_all_core_counts_verify(self, cores):
+        program = small_workload()
+        config = default_meek_config(num_little_cores=cores)
+        result = MeekSystem(config).run(program)
+        assert result.all_segments_verified
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=8, deadline=None)
+    def test_random_workloads_verify(self, seed):
+        program = small_workload("ferret", instructions=2500, seed=seed)
+        result = MeekSystem(default_meek_config()).run(program)
+        assert result.all_segments_verified
+
+
+class TestSegmentation:
+    def test_every_instruction_covered(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        assert sum(s.instr_count for s in result.segments) == \
+            result.instructions
+
+    def test_final_segment_is_trap_or_end(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        last = result.segments[-1]
+        assert last.end_reason in (SegmentEndReason.KERNEL_TRAP,
+                                   SegmentEndReason.PROGRAM_END)
+
+    def test_lsl_full_closes_segments(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        reasons = {s.end_reason for s in result.segments}
+        assert SegmentEndReason.LSL_FULL in reasons
+
+    def test_timeout_trigger(self):
+        # A compute-only loop logs almost nothing: segments close at
+        # the 5000-instruction timeout.
+        program = assemble("""
+            li t0, 0
+            li t1, 4000
+        loop:
+            add t2, t2, t0
+            xor t3, t2, t0
+            addi t0, t0, 1
+            bne t0, t1, loop
+            ecall
+        """)
+        result = MeekSystem(default_meek_config()).run(program)
+        reasons = [s.end_reason for s in result.segments]
+        assert SegmentEndReason.TIMEOUT in reasons
+        timed_out = [s for s in result.segments
+                     if s.end_reason is SegmentEndReason.TIMEOUT]
+        assert all(s.instr_count == 5000 for s in timed_out)
+
+    def test_segments_alternate_cores(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        cores = [s.assigned_core for s in result.segments]
+        assert all(a != b for a, b in zip(cores, cores[1:]))
+
+    def test_entries_match_memory_and_csr_ops(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        total_entries = sum(s.num_entries for s in result.segments)
+        # 4 memory ops + 1 CSR op per iteration of MIXED_PROGRAM.
+        assert total_entries == 400 * 5
+
+
+class TestTiming:
+    def test_meek_never_faster_than_vanilla(self):
+        program = small_workload()
+        vanilla = run_vanilla(program)
+        meek = MeekSystem(default_meek_config()).run(program)
+        assert meek.cycles >= vanilla.cycles
+
+    def test_checking_disabled_matches_vanilla(self):
+        from dataclasses import replace
+        program = small_workload()
+        vanilla = run_vanilla(program)
+        config = replace(default_meek_config(), checking_enabled=False)
+        meek = MeekSystem(config).run(program)
+        assert meek.cycles == vanilla.cycles
+        assert meek.segments == []
+
+    def test_fewer_cores_never_faster(self):
+        program = small_workload("swaptions", instructions=6000)
+        two = MeekSystem(default_meek_config(num_little_cores=2)).run(program)
+        six = MeekSystem(default_meek_config(num_little_cores=6)).run(program)
+        assert two.cycles >= six.cycles
+
+    def test_drain_not_before_big_core_end(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        assert result.drain_cycle >= result.cycles
+
+    def test_determinism(self):
+        program = small_workload()
+        a = MeekSystem(default_meek_config()).run(program)
+        b = MeekSystem(default_meek_config()).run(program)
+        assert a.cycles == b.cycles
+        assert len(a.segments) == len(b.segments)
+
+    def test_stall_accounting_nonnegative(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        for reason, cycles in result.controller.stall_cycles.items():
+            assert cycles >= 0, reason
+
+
+class TestStatsSurface:
+    def test_stats_dict(self):
+        result = MeekSystem(default_meek_config()).run(MIXED_PROGRAM)
+        stats = result.stats()
+        assert stats["instructions"] == result.instructions
+        assert stats["controller"]["segments"] == len(result.segments)
+        assert stats["controller"]["deu"]["status_records"] >= \
+            len(result.segments)
+
+    def test_slowdown_helper(self):
+        program = small_workload()
+        vanilla = run_vanilla(program)
+        meek = MeekSystem(default_meek_config()).run(program)
+        assert slowdown(meek, vanilla) == pytest.approx(
+            meek.cycles / vanilla.cycles)

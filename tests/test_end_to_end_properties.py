@@ -1,0 +1,104 @@
+"""Cross-cutting property tests over the whole stack.
+
+These are the invariants that make the reproduction trustworthy:
+determinism, functional equivalence between the three execution engines
+(big core, little core, checker replay), conservation of log entries,
+and the soundness/latency properties of detection.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigcore.core import run_program
+from repro.common.config import default_meek_config
+from repro.common.prng import DeterministicRng
+from repro.core.faults import FaultInjector
+from repro.core.system import MeekSystem, run_vanilla
+from repro.littlecore.core import LittleCore
+from repro.workloads import generate_program, get_profile
+
+WORKLOAD_NAMES = st.sampled_from(["hmmer", "dedup", "blackscholes",
+                                  "swaptions", "sjeng"])
+
+
+@settings(max_examples=6, deadline=None)
+@given(name=WORKLOAD_NAMES, seed=st.integers(0, 20))
+def test_three_engines_agree_architecturally(name, seed):
+    """Big core, little core and (implicitly, via verification) the
+    checker all compute the same architectural result."""
+    program = generate_program(get_profile(name),
+                               dynamic_instructions=1500, seed=seed)
+    big = run_program(program)
+    little = LittleCore().run(program)
+    assert big.state.int_regs == little.state.int_regs
+    assert big.state.fp_regs == little.state.fp_regs
+    meek = MeekSystem(default_meek_config()).run(program)
+    assert meek.all_segments_verified
+    assert meek.big.state.int_regs == big.state.int_regs
+
+
+@settings(max_examples=6, deadline=None)
+@given(name=WORKLOAD_NAMES, seed=st.integers(0, 20))
+def test_log_entry_conservation(name, seed):
+    """Every committed memory/CSR operation produces exactly one log
+    entry, and every entry is consumed by its checker."""
+    program = generate_program(get_profile(name),
+                               dynamic_instructions=1500, seed=seed)
+    meek = MeekSystem(default_meek_config()).run(program)
+    deu_records = meek.controller.deu.runtime_records
+    segment_entries = sum(s.num_entries for s in meek.segments)
+    assert deu_records == segment_entries
+    consumed = sum(meek.controller.checkers[s.seg_id].next_entry
+                   for s in meek.segments)
+    assert consumed == segment_entries
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_detection_latency_properties(seed):
+    """Detections always postdate injections; latencies are finite and
+    bounded by the run's drain time."""
+    program = generate_program(get_profile("ferret"),
+                               dynamic_instructions=4000, seed=0)
+    injector = FaultInjector(DeterministicRng(seed), rate=0.02)
+    meek = MeekSystem(default_meek_config(), injector=injector).run(program)
+    for record in injector.injections:
+        if record.detected:
+            assert record.detect_cycle >= record.cycle
+            assert record.detect_cycle <= meek.drain_cycle + 1000
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_vanilla_equals_meek_functionally(seed):
+    """MEEK changes *when* commits happen, never *what* they compute."""
+    program = generate_program(get_profile("bzip2"),
+                               dynamic_instructions=1500, seed=seed)
+    vanilla = run_vanilla(program)
+    meek = MeekSystem(default_meek_config()).run(program)
+    assert meek.big.state.int_regs == vanilla.state.int_regs
+    assert meek.big.instructions == vanilla.instructions
+
+
+def test_segment_boundaries_partition_commit_stream():
+    """Segments tile the committed instruction stream with no overlap
+    and no gap, in commit order."""
+    program = generate_program(get_profile("gcc"),
+                               dynamic_instructions=5000)
+    meek = MeekSystem(default_meek_config()).run(program)
+    assert sum(s.instr_count for s in meek.segments) == meek.instructions
+    closes = [s.close_cycle for s in meek.segments]
+    assert closes == sorted(closes)
+    starts = [s.start_cycle for s in meek.segments]
+    for close, next_start in zip(closes, starts[1:]):
+        assert next_start >= close
+
+
+def test_checker_finish_after_segment_close():
+    program = generate_program(get_profile("hmmer"),
+                               dynamic_instructions=4000)
+    meek = MeekSystem(default_meek_config()).run(program)
+    for verdict in meek.verdicts:
+        segment = meek.segments[verdict.seg_id]
+        assert verdict.finish_cycle >= segment.close_cycle

@@ -1,0 +1,206 @@
+"""Tests for packets, DC-Buffers and the two fabrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import AxiConfig, FabricConfig
+from repro.fabric.axi import AxiInterconnect
+from repro.fabric.base import build_fabric
+from repro.fabric.dcbuffer import DcBufferModel
+from repro.fabric.hmnoc import HmNocFabric, IdealFabric, _grid_positions
+from repro.fabric.packets import (
+    Packet,
+    PacketKind,
+    RUNTIME_RECORD_BITS,
+    RuntimeEntry,
+    RuntimeKind,
+    STATUS_RECORD_BITS,
+    StatusSnapshot,
+)
+
+
+def runtime_packet(dests=(0,), cycle=0):
+    entry = RuntimeEntry(RuntimeKind.LOAD, 0x2000, 0xDEAD, 8)
+    return Packet(PacketKind.RUNTIME, entry, seg_id=0, created_cycle=cycle,
+                  dests=dests)
+
+
+def status_packet(dests=(0, 1), cycle=0):
+    snap = StatusSnapshot(0, 0, 0x1000, [0] * 32, [0] * 32, {})
+    return Packet(PacketKind.STATUS, snap, seg_id=0, created_cycle=cycle,
+                  dests=dests)
+
+
+class TestPackets:
+    def test_runtime_size(self):
+        assert runtime_packet().size_bits == RUNTIME_RECORD_BITS
+
+    def test_status_size(self):
+        assert status_packet().size_bits == STATUS_RECORD_BITS
+
+    def test_status_is_much_larger(self):
+        assert STATUS_RECORD_BITS > 25 * RUNTIME_RECORD_BITS
+
+    def test_flit_counts_by_width(self):
+        pkt = runtime_packet()
+        assert pkt.flit_count(256) == 1
+        assert pkt.flit_count(128) == 2
+
+    def test_status_flits(self):
+        pkt = status_packet()
+        assert pkt.flit_count(256) == -(-STATUS_RECORD_BITS // 256)
+
+    def test_entry_parity_roundtrip(self):
+        entry = RuntimeEntry(RuntimeKind.STORE, 0x100, 0xFF, 8)
+        assert entry.parity_ok
+
+    def test_entry_parity_detects_flip(self):
+        entry = RuntimeEntry(RuntimeKind.STORE, 0x100, 0xFF, 8)
+        entry.data ^= 1
+        assert not entry.parity_ok
+
+    def test_entry_copy_independent(self):
+        entry = RuntimeEntry(RuntimeKind.LOAD, 0x100, 1, 8)
+        clone = entry.copy()
+        clone.data = 99
+        assert entry.data == 1
+
+    def test_snapshot_matches(self):
+        snap = StatusSnapshot(0, 0, 0x1000, list(range(32)), [0] * 32,
+                              {0x300: 7})
+        assert snap.matches(list(range(32)), [0] * 32, {0x300: 7}, 0x1000)
+
+    def test_snapshot_detects_register_diff(self):
+        snap = StatusSnapshot(0, 0, 0x1000, [0] * 32, [0] * 32, {})
+        regs = [0] * 32
+        regs[5] = 1
+        assert not snap.matches(regs, [0] * 32, {}, 0x1000)
+
+    def test_snapshot_detects_pc_diff(self):
+        snap = StatusSnapshot(0, 0, 0x1000, [0] * 32, [0] * 32, {})
+        assert not snap.matches([0] * 32, [0] * 32, {}, 0x1004)
+
+    def test_snapshot_detects_csr_diff(self):
+        snap = StatusSnapshot(0, 0, 0x1000, [0] * 32, [0] * 32, {0x300: 5})
+        assert not snap.matches([0] * 32, [0] * 32, {0x300: 6}, 0x1000)
+
+
+class TestDcBuffer:
+    def test_no_stall_with_room(self):
+        buf = DcBufferModel(4, 4)
+        assert buf.push("runtime", [10.0], now=5) == 5
+
+    def test_stall_when_full(self):
+        buf = DcBufferModel(4, 2)
+        # Two flits pending far in the future fill the runtime channel.
+        buf.push("runtime", [100.0, 101.0], now=0)
+        stall_until = buf.push("runtime", [102.0], now=1)
+        assert stall_until == 100.0
+        assert buf.stall_cycles == 99.0
+
+    def test_drained_flits_free_slots(self):
+        buf = DcBufferModel(4, 2)
+        buf.push("runtime", [10.0, 11.0], now=0)
+        # By cycle 20 both have been accepted; no stall.
+        assert buf.push("runtime", [25.0, 26.0], now=20) == 20
+
+    def test_channels_independent(self):
+        buf = DcBufferModel(1, 1)
+        buf.push("status", [100.0], now=0)
+        assert buf.push("runtime", [100.0], now=0) == 0
+
+    def test_occupancy(self):
+        buf = DcBufferModel(8, 8)
+        buf.push("runtime", [50.0, 60.0], now=0)
+        assert buf.occupancy("runtime", 0) == 2
+        assert buf.occupancy("runtime", 55) == 1
+        assert buf.occupancy("runtime", 70) == 0
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e4), min_size=1,
+                    max_size=40))
+    def test_push_never_returns_past(self, accepts):
+        buf = DcBufferModel(4, 4)
+        result = buf.push("runtime", sorted(accepts), now=0)
+        assert result >= 0
+
+
+class TestHmNoc:
+    def make(self, cores=4):
+        return HmNocFabric(FabricConfig(), cores)
+
+    def test_grid_excludes_origin(self):
+        assert (0, 0) not in _grid_positions(8)
+
+    def test_two_packets_per_cycle(self):
+        fabric = self.make()
+        reports = [fabric.send(runtime_packet(), 0) for _ in range(8)]
+        # 8 single-flit packets at 2/cycle finish within ~4 cycles.
+        assert reports[-1].last_accept <= 5
+
+    def test_bandwidth_queueing(self):
+        fabric = self.make()
+        first = fabric.send(status_packet(dests=(0,)), 0)
+        second = fabric.send(runtime_packet(), 0)
+        # The runtime packet queues behind the multi-flit status one.
+        assert second.accept_times[0] > first.accept_times[0]
+
+    def test_multicast_sends_once(self):
+        single = self.make()
+        multi = self.make()
+        r1 = single.send(status_packet(dests=(0,)), 0)
+        r2 = multi.send(status_packet(dests=(0, 1)), 0)
+        assert len(r1.accept_times) == len(r2.accept_times)
+        assert set(r2.delivery_times) == {0, 1}
+
+    def test_delivery_after_accept(self):
+        fabric = self.make()
+        report = fabric.send(runtime_packet(), 10)
+        assert report.delivery_times[0] > report.last_accept
+
+    def test_farther_cores_deliver_later(self):
+        fabric = self.make(cores=6)
+        report = fabric.send(status_packet(dests=(0, 5)), 0)
+        assert report.delivery_times[5] >= report.delivery_times[0]
+
+    def test_utilization_bounded(self):
+        fabric = self.make()
+        for _ in range(10):
+            fabric.send(runtime_packet(), 0)
+        assert 0.0 < fabric.utilization(100) <= 1.0
+
+
+class TestAxi:
+    def make(self, cores=4):
+        return AxiInterconnect(AxiConfig(), cores)
+
+    def test_slower_than_f2(self):
+        axi = self.make()
+        noc = HmNocFabric(FabricConfig(), 4)
+        pkt_a = status_packet(dests=(0,))
+        pkt_b = status_packet(dests=(0,))
+        assert (axi.send(pkt_a, 0).last_accept
+                > noc.send(pkt_b, 0).last_accept)
+
+    def test_unicast_duplicates_transfers(self):
+        axi = self.make()
+        one = axi.send(runtime_packet(dests=(0,)), 0)
+        axi2 = self.make()
+        two = axi2.send(runtime_packet(dests=(0, 1)), 0)
+        assert len(two.accept_times) == 2 * len(one.accept_times)
+
+    def test_runs_in_slow_domain(self):
+        axi = self.make()
+        report = axi.send(runtime_packet(), 0)
+        # 2 flits of a 137-bit record over a 128-bit bus at 1.6 GHz:
+        # 2 beats x 2 big cycles each.
+        assert report.last_accept == pytest.approx(4.0)
+
+
+class TestFactory:
+    def test_builds_all_kinds(self):
+        assert isinstance(build_fabric(FabricConfig(), 4), HmNocFabric)
+        assert isinstance(build_fabric(AxiConfig(), 4), AxiInterconnect)
+        ideal = FabricConfig(kind="ideal", width_bits=512,
+                             packets_per_cycle=8)
+        assert isinstance(build_fabric(ideal, 4), IdealFabric)

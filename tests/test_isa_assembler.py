@@ -1,0 +1,191 @@
+"""Unit tests for the assembler and program container."""
+
+import pytest
+
+from repro.common.errors import AssemblerError, SimulationError
+from repro.isa import assemble
+from repro.isa.instructions import Instruction
+
+
+class TestBasicAssembly:
+    def test_simple_add(self):
+        program = assemble("add x1, x2, x3")
+        assert program.instructions == [Instruction("add", rd=1, rs1=2, rs2=3)]
+
+    def test_abi_names(self):
+        program = assemble("add ra, sp, gp")
+        assert program.instructions == [Instruction("add", rd=1, rs1=2, rs2=3)]
+
+    def test_immediate_forms(self):
+        program = assemble("addi t0, t0, -7")
+        instr = program.instructions[0]
+        assert instr.imm == -7
+
+    def test_hex_immediate(self):
+        program = assemble("addi t0, zero, 0x7f")
+        assert program.instructions[0].imm == 0x7F
+
+    def test_load_store_operands(self):
+        program = assemble("""
+            ld a0, 8(sp)
+            sd a0, -16(sp)
+        """)
+        load, store = program.instructions
+        assert (load.rd, load.rs1, load.imm) == (10, 2, 8)
+        assert (store.rs2, store.rs1, store.imm) == (10, 2, -16)
+
+    def test_comments_ignored(self):
+        program = assemble("""
+            # full-line comment
+            add x1, x2, x3  // trailing comment
+            add x4, x5, x6  # other comment style
+        """)
+        assert len(program) == 2
+
+    def test_fp_registers(self):
+        program = assemble("fadd.d ft0, fa0, fs1")
+        instr = program.instructions[0]
+        assert (instr.rd, instr.rs1, instr.rs2) == (0, 10, 9)
+
+    def test_csr_by_name(self):
+        program = assemble("csrrw a0, mstatus, a1")
+        assert program.instructions[0].imm == 0x300
+
+    def test_meek_instructions(self):
+        program = assemble("""
+            b.hook a0, a1
+            b.check a0
+            l.mode a0, a1
+            l.record sp
+            l.apply a0
+            l.jal a0
+            l.rslt a0
+        """)
+        assert [i.op for i in program.instructions] == [
+            "b.hook", "b.check", "l.mode", "l.record", "l.apply",
+            "l.jal", "l.rslt"]
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        program = assemble("""
+        loop:
+            addi t0, t0, 1
+            bne t0, t1, loop
+        """)
+        branch = program.instructions[1]
+        assert branch.imm == -4
+
+    def test_forward_branch(self):
+        program = assemble("""
+            beq t0, t1, done
+            addi t0, t0, 1
+        done:
+            ecall
+        """)
+        assert program.instructions[0].imm == 8
+
+    def test_label_on_same_line(self):
+        program = assemble("entry: addi t0, zero, 1")
+        assert program.pc_of_label("entry") == program.base
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\n  nop")
+
+    def test_jal_to_label(self):
+        program = assemble("""
+            jal ra, func
+            ecall
+        func:
+            ret
+        """)
+        assert program.instructions[0].imm == 8
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        program = assemble("nop")
+        assert program.instructions[0] == Instruction("addi")
+
+    def test_mv(self):
+        program = assemble("mv a0, a1")
+        assert program.instructions[0] == Instruction("addi", rd=10, rs1=11)
+
+    def test_li_small(self):
+        program = assemble("li a0, 42")
+        assert len(program) == 1
+        assert program.instructions[0].op == "addi"
+
+    def test_li_large_expands(self):
+        program = assemble("li a0, 0x12345")
+        assert [i.op for i in program.instructions] == ["lui", "addi"]
+
+    def test_li_large_label_offsets_stay_consistent(self):
+        program = assemble("""
+            li a0, 0x12345
+        target:
+            j target
+        """)
+        # The jump must land on itself even though li expanded to two
+        # instructions before it.
+        assert program.instructions[2].imm == 0
+
+    def test_ret(self):
+        program = assemble("ret")
+        instr = program.instructions[0]
+        assert (instr.op, instr.rd, instr.rs1, instr.imm) == ("jalr", 0, 1, 0)
+
+    def test_beqz(self):
+        program = assemble("""
+        top:
+            beqz t0, top
+        """)
+        instr = program.instructions[0]
+        assert (instr.op, instr.rs2) == ("beq", 0)
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate x1, x2")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add x1, x2, x99")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add x1, x2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("ld a0, a1")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi x1, x2, banana")
+
+
+class TestProgram:
+    def test_fetch_by_pc(self):
+        program = assemble("add x1, x2, x3\nadd x4, x5, x6")
+        assert program.fetch(program.base).op == "add"
+        assert program.fetch(program.base + 4).rd == 4
+
+    def test_fetch_past_end_returns_none(self):
+        program = assemble("nop")
+        assert program.fetch(program.base + 4) is None
+
+    def test_fetch_misaligned_raises(self):
+        program = assemble("nop")
+        with pytest.raises(SimulationError):
+            program.fetch(program.base + 2)
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(SimulationError):
+            assemble("nop").pc_of_label("missing")
+
+    def test_end_pc(self):
+        program = assemble("nop\nnop")
+        assert program.end_pc == program.base + 8

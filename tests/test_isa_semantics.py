@@ -1,0 +1,401 @@
+"""Unit tests for the functional executor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import to_signed, to_unsigned
+from repro.common.errors import PrivilegeError
+from repro.isa import ArchState, Memory, assemble, execute
+from repro.isa.state import bits_to_float, float_to_bits
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+I64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+def run(source, state=None, max_steps=10_000, meek_handler=None):
+    """Assemble and run to completion (ecall/ebreak or falling off)."""
+    program = assemble(source)
+    if state is None:
+        state = ArchState(pc=program.entry_pc)
+    else:
+        state.pc = program.entry_pc
+    program.data.apply(state.memory)
+    for _ in range(max_steps):
+        instr = program.fetch(state.pc)
+        if instr is None:
+            return state
+        result = execute(instr, state, meek_handler=meek_handler)
+        if result.trap:
+            return state
+    raise AssertionError("program did not terminate")
+
+
+class TestIntegerAlu:
+    def test_add_wraps(self):
+        state = ArchState()
+        state.write_int(1, (1 << 64) - 1)
+        state.write_int(2, 1)
+        run("add x3, x1, x2", state)
+        assert state.read_int(3) == 0
+
+    def test_sub(self):
+        state = ArchState()
+        state.write_int(1, 5)
+        state.write_int(2, 7)
+        run("sub x3, x1, x2", state)
+        assert to_signed(state.read_int(3)) == -2
+
+    def test_x0_stays_zero(self):
+        state = run("addi x0, x0, 5")
+        assert state.read_int(0) == 0
+
+    def test_logic_ops(self):
+        state = ArchState()
+        state.write_int(1, 0b1100)
+        state.write_int(2, 0b1010)
+        run("""
+            and x3, x1, x2
+            or  x4, x1, x2
+            xor x5, x1, x2
+        """, state)
+        assert state.read_int(3) == 0b1000
+        assert state.read_int(4) == 0b1110
+        assert state.read_int(5) == 0b0110
+
+    def test_shifts(self):
+        state = ArchState()
+        state.write_int(1, to_unsigned(-8))
+        run("""
+            srai x2, x1, 1
+            srli x3, x1, 1
+            slli x4, x1, 1
+        """, state)
+        assert to_signed(state.read_int(2)) == -4
+        assert state.read_int(3) == to_unsigned(-8) >> 1
+        assert to_signed(state.read_int(4)) == -16
+
+    def test_slt_signed_vs_unsigned(self):
+        state = ArchState()
+        state.write_int(1, to_unsigned(-1))
+        state.write_int(2, 1)
+        run("""
+            slt  x3, x1, x2
+            sltu x4, x1, x2
+        """, state)
+        assert state.read_int(3) == 1  # -1 < 1 signed
+        assert state.read_int(4) == 0  # 0xFFF..F > 1 unsigned
+
+    def test_lui_auipc(self):
+        state = run("lui x1, 0x12345")
+        assert state.read_int(1) == 0x12345000
+
+    @given(I64, I64)
+    def test_add_matches_python(self, a, b):
+        state = ArchState()
+        state.write_int(1, to_unsigned(a))
+        state.write_int(2, to_unsigned(b))
+        run("add x3, x1, x2", state)
+        assert to_signed(state.read_int(3)) == to_signed(to_unsigned(a + b))
+
+
+class TestMulDiv:
+    def test_mul(self):
+        state = ArchState()
+        state.write_int(1, 7)
+        state.write_int(2, 6)
+        run("mul x3, x1, x2", state)
+        assert state.read_int(3) == 42
+
+    def test_div_negative(self):
+        state = ArchState()
+        state.write_int(1, to_unsigned(-7))
+        state.write_int(2, 2)
+        run("div x3, x1, x2", state)
+        assert to_signed(state.read_int(3)) == -3  # trunc toward zero
+
+    def test_div_by_zero_gives_minus_one(self):
+        state = ArchState()
+        state.write_int(1, 99)
+        run("div x3, x1, x0", state)
+        assert to_signed(state.read_int(3)) == -1
+
+    def test_divu_by_zero_gives_all_ones(self):
+        state = ArchState()
+        state.write_int(1, 99)
+        run("divu x3, x1, x0", state)
+        assert state.read_int(3) == (1 << 64) - 1
+
+    def test_rem_by_zero_gives_dividend(self):
+        state = ArchState()
+        state.write_int(1, 99)
+        run("rem x3, x1, x0", state)
+        assert state.read_int(3) == 99
+
+    def test_div_overflow(self):
+        state = ArchState()
+        state.write_int(1, 1 << 63)  # INT64_MIN
+        state.write_int(2, to_unsigned(-1))
+        run("div x3, x1, x2", state)
+        assert state.read_int(3) == 1 << 63
+
+    @given(I64, I64)
+    def test_div_rem_identity(self, a, b):
+        state = ArchState()
+        state.write_int(1, to_unsigned(a))
+        state.write_int(2, to_unsigned(b))
+        run("""
+            div x3, x1, x2
+            rem x4, x1, x2
+        """, state)
+        if b != 0 and not (a == -(1 << 63) and b == -1):
+            q = to_signed(state.read_int(3))
+            r = to_signed(state.read_int(4))
+            assert q * b + r == a
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        state = ArchState()
+        state.write_int(1, 0x2000)
+        state.write_int(2, 0xDEADBEEF)
+        run("""
+            sd x2, 0(x1)
+            ld x3, 0(x1)
+        """, state)
+        assert state.read_int(3) == 0xDEADBEEF
+
+    def test_subword_sign_extension(self):
+        state = ArchState()
+        state.write_int(1, 0x2000)
+        state.write_int(2, 0xFF)
+        run("""
+            sb x2, 0(x1)
+            lb x3, 0(x1)
+            lbu x4, 0(x1)
+        """, state)
+        assert to_signed(state.read_int(3)) == -1
+        assert state.read_int(4) == 0xFF
+
+    def test_word_access(self):
+        state = ArchState()
+        state.write_int(1, 0x2000)
+        state.write_int(2, 0x1_FFFF_FFFF)
+        run("""
+            sw x2, 4(x1)
+            lwu x3, 4(x1)
+        """, state)
+        assert state.read_int(3) == 0xFFFF_FFFF
+
+    def test_memory_bytes_independent(self):
+        mem = Memory()
+        mem.store(0x100, 0xAA, 1)
+        mem.store(0x101, 0xBB, 1)
+        assert mem.load(0x100, 1) == 0xAA
+        assert mem.load(0x101, 1) == 0xBB
+        assert mem.load(0x100, 2) == 0xBBAA
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        state = run("""
+            li t0, 0
+            li t1, 10
+        loop:
+            addi t0, t0, 1
+            bne t0, t1, loop
+        """)
+        assert state.read_int(5) == 10
+
+    def test_jal_links(self):
+        state = run("""
+            jal ra, target
+            ecall
+        target:
+            li a0, 1
+        """)
+        assert state.read_int(10) == 1
+        assert state.read_int(1) != 0
+
+    def test_jalr_returns(self):
+        state = run("""
+            li a0, 0
+            call func
+            addi a0, a0, 100
+            ecall
+        func:
+            addi a0, a0, 1
+            ret
+        """)
+        assert state.read_int(10) == 101
+
+    def test_branch_not_taken_falls_through(self):
+        state = run("""
+            li t0, 1
+            beqz t0, skip
+            li a0, 7
+        skip:
+            ecall
+        """)
+        assert state.read_int(10) == 7
+
+
+class TestFloatingPoint:
+    def put(self, state, reg, value):
+        state.write_fp(reg, float_to_bits(value))
+
+    def test_fadd(self):
+        state = ArchState()
+        self.put(state, 1, 1.5)
+        self.put(state, 2, 2.25)
+        run("fadd.d f3, f1, f2", state)
+        assert bits_to_float(state.read_fp(3)) == 3.75
+
+    def test_fdiv_by_zero_is_inf(self):
+        state = ArchState()
+        self.put(state, 1, 1.0)
+        self.put(state, 2, 0.0)
+        run("fdiv.d f3, f1, f2", state)
+        assert bits_to_float(state.read_fp(3)) == float("inf")
+
+    def test_fsqrt_negative_is_nan(self):
+        state = ArchState()
+        self.put(state, 1, -4.0)
+        run("fsqrt.d f2, f1", state)
+        result = bits_to_float(state.read_fp(2))
+        assert result != result
+
+    def test_fp_compare(self):
+        state = ArchState()
+        self.put(state, 1, 1.0)
+        self.put(state, 2, 2.0)
+        run("""
+            flt.d x1, f1, f2
+            feq.d x2, f1, f2
+            fle.d x3, f1, f1
+        """, state)
+        assert state.read_int(1) == 1
+        assert state.read_int(2) == 0
+        assert state.read_int(3) == 1
+
+    def test_fmv_roundtrip(self):
+        state = ArchState()
+        state.write_int(1, float_to_bits(3.5))
+        run("""
+            fmv.d.x f1, x1
+            fmv.x.d x2, f1
+        """, state)
+        assert state.read_int(2) == float_to_bits(3.5)
+
+    def test_fcvt(self):
+        state = ArchState()
+        state.write_int(1, 7)
+        run("""
+            fcvt.d.l f1, x1
+            fcvt.l.d x2, f1
+        """, state)
+        assert state.read_int(2) == 7
+
+    def test_fld_fsd(self):
+        state = ArchState()
+        state.write_int(1, 0x3000)
+        self.put(state, 1, 2.5)
+        run("""
+            fsd f1, 0(x1)
+            fld f2, 0(x1)
+        """, state)
+        assert bits_to_float(state.read_fp(2)) == 2.5
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_fadd_matches_python(self, a, b):
+        state = ArchState()
+        self.put(state, 1, a)
+        self.put(state, 2, b)
+        run("fadd.d f3, f1, f2", state)
+        assert bits_to_float(state.read_fp(3)) == a + b
+
+
+class TestCsrAndSystem:
+    def test_csrrw_swaps(self):
+        state = ArchState()
+        state.write_int(1, 0x55)
+        state.write_csr(0x300, 0xAA)
+        run("csrrw x2, mstatus, x1", state)
+        assert state.read_int(2) == 0xAA
+        assert state.read_csr(0x300) == 0x55
+
+    def test_csrrs_sets_bits(self):
+        state = ArchState()
+        state.write_int(1, 0x0F)
+        state.write_csr(0x300, 0xF0)
+        run("csrrs x2, mstatus, x1", state)
+        assert state.read_csr(0x300) == 0xFF
+
+    def test_ecall_traps(self):
+        program = assemble("ecall")
+        state = ArchState(pc=program.entry_pc)
+        result = execute(program.fetch(state.pc), state)
+        assert result.trap == "ecall"
+
+
+class TestMeekPrivilege:
+    def test_privileged_op_in_user_mode_raises(self):
+        program = assemble("b.check a0")
+        state = ArchState(pc=program.entry_pc, priv_kernel=False)
+        with pytest.raises(PrivilegeError):
+            execute(program.fetch(state.pc), state)
+
+    def test_privileged_op_in_kernel_mode_ok(self):
+        program = assemble("b.check a0")
+        state = ArchState(pc=program.entry_pc, priv_kernel=True)
+        result = execute(program.fetch(state.pc), state)
+        assert result.meek_op == "b.check"
+
+    def test_user_op_allowed(self):
+        program = assemble("l.record sp")
+        state = ArchState(pc=program.entry_pc, priv_kernel=False)
+        result = execute(program.fetch(state.pc), state)
+        assert result.meek_op == "l.record"
+
+    def test_meek_handler_pc_override(self):
+        program = assemble("l.jal a0")
+        state = ArchState(pc=program.entry_pc)
+        state.write_int(10, 0x4000)
+
+        def handler(instr, st):
+            return st.read_int(instr.rs1)
+
+        result = execute(program.fetch(state.pc), state,
+                         meek_handler=handler)
+        assert result.next_pc == 0x4000
+        assert state.pc == 0x4000
+
+
+class TestExecResultMetadata:
+    def test_load_reports_address_and_value(self):
+        program = assemble("ld x2, 8(x1)")
+        state = ArchState(pc=program.entry_pc)
+        state.write_int(1, 0x2000)
+        state.memory.store_word(0x2008, 1234)
+        result = execute(program.fetch(state.pc), state)
+        assert result.is_load
+        assert result.mem_addr == 0x2008
+        assert result.mem_value == 1234
+
+    def test_store_reports_address_and_value(self):
+        program = assemble("sd x2, 0(x1)")
+        state = ArchState(pc=program.entry_pc)
+        state.write_int(1, 0x2000)
+        state.write_int(2, 77)
+        result = execute(program.fetch(state.pc), state)
+        assert result.is_store
+        assert result.mem_addr == 0x2000
+        assert result.mem_value == 77
+
+    def test_branch_reports_taken(self):
+        program = assemble("beq x0, x0, 8")
+        state = ArchState(pc=program.entry_pc)
+        result = execute(program.fetch(state.pc), state)
+        assert result.taken
+        assert result.next_pc == program.entry_pc + 8

@@ -1,0 +1,142 @@
+"""Tests for architectural state, memory and the deterministic PRNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.common.prng import DeterministicRng
+from repro.isa.state import ArchState, Memory, bits_to_float, float_to_bits
+
+U64 = st.integers(0, (1 << 64) - 1)
+
+
+class TestFloatBits:
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip(self, value):
+        assert bits_to_float(float_to_bits(value)) == value
+
+    def test_nan_pattern_preserved(self):
+        bits = float_to_bits(float("nan"))
+        roundtrip = float_to_bits(bits_to_float(bits))
+        assert roundtrip == bits
+
+    @given(U64)
+    def test_bits_roundtrip(self, bits):
+        value = bits_to_float(bits)
+        if value == value:  # non-NaN patterns are exact
+            assert float_to_bits(value) == bits
+
+
+class TestMemory:
+    def test_default_zero(self):
+        assert Memory().load_word(0x1234) == 0
+
+    @given(st.integers(0, 1 << 30), U64)
+    def test_word_roundtrip(self, addr, value):
+        mem = Memory()
+        mem.store_word(addr, value)
+        assert mem.load_word(addr) == value
+
+    @given(st.integers(0, 1 << 20).map(lambda a: a * 2),
+           st.integers(0, 0xFFFF))
+    def test_halfword_roundtrip(self, addr, value):
+        mem = Memory()
+        mem.store(addr, value, 2)
+        assert mem.load(addr, 2) == value
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(SimulationError):
+            Memory().load(0x1001, 2)
+        with pytest.raises(SimulationError):
+            Memory().store(0x1004, 0, 8)
+
+    def test_copy_is_independent(self):
+        mem = Memory()
+        mem.store_word(0x100, 7)
+        clone = mem.copy()
+        clone.store_word(0x100, 9)
+        assert mem.load_word(0x100) == 7
+
+    def test_adjacent_words_independent(self):
+        mem = Memory()
+        mem.store_word(0x100, 1)
+        mem.store_word(0x108, 2)
+        assert mem.load_word(0x100) == 1
+
+
+class TestArchState:
+    def test_x0_immutable(self):
+        state = ArchState()
+        state.write_int(0, 123)
+        assert state.read_int(0) == 0
+
+    def test_register_masking(self):
+        state = ArchState()
+        state.write_int(1, 1 << 70)
+        assert state.read_int(1) == 0
+
+    def test_snapshot_apply_roundtrip(self):
+        state = ArchState()
+        for i in range(1, 32):
+            state.write_int(i, i * 1000)
+            state.write_fp(i, i * 7)
+        ints, fps = state.register_file_snapshot()
+        other = ArchState()
+        other.apply_register_snapshot(ints, fps)
+        assert other.int_regs == state.int_regs
+        assert other.fp_regs == state.fp_regs
+
+    def test_apply_forces_x0_zero(self):
+        state = ArchState()
+        corrupted = [9] * 32
+        state.apply_register_snapshot(corrupted, [0] * 32)
+        assert state.read_int(0) == 0
+
+    def test_apply_wrong_shape_rejected(self):
+        with pytest.raises(SimulationError):
+            ArchState().apply_register_snapshot([0] * 5, [0] * 32)
+
+    def test_copy_shares_or_clones_memory(self):
+        state = ArchState()
+        state.memory.store_word(0x10, 1)
+        shared = state.copy(share_memory=True)
+        assert shared.memory is state.memory
+        cloned = state.copy(share_memory=False)
+        assert cloned.memory is not state.memory
+        assert cloned.memory.load_word(0x10) == 1
+
+    def test_csr_default_zero(self):
+        assert ArchState().read_csr(0x300) == 0
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == \
+            [b.randint(0, 100) for _ in range(20)]
+
+    def test_fork_independent_of_sibling(self):
+        parent = DeterministicRng(42)
+        child_a = parent.fork("alpha")
+        child_b = parent.fork("beta")
+        assert child_a.seed != child_b.seed
+
+    def test_fork_deterministic(self):
+        a = DeterministicRng(42).fork("x")
+        b = DeterministicRng(42).fork("x")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_bit_index_range(self):
+        rng = DeterministicRng(1)
+        for _ in range(100):
+            assert 0 <= rng.bit_index(64) < 64
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bernoulli_extremes(self, p):
+        rng = DeterministicRng(3)
+        if p == 0.0:
+            assert not rng.bernoulli(0.0)
+        if p == 1.0:
+            assert rng.bernoulli(1.0)

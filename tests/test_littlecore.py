@@ -1,0 +1,200 @@
+"""Tests for the little core: MSU, pipeline timing, standalone runs."""
+
+import pytest
+
+from repro.common.config import default_rocket_config, optimized_rocket_config
+from repro.common.errors import SimulationError
+from repro.isa import assemble
+from repro.isa.instructions import Instruction
+from repro.littlecore.core import LittleCore
+from repro.littlecore.msu import Mode, ModeSwitchUnit
+from repro.littlecore.pipeline import LittleCorePipeline
+
+
+class TestMsu:
+    def test_starts_in_application_mode(self):
+        msu = ModeSwitchUnit(0)
+        assert msu.mode is Mode.APPLICATION
+        assert not msu.routes_to_lsl()
+
+    def test_mode_switch(self):
+        msu = ModeSwitchUnit(0)
+        msu.set_mode(Mode.CHECK)
+        assert msu.is_checking
+        assert msu.routes_to_lsl()
+
+    def test_mode_switch_counted(self):
+        msu = ModeSwitchUnit(0)
+        msu.set_mode(Mode.CHECK)
+        msu.set_mode(Mode.CHECK)   # no-op
+        msu.set_mode(Mode.APPLICATION)
+        assert msu.mode_switches == 2
+
+    def test_mode_from_int(self):
+        msu = ModeSwitchUnit(0)
+        msu.set_mode(1)
+        assert msu.mode is Mode.CHECK
+
+    def test_hook_unhook(self):
+        msu = ModeSwitchUnit(3)
+        msu.hook(0)
+        assert msu.hooked_big_core == 0
+        msu.unhook()
+        assert msu.hooked_big_core is None
+
+    def test_record_apply_roundtrip(self):
+        msu = ModeSwitchUnit(0)
+        msu.record_registers(("snapshot",))
+        assert msu.recorded_registers() == ("snapshot",)
+
+    def test_apply_before_record_raises(self):
+        with pytest.raises(SimulationError):
+            ModeSwitchUnit(0).recorded_registers()
+
+
+class TestPipelineTiming:
+    def step_many(self, pipeline, op, count, **kwargs):
+        instr = assemble(op).instructions[0]
+        last = 0
+        for i in range(count):
+            last = pipeline.step(instr, 0x1000, **kwargs)
+        return last
+
+    def test_single_issue_rate(self):
+        p = LittleCorePipeline(clock_ratio=2)
+        instr = Instruction("add", rd=1, rs1=0, rs2=0)
+        p.step(instr, 0x1000)
+        start = p.time
+        p.step(instr, 0x1000)
+        assert p.time - start == 2  # one little cycle per instruction
+
+    def test_dependent_load_use_bubble(self):
+        p = LittleCorePipeline(clock_ratio=2)
+        load = Instruction("ld", rd=5, rs1=2, imm=0)
+        use = Instruction("add", rd=6, rs1=5, rs2=5)
+        p.step(load, 0x1000)
+        before = p.time
+        complete = p.step(use, 0x1004)
+        assert complete > before + 2  # stalled on the loaded value
+
+    def test_divider_blocks(self):
+        opt = LittleCorePipeline(optimized_rocket_config(), clock_ratio=2)
+        div = Instruction("div", rd=5, rs1=1, rs2=2)
+        first = opt.step(div, 0x1000)
+        second = opt.step(div, 0x1004)
+        assert second - first >= optimized_rocket_config().div_latency * 2
+
+    def test_unrolled_divider_faster(self):
+        default = LittleCorePipeline(default_rocket_config(), clock_ratio=2)
+        opt = LittleCorePipeline(optimized_rocket_config(), clock_ratio=2)
+        div = Instruction("div", rd=5, rs1=1, rs2=2)
+        use = Instruction("add", rd=6, rs1=5, rs2=5)
+        default.step(div, 0x1000)
+        t_default = default.step(use, 0x1004)
+        opt.step(div, 0x1000)
+        t_opt = opt.step(use, 0x1004)
+        assert t_opt < t_default
+
+    def test_pipelined_fpu_overlaps(self):
+        opt = LittleCorePipeline(optimized_rocket_config(), clock_ratio=2)
+        blocking = LittleCorePipeline(default_rocket_config(), clock_ratio=2)
+        fp = Instruction("fadd.d", rd=1, rs1=2, rs2=3)
+        for _ in range(10):
+            opt.step(fp, 0x1000)
+            blocking.step(fp, 0x1000)
+        assert opt.time < blocking.time
+
+    def test_taken_branch_penalty(self):
+        p = LittleCorePipeline(clock_ratio=2)
+        branch = Instruction("beq", rs1=0, rs2=0, imm=8)
+        nop = Instruction("addi")
+        p.step(branch, 0x1000, taken_branch=True)
+        after_taken = p.time
+        p2 = LittleCorePipeline(clock_ratio=2)
+        p2.step(branch, 0x1000, taken_branch=False)
+        assert after_taken > p2.time
+
+    def test_icache_miss_penalty(self):
+        p = LittleCorePipeline(clock_ratio=2)
+        nop = Instruction("addi")
+        p.step(nop, 0x1000)
+        t0 = p.time
+        p.step(nop, 0x1004)       # same line: hit
+        hit_delta = p.time - t0
+        t1 = p.time
+        p.step(nop, 0x9000)       # new line: miss
+        miss_delta = p.time - t1
+        assert miss_delta > hit_delta
+
+    def test_load_waits_for_lsl_delivery(self):
+        p = LittleCorePipeline(clock_ratio=2)
+        load = Instruction("ld", rd=5, rs1=2, imm=0)
+        complete = p.step(load, 0x1000, load_data_available=500)
+        assert complete >= 500
+
+    def test_reset_to_moves_forward_only(self):
+        p = LittleCorePipeline(clock_ratio=2)
+        p.reset_to(100)
+        assert p.time == 100
+        p.reset_to(50)
+        assert p.time == 100
+
+
+class TestLittleCoreRun:
+    def test_functional_result_matches_big_core(self):
+        from repro.bigcore.core import run_program
+        program = assemble("""
+            li t0, 0
+            li t1, 50
+            li t3, 0x2000
+        loop:
+            sd t0, 0(t3)
+            ld t2, 0(t3)
+            add t4, t4, t2
+            addi t0, t0, 1
+            bne t0, t1, loop
+            ecall
+        """)
+        little = LittleCore().run(program)
+        big = run_program(program)
+        assert little.state.int_regs == big.state.int_regs
+
+    def test_little_core_slower_than_big(self):
+        from repro.bigcore.core import run_program
+        program = assemble("\n".join(
+            ["li t0, 0", "li t1, 300", "loop:"]
+            + ["add t2, t2, t0", "xor t3, t2, t0", "mul t4, t2, t3"] * 3
+            + ["addi t0, t0, 1", "bne t0, t1, loop", "ecall"]))
+        little = LittleCore(clock_ratio=2).run(program)
+        big = run_program(program)
+        assert little.cycles > big.cycles
+
+    def test_optimized_faster_on_divisions(self):
+        program = assemble("""
+            li t0, 0
+            li t1, 100
+        loop:
+            ori t2, t0, 1
+            div t3, t1, t2
+            addi t0, t0, 1
+            bne t0, t1, loop
+            ecall
+        """)
+        opt = LittleCore(optimized_rocket_config(), clock_ratio=1)
+        default = LittleCore(default_rocket_config(), clock_ratio=1)
+        assert opt.run(program).cycles < default.run(program).cycles
+
+    def test_max_instructions(self):
+        program = assemble("""
+        loop:
+            addi t0, t0, 1
+            jal x0, loop
+        """)
+        result = LittleCore().run(program, max_instructions=100)
+        assert result.instructions == 100
+        assert result.halted_by == "limit"
+
+    def test_ipc_below_one_per_little_cycle(self):
+        program = assemble("\n".join(["add t2, t0, t1"] * 200 + ["ecall"]))
+        result = LittleCore(clock_ratio=1).run(program)
+        assert result.ipc <= 1.0

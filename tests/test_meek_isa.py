@@ -1,0 +1,81 @@
+"""Tests for the MEEK-ISA definition (Table I) and its integration."""
+
+import pytest
+
+from repro.isa import MEEK_OPS, assemble, decode, encode
+from repro.isa.meek import (
+    CHECK_DISABLE,
+    CHECK_ENABLE,
+    MODE_APPLICATION,
+    MODE_CHECK,
+    MeekOp,
+    is_big_core_op,
+    is_little_core_op,
+    privilege_level,
+)
+
+
+class TestTableI:
+    def test_seven_instructions(self):
+        assert len(MEEK_OPS) == 7
+        assert {op.value for op in MeekOp} == set(MEEK_OPS)
+
+    def test_privilege_split_matches_table1(self):
+        # Priv 1: b.hook, b.check, l.mode; Priv 0: the rest.
+        assert privilege_level("b.hook") == 1
+        assert privilege_level("b.check") == 1
+        assert privilege_level("l.mode") == 1
+        assert privilege_level("l.record") == 0
+        assert privilege_level("l.apply") == 0
+        assert privilege_level("l.jal") == 0
+        assert privilege_level("l.rslt") == 0
+
+    def test_core_group_helpers(self):
+        assert is_big_core_op("b.hook")
+        assert not is_big_core_op("l.mode")
+        assert is_little_core_op("l.rslt")
+        assert not is_little_core_op("b.check")
+
+    def test_descriptions_match_paper_wording(self):
+        assert "Hook big core" in MEEK_OPS["b.hook"][1]
+        assert "check results" in MEEK_OPS["l.rslt"][1]
+
+    def test_mode_and_check_constants(self):
+        assert MODE_APPLICATION == 0
+        assert MODE_CHECK == 1
+        assert CHECK_DISABLE == 0
+        assert CHECK_ENABLE == 1
+
+
+class TestEncodingIntegration:
+    def test_all_meek_ops_assemble_and_roundtrip(self):
+        program = assemble("""
+            b.hook a0, a1
+            b.check a0
+            l.mode a0, a1
+            l.record sp
+            l.apply a0
+            l.jal a0
+            l.rslt a0
+        """)
+        assert len(program) == 7
+        for instr in program.instructions:
+            assert decode(encode(instr)) == instr
+
+    def test_custom0_opcode_space(self):
+        program = assemble("b.hook a0, a1")
+        word = encode(program.instructions[0])
+        assert word & 0x7F == 0b0001011
+
+    def test_distinct_encodings(self):
+        program = assemble("""
+            b.hook a0, a1
+            b.check a0
+            l.mode a0, a1
+            l.record a0
+            l.apply a0
+            l.jal a0
+            l.rslt a0
+        """)
+        words = [encode(i) for i in program.instructions]
+        assert len(set(words)) == 7

@@ -1,0 +1,176 @@
+"""Unit tests for the memory hierarchy models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, MemoryHierarchyConfig
+from repro.common.errors import SimulationError
+from repro.mem.cache import CacheModel
+from repro.mem.dram import DramModel
+from repro.mem.hierarchy import AccessKind, MemoryHierarchy
+
+
+def small_cache(size=1024, ways=2, mshrs=2):
+    return CacheModel(CacheConfig("test", size_bytes=size, ways=ways,
+                                  mshrs=mshrs))
+
+
+class TestCacheModel:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+
+    def test_same_line_hits(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x1010)  # same 64-byte line
+        assert cache.lookup(0x103F)
+
+    def test_different_line_misses(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert not cache.lookup(0x1040)
+
+    def test_lru_eviction(self):
+        cache = small_cache(size=256, ways=2)  # 2 sets
+        # Three lines mapping to the same set: evict the LRU.
+        sets = cache.num_sets
+        line = 64
+        a, b, c = 0, sets * line, 2 * sets * line
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)          # a is now MRU
+        cache.fill(c)            # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_eviction_counted(self):
+        cache = small_cache(size=128, ways=1)
+        line = 64
+        cache.fill(0)
+        cache.fill(cache.num_sets * line)
+        assert cache.evictions == 1
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        cache.invalidate(0x1000)
+        assert not cache.probe(0x1000)
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        cache.flush()
+        assert not cache.probe(0x1000)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(0x1000)
+        cache.fill(0x1000)
+        cache.lookup(0x1000)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_mshr_queueing(self):
+        cache = small_cache(mshrs=2)
+        # Two misses in flight are fine; a third queues.
+        assert cache.mshr_allocate(0, 100) == 100
+        assert cache.mshr_allocate(0, 100) == 100
+        delayed = cache.mshr_allocate(0, 100)
+        assert delayed == 200
+        assert cache.mshr_stall_cycles == 100
+
+    def test_mshr_frees_after_completion(self):
+        cache = small_cache(mshrs=1)
+        cache.mshr_allocate(0, 50)
+        assert cache.mshr_allocate(60, 110) == 110
+
+    def test_mshr_rejects_time_travel(self):
+        cache = small_cache()
+        with pytest.raises(SimulationError):
+            cache.mshr_allocate(100, 50)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    def test_fill_then_probe_holds(self, addrs):
+        cache = CacheModel(CacheConfig("prop", size_bytes=1 << 16, ways=4))
+        for addr in addrs:
+            cache.fill(addr)
+        # The most recently filled address is always present (capacity
+        # is far larger than the sample).
+        assert cache.probe(addrs[-1])
+
+
+class TestDram:
+    def test_fixed_latency(self):
+        dram = DramModel(latency_cycles=100, max_requests=2)
+        assert dram.access(10) == 110
+
+    def test_window_queueing(self):
+        dram = DramModel(latency_cycles=100, max_requests=2)
+        dram.access(0)
+        dram.access(0)
+        assert dram.access(0) == 200
+        assert dram.queue_stall_cycles == 100
+
+    def test_window_drains(self):
+        dram = DramModel(latency_cycles=100, max_requests=1)
+        dram.access(0)
+        assert dram.access(150) == 250
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        h = MemoryHierarchy()
+        h.l1d.fill(0x1000)
+        assert h.access(0x1000, 0) == h.config.l1d.hit_latency
+
+    def test_cold_miss_goes_to_dram(self):
+        h = MemoryHierarchy()
+        latency = h.access(0x40_0000, 0)
+        assert latency > h.config.llc.hit_latency
+        assert h.dram.requests == 1
+
+    def test_second_access_hits_l1(self):
+        h = MemoryHierarchy()
+        h.access(0x1000, 0)
+        assert h.access(0x1000, 100) == h.config.l1d.hit_latency
+
+    def test_l2_hit_path(self):
+        h = MemoryHierarchy()
+        h.l2.fill(0x9000)
+        latency = h.access(0x9000, 0)
+        assert latency == (h.config.l1d.hit_latency
+                           + h.config.l2.hit_latency)
+
+    def test_ifetch_uses_l1i(self):
+        h = MemoryHierarchy()
+        h.access(0x1000, 0, AccessKind.IFETCH)
+        assert h.l1i.accesses == 1
+        assert h.l1d.accesses == 0
+
+    def test_next_line_prefetch(self):
+        h = MemoryHierarchy()
+        h.access(0x2000, 0)  # miss: prefetches 0x2040 and 0x2080
+        assert h.access(0x2040, 50) == h.config.l1d.hit_latency
+        assert h.access(0x2080, 60) == h.config.l1d.hit_latency
+
+    def test_no_prefetch_on_ifetch(self):
+        h = MemoryHierarchy()
+        h.access(0x2000, 0, AccessKind.IFETCH)
+        assert not h.l1i.probe(0x2040)
+
+    def test_shared_l2(self):
+        shared = MemoryHierarchy()
+        other = MemoryHierarchy(shared_l2=shared)
+        other.access(0x5000, 0)
+        # The shared L2 saw the fill.
+        assert shared.l2.probe(0x5000)
+
+    def test_stats_shape(self):
+        h = MemoryHierarchy()
+        h.access(0x1000, 0)
+        stats = h.stats()
+        assert set(stats) == {"l1i", "l1d", "l2", "llc", "dram"}

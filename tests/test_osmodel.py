@@ -1,0 +1,223 @@
+"""Tests for the OS model: locks, scheduler (Alg. 1/2), syscalls and
+the Fig. 5 page-fault deadlock."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, PrivilegeError, SimulationError
+from repro.isa.meek import CHECK_DISABLE, CHECK_ENABLE, MODE_APPLICATION, MODE_CHECK
+from repro.osmodel import (
+    DeadlockDetector,
+    KernelInterface,
+    MeekDevice,
+    MeekScheduler,
+    Mutex,
+    PageFaultScenario,
+    Task,
+    TaskKind,
+    TaskState,
+)
+from repro.osmodel.scheduler import make_checked_application
+
+
+class TestMutex:
+    def test_acquire_release(self):
+        m = Mutex("l")
+        a = Task("a")
+        assert m.try_acquire(a)
+        assert m.owner is a
+        m.release(a)
+        assert not m.held
+
+    def test_contention_queues(self):
+        m = Mutex("l")
+        a, b = Task("a"), Task("b")
+        m.try_acquire(a)
+        assert not m.try_acquire(b)
+        assert b in m.waiters
+
+    def test_release_hands_off(self):
+        m = Mutex("l")
+        a, b = Task("a"), Task("b")
+        m.try_acquire(a)
+        m.try_acquire(b)
+        next_owner = m.release(a)
+        assert next_owner is b
+        assert m.owner is b
+
+    def test_release_by_non_owner_rejected(self):
+        m = Mutex("l")
+        a, b = Task("a"), Task("b")
+        m.try_acquire(a)
+        with pytest.raises(SimulationError):
+            m.release(b)
+
+    def test_recursive_acquire_rejected(self):
+        m = Mutex("l")
+        a = Task("a")
+        m.try_acquire(a)
+        with pytest.raises(SimulationError):
+            m.try_acquire(a)
+
+
+class TestDeadlockDetector:
+    def test_no_cycle(self):
+        d = DeadlockDetector()
+        a, b = Task("a"), Task("b")
+        d.wait(a, b, "lock")
+        assert d.find_cycle() is None
+
+    def test_two_cycle(self):
+        d = DeadlockDetector()
+        a, b = Task("a"), Task("b")
+        d.wait(a, b, "lock1")
+        d.wait(b, a, "lock2")
+        cycle = d.find_cycle()
+        assert cycle is not None
+        assert len(cycle) == 2
+
+    def test_clear_breaks_cycle(self):
+        d = DeadlockDetector()
+        a, b = Task("a"), Task("b")
+        d.wait(a, b, "x")
+        d.wait(b, a, "y")
+        d.clear(a)
+        assert d.find_cycle() is None
+
+    def test_describe(self):
+        d = DeadlockDetector()
+        a, b = Task("alpha"), Task("beta")
+        d.wait(a, b, "LSL full")
+        d.wait(b, a, "page_lock")
+        assert "LSL full" in d.describe_cycle()
+
+
+class TestScheduler:
+    def make(self):
+        device = MeekDevice(num_little_cores=4)
+        return device, MeekScheduler(device)
+
+    def test_algorithm1_op_ordering(self):
+        device, sched = self.make()
+        app, _ = make_checked_application("app", (0, 1))
+        sched.submit(app)
+        sched.context_switch_big(current=None)
+        ops = [entry[0] for entry in device.op_log]
+        # b.check(DISABLE) strictly first, b.check(ENABLE) strictly last.
+        assert ops[0] == "b.check" and device.op_log[0][1] == CHECK_DISABLE
+        assert ops[-1] == "b.check" and device.op_log[-1][1] == CHECK_ENABLE
+        # The hooks happen strictly between the two.
+        assert ops[1:-1] == ["b.hook", "b.hook"]
+
+    def test_hooks_only_on_new_release(self):
+        device, sched = self.make()
+        app, _ = make_checked_application("app", (0, 1, 2, 3))
+        sched.submit(app)
+        sched.context_switch_big(current=None)
+        assert len(device.ops_of("b.hook")) == 4
+        # Re-dispatch: context restore, no re-hooking.
+        sched.submit(app)
+        app.state = TaskState.READY
+        sched.context_switch_big(current=None)
+        assert len(device.ops_of("b.hook")) == 4
+
+    def test_hook_targets_match_checker_index(self):
+        device, sched = self.make()
+        app, _ = make_checked_application("app", (1, 3))
+        sched.submit(app)
+        sched.context_switch_big(current=None)
+        assert device.hooks == {1: 0, 3: 0}
+
+    def test_checking_enabled_after_switch(self):
+        device, sched = self.make()
+        sched.submit(Task("plain"))
+        sched.context_switch_big(current=None)
+        assert device.checking_enabled
+        assert sched.interrupts_enabled
+
+    def test_algorithm2_checker_sets_check_mode(self):
+        device, sched = self.make()
+        checker = Task("chk", kind=TaskKind.CHECKER, pinned_core=2)
+        sched.context_switch_little(2, current=None, next_task=checker)
+        assert device.modes[2] == MODE_CHECK
+
+    def test_algorithm2_app_sets_application_mode(self):
+        device, sched = self.make()
+        device.l_mode(1, MODE_CHECK)
+        other = Task("other")
+        sched.context_switch_little(1, current=None, next_task=other)
+        assert device.modes[1] == MODE_APPLICATION
+
+    def test_checker_pinning_enforced(self):
+        device, sched = self.make()
+        checker = Task("chk", kind=TaskKind.CHECKER, pinned_core=0)
+        with pytest.raises(SimulationError):
+            sched.context_switch_little(3, current=None, next_task=checker)
+
+    def test_round_robin_fairness(self):
+        device, sched = self.make()
+        a, b = Task("a"), Task("b")
+        sched.submit(a)
+        sched.submit(b)
+        first = sched.context_switch_big(current=None)
+        second = sched.context_switch_big(current=first)
+        assert {first.name, second.name} == {"a", "b"}
+
+
+class TestSyscalls:
+    def test_privileged_op_requires_kernel(self):
+        kernel = KernelInterface(MeekDevice())
+        with pytest.raises(PrivilegeError):
+            kernel.b_check(CHECK_ENABLE, kernel_mode=False)
+
+    def test_syscall_path_allows(self):
+        device = MeekDevice()
+        kernel = KernelInterface(device)
+        kernel.syscall("b.hook", 0, 2)
+        assert device.hooks == {2: 0}
+        assert kernel.syscalls == 1
+
+    def test_unknown_syscall_rejected(self):
+        kernel = KernelInterface(MeekDevice())
+        with pytest.raises(PrivilegeError):
+            kernel.syscall("l.teleport", 1)
+
+    def test_bad_core_rejected(self):
+        kernel = KernelInterface(MeekDevice(num_little_cores=2))
+        with pytest.raises(SimulationError):
+            kernel.syscall("l.mode", 7, MODE_CHECK)
+
+
+class TestPageFaultScenario:
+    def test_buggy_mode_deadlocks(self):
+        result = PageFaultScenario(one_instruction_behind=False).run()
+        assert result.deadlocked
+        assert "page_lock" in result.cycle_description
+        assert "LSL full" in result.cycle_description
+
+    def test_fixed_mode_completes(self):
+        result = PageFaultScenario(one_instruction_behind=True).run()
+        assert not result.deadlocked
+        assert result.main_progress == result.checker_progress
+
+    def test_fixed_mode_checker_never_faults(self):
+        result = PageFaultScenario(one_instruction_behind=True).run()
+        faults = [entry for entry in result.timeline
+                  if "FAULT" in entry[2] or "fault" in entry[2]]
+        assert faults == []
+
+    def test_raise_on_deadlock(self):
+        with pytest.raises(DeadlockError):
+            PageFaultScenario(one_instruction_behind=False).run(
+                raise_on_deadlock=True)
+
+    def test_deadlock_robust_to_parameters(self):
+        for capacity in (4, 8, 16):
+            result = PageFaultScenario(one_instruction_behind=False,
+                                       lsl_capacity=capacity).run()
+            assert result.deadlocked, f"capacity={capacity}"
+
+    def test_fix_robust_to_parameters(self):
+        for capacity in (4, 8, 16):
+            result = PageFaultScenario(one_instruction_behind=True,
+                                       lsl_capacity=capacity).run()
+            assert not result.deadlocked, f"capacity={capacity}"

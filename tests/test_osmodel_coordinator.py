@@ -1,0 +1,104 @@
+"""Tests for the Sec. IV-B programming model (coordinator functions)."""
+
+import pytest
+
+from repro.common.config import default_meek_config
+from repro.common.errors import SimulationError
+from repro.common.prng import DeterministicRng
+from repro.core.faults import FaultInjector
+from repro.isa import assemble
+from repro.isa.meek import MODE_APPLICATION, MODE_CHECK
+from repro.osmodel.coordinator import CheckedProcess, run_checked
+from repro.osmodel.scheduler import MeekDevice
+from repro.osmodel.syscall import KernelInterface
+
+
+def make_kernel(cores=4):
+    device = MeekDevice(num_little_cores=cores)
+    return device, KernelInterface(device)
+
+
+PROGRAM = assemble("""
+    li   t0, 0
+    li   t1, 500
+    li   t2, 0x2000
+loop:
+    sd   t0, 0(t2)
+    ld   t3, 0(t2)
+    add  t4, t4, t3
+    addi t2, t2, 8
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    ecall
+""", name="coordinated")
+
+
+class TestConstructorDestructor:
+    def test_constructor_hooks_and_sets_check_mode(self):
+        device, kernel = make_kernel()
+        process = CheckedProcess(kernel, checker_cores=(0, 1, 2, 3))
+        checkers = process.construct(big_core_id=0)
+        assert device.hooks == {0: 0, 1: 0, 2: 0, 3: 0}
+        assert all(mode == MODE_CHECK for mode in device.modes.values())
+        assert len(checkers) == 4
+        assert all(c.pinned_core is not None for c in checkers)
+
+    def test_constructor_uses_syscalls(self):
+        _, kernel = make_kernel()
+        process = CheckedProcess(kernel, checker_cores=(0, 1))
+        process.construct()
+        assert kernel.syscalls == 4  # 2 hooks + 2 mode switches
+
+    def test_double_construct_rejected(self):
+        _, kernel = make_kernel()
+        process = CheckedProcess(kernel, checker_cores=(0,))
+        process.construct()
+        with pytest.raises(SimulationError):
+            process.construct()
+
+    def test_destructor_releases_cores(self):
+        device, kernel = make_kernel()
+        process = CheckedProcess(kernel, checker_cores=(0, 1))
+        process.construct()
+        process.destruct()
+        assert device.modes[0] == MODE_APPLICATION
+        assert device.modes[1] == MODE_APPLICATION
+
+    def test_verify_before_construct_rejected(self):
+        _, kernel = make_kernel()
+        process = CheckedProcess(kernel, checker_cores=(0,))
+        with pytest.raises(SimulationError):
+            process.verify(None)
+
+
+class TestVerification:
+    def test_clean_run_verified(self):
+        outcome, meek = run_checked(PROGRAM)
+        assert outcome.verified
+        assert outcome.segments_checked == len(meek.segments)
+        assert outcome.faults == []
+        assert outcome.handler_invocations == 0
+
+    def test_faulty_run_invokes_handler(self):
+        handled = []
+        injector = FaultInjector(DeterministicRng(5), rate=0.05)
+        outcome, meek = run_checked(PROGRAM, injector=injector,
+                                    fault_handler=handled.append)
+        if meek.detections:  # campaign landed at least one live fault
+            assert not outcome.verified
+            assert outcome.handler_invocations == len(outcome.faults)
+            assert handled
+            report = handled[0]
+            assert report.reason
+            assert report.detect_cycle > 0
+            assert 0 <= report.little_core < 4
+
+    def test_fault_report_names_segment(self):
+        injector = FaultInjector(DeterministicRng(5), rate=0.05)
+        outcome, meek = run_checked(PROGRAM, injector=injector)
+        for fault in outcome.faults:
+            assert 0 <= fault.seg_id < len(meek.segments)
+
+    def test_run_checked_builds_default_kernel(self):
+        outcome, _ = run_checked(PROGRAM)
+        assert outcome.segments_checked > 0

@@ -1,0 +1,96 @@
+"""Tests for mixed-workload scheduling on the little cores."""
+
+import pytest
+
+from repro.common.config import default_meek_config
+from repro.core.system import MeekSystem
+from repro.osmodel.simulation import (
+    BackgroundThread,
+    CONTEXT_SWITCH_CYCLES,
+    MixedWorkloadSchedule,
+    validate_schedule,
+)
+from repro.workloads import generate_program, get_profile
+
+
+@pytest.fixture(scope="module")
+def meek_result():
+    program = generate_program(get_profile("dedup"),
+                               dynamic_instructions=6000)
+    return MeekSystem(default_meek_config()).run(program)
+
+
+class TestIntervals:
+    def test_busy_intervals_cover_all_segments(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        total = sum(len(v) for v in schedule._busy.values())
+        assert total == len(meek_result.segments)
+
+    def test_busy_intervals_sorted_disjoint(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        for intervals in schedule._busy.values():
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+    def test_gaps_complement_busy(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        for core in range(schedule.num_cores):
+            busy = sum(e - s for s, e in schedule._busy[core])
+            idle = sum(e - s for s, e in schedule.idle_gaps(core))
+            assert busy + idle == pytest.approx(schedule.horizon, rel=1e-6)
+
+    def test_utilization_in_range(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        for core in range(schedule.num_cores):
+            assert 0.0 <= schedule.verification_utilization(core) <= 1.0
+
+
+class TestScheduling:
+    def test_small_threads_finish(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        threads = [BackgroundThread(f"bg{i}", required_cycles=200)
+                   for i in range(3)]
+        schedule.schedule(threads)
+        assert all(t.done for t in threads)
+        assert all(t.finish_cycle is not None for t in threads)
+
+    def test_no_overlap_with_verification(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        threads = [BackgroundThread(f"bg{i}", required_cycles=3000)
+                   for i in range(6)]
+        schedule.schedule(threads)
+        assert validate_schedule(schedule, threads)
+
+    def test_oversized_thread_partial(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        huge = BackgroundThread("huge", required_cycles=10 ** 9)
+        schedule.schedule([huge])
+        assert not huge.done
+        assert huge.completed_cycles > 0
+
+    def test_context_switch_charged(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        thread = BackgroundThread("bg", required_cycles=100)
+        schedule.schedule([thread])
+        core, start, _ = thread.slices[0]
+        gap_start = next(s for s, e in schedule.idle_gaps(core)
+                         if s <= start < e + 1)
+        assert start >= gap_start + CONTEXT_SWITCH_CYCLES
+
+    def test_report_shape(self, meek_result):
+        schedule = MixedWorkloadSchedule(meek_result)
+        threads = [BackgroundThread("bg", required_cycles=500)]
+        schedule.schedule(threads)
+        report = schedule.report(threads)
+        assert report["threads_finished"] == 1
+        assert 0.0 <= report["background_utilization"] <= 1.0
+
+    def test_little_cores_have_spare_capacity(self, meek_result):
+        # The utilization argument: with 4 cores on a well-behaved
+        # workload, verification leaves real idle capacity.
+        schedule = MixedWorkloadSchedule(meek_result)
+        threads = [BackgroundThread(f"bg{i}", required_cycles=2000)
+                   for i in range(4)]
+        schedule.schedule(threads)
+        report = schedule.report(threads)
+        assert report["background_cycles"] > 0

@@ -1,0 +1,159 @@
+"""Tests for workload profiles and the program generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigcore.core import run_program
+from repro.common.errors import ConfigError
+from repro.isa.instructions import InstrClass
+from repro.workloads import (
+    InstructionMix,
+    all_profiles,
+    generate_program,
+    get_profile,
+)
+from repro.workloads.profiles import PARSEC_ORDER, SPEC_ORDER
+
+
+class TestInstructionMix:
+    def test_default_sums_to_one(self):
+        assert InstructionMix().total == pytest.approx(1.0, abs=1e-3)
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ConfigError):
+            InstructionMix(alu=0.9, load=0.5, store=0.0, branch=0.0,
+                           mul=0.0, call=0.0, csr=0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            InstructionMix(alu=1.25, load=-0.25, store=0.0, branch=0.0,
+                           mul=0.0, call=0.0, csr=0.0)
+
+    def test_memory_fraction(self):
+        mix = InstructionMix()
+        assert mix.memory_fraction == pytest.approx(
+            mix.load + mix.store + mix.csr)
+
+
+class TestProfiles:
+    def test_all_twenty_present(self):
+        assert len(SPEC_ORDER) == 12
+        assert len(PARSEC_ORDER) == 8
+        assert len(all_profiles()) == 20
+
+    def test_paper_order(self):
+        assert SPEC_ORDER[0] == "perlbench"
+        assert PARSEC_ORDER[-1] == "swaptions"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            get_profile("doom-eternal")
+
+    def test_suite_filter(self):
+        assert all(p.suite == "parsec" for p in all_profiles("parsec"))
+        with pytest.raises(ConfigError):
+            all_profiles("geekbench")
+
+    def test_swaptions_is_division_heavy(self):
+        swaptions = get_profile("swaptions")
+        others = [p for p in all_profiles("parsec")
+                  if p.name != "swaptions"]
+        assert all(swaptions.mix.fpdiv > p.mix.fpdiv for p in others)
+
+    def test_mcf_is_pointer_chasing(self):
+        assert get_profile("mcf").pointer_chase
+        assert get_profile("mcf").working_set_kb >= 4096
+
+    def test_big_code_benchmarks_exceed_little_icache(self):
+        # The Sec. V-F observation: SPEC code footprints overflow the
+        # 4 KB little-core I-cache (1024 instructions).
+        for name in ("gcc", "perlbench", "xalancbmk"):
+            assert get_profile(name).body_instructions > 1024
+
+    def test_working_sets_are_powers_of_two(self):
+        for profile in all_profiles():
+            ws = profile.working_set_kb
+            assert ws & (ws - 1) == 0, profile.name
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_program(get_profile("hmmer"), 5000, seed=3)
+        b = generate_program(get_profile("hmmer"), 5000, seed=3)
+        assert a.instructions == b.instructions
+
+    def test_seed_changes_program(self):
+        a = generate_program(get_profile("hmmer"), 5000, seed=1)
+        b = generate_program(get_profile("hmmer"), 5000, seed=2)
+        assert a.instructions != b.instructions
+
+    def test_dynamic_count_close_to_target(self):
+        program = generate_program(get_profile("bzip2"), 20_000)
+        result = run_program(program)
+        assert result.halted_by == "ecall"
+        assert 0.6 * 20_000 < result.instructions < 1.6 * 20_000
+
+    def test_reserved_registers_untouched(self):
+        # x28-x31 / f28-f31 are reserved for the Nzdc transform.
+        for name in ("hmmer", "swaptions", "mcf"):
+            program = generate_program(get_profile(name), 3000)
+            for instr in program.instructions:
+                spec = instr.spec
+                if spec.writes_int_rd:
+                    assert instr.rd < 28, (name, instr)
+                if spec.writes_fp_rd:
+                    assert instr.rd < 28, (name, instr)
+
+    def test_mix_realized_approximately(self):
+        profile = get_profile("hmmer")
+        program = generate_program(profile, 10_000)
+        counts = {}
+        for instr in program.instructions:
+            counts[instr.spec.iclass] = counts.get(instr.spec.iclass, 0) + 1
+        total = len(program.instructions)
+        load_fraction = counts.get(InstrClass.LOAD, 0) / total
+        # Support instructions dilute the mix; stay within a loose band.
+        assert abs(load_fraction - profile.mix.load) < 0.12
+
+    def test_fp_profile_contains_fp_ops(self):
+        program = generate_program(get_profile("blackscholes"), 5000)
+        classes = {i.spec.iclass for i in program.instructions}
+        assert InstrClass.FP in classes
+        assert InstrClass.FPDIV in classes
+
+    def test_int_profile_contains_no_fp_compute(self):
+        program = generate_program(get_profile("bzip2"), 5000)
+        body_classes = {i.spec.iclass for i in program.instructions}
+        assert InstrClass.FPDIV not in body_classes
+
+    def test_branch_offsets_encodable(self):
+        from repro.isa import encode
+        for name in ("gcc", "xalancbmk"):  # the largest bodies
+            program = generate_program(get_profile(name), 3000)
+            for instr in program.instructions:
+                encode(instr)  # raises DecodeError on overflow
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_programs_terminate(self, seed):
+        program = generate_program(get_profile("dedup"), 2000, seed=seed)
+        result = run_program(program, max_instructions=20_000)
+        assert result.halted_by == "ecall"
+
+    def test_pointer_chase_spreads_addresses(self):
+        program = generate_program(get_profile("mcf"), 8000)
+        addrs = set()
+
+        def hook(event):
+            if event.result.mem_addr is not None:
+                addrs.add(event.result.mem_addr >> 6)
+            return event.commit_cycle
+
+        run_program(program, commit_hook=hook)
+        assert len(addrs) > 200  # touches many distinct lines
+
+    def test_high_locality_reuses_lines(self):
+        program = generate_program(get_profile("hmmer"), 8000)
+        result = run_program(program)
+        assert result.memory_stats["l1d"]["miss_rate"] < 0.10
