@@ -1,0 +1,54 @@
+"""Campaign engine scaling: serial vs sharded wall-clock on a fixed grid.
+
+Records the wall-clock of the same campaign spec executed with
+``jobs=1`` and ``jobs=min(4, cpu_count)`` so the parallel win (or the
+single-core neutrality) is tracked in the bench trajectory, and
+asserts the two executions produce identical metrics — the engine's
+core determinism contract.
+"""
+
+import multiprocessing
+import time
+
+from repro.analysis.report import format_table
+from repro.campaign import CampaignSpec, run_campaign
+
+DYNAMIC_INSTRUCTIONS = 8_000
+WORKLOADS = ("blackscholes", "dedup", "ferret", "swaptions")
+SEEDS = (0, 1)
+
+
+def _spec():
+    return CampaignSpec.grid(
+        "bench-scaling", workloads=WORKLOADS, seeds=SEEDS,
+        instructions=DYNAMIC_INSTRUCTIONS,
+        configs=[{"cores": 2}, {"cores": 4}])
+
+
+def _timed(jobs):
+    start = time.perf_counter()
+    result = run_campaign(_spec(), jobs=jobs)
+    return result, time.perf_counter() - start
+
+
+def test_campaign_scaling(once):
+    parallel_jobs = min(4, multiprocessing.cpu_count())
+    serial, serial_s = _timed(jobs=1)
+    parallel, parallel_s = once(_timed, jobs=parallel_jobs)
+
+    assert serial.all_ok and parallel.all_ok
+    assert serial.metrics() == parallel.metrics(), \
+        "sharded campaign diverged from serial"
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    print()
+    print(format_table(
+        ["jobs", "points", "wall-clock (s)", "speedup"],
+        [[1, len(serial.results), f"{serial_s:.2f}", "1.00x"],
+         [parallel_jobs, len(parallel.results), f"{parallel_s:.2f}",
+          f"{speedup:.2f}x"]],
+        title=f"Campaign scaling — {len(serial.results)} points, "
+              f"{multiprocessing.cpu_count()} CPU(s)"))
+    # Sharding must never be catastrophically slower than serial, even
+    # on a single-core host (process setup is the only overhead).
+    assert parallel_s < serial_s * 3.0

@@ -4,40 +4,54 @@ Injects single-bit faults into the data forwarded through F2 while a
 synthetic `ferret` runs on the big core — the workload with the paper's
 worst-case 2.7 us detection latency — and plots the latency density.
 
-Run:  python examples/fault_injection_campaign.py [workload]
+Trials are submitted through the campaign engine, so they shard across
+worker processes (``--jobs``) with bit-identical results: each trial's
+injector stream is seeded from its own identity, never from shared
+mutable state.
+
+Run:  python examples/fault_injection_campaign.py [workload] [--jobs N]
 """
 
-import sys
+import argparse
 
 from repro.analysis.report import render_histogram
 from repro.analysis.stats import coverage_within, density_histogram, mean
-from repro.common.config import default_meek_config
-from repro.common.prng import DeterministicRng
-from repro.core.faults import FaultInjector
-from repro.core.system import MeekSystem
-from repro.workloads import generate_program, get_profile
+from repro.campaign import CampaignPoint, CampaignSpec, run_campaign
 
-WORKLOAD = sys.argv[1] if len(sys.argv) > 1 else "ferret"
 TRIALS = 4
 DYNAMIC_INSTRUCTIONS = 20_000
 
 
 def main():
-    profile = get_profile(WORKLOAD)
-    program = generate_program(profile,
-                               dynamic_instructions=DYNAMIC_INSTRUCTIONS)
-    latencies_ns = []
-    injected = detected = 0
-    for trial in range(TRIALS):
-        rng = DeterministicRng(f"campaign/{WORKLOAD}/{trial}")
-        injector = FaultInjector(rng, rate=0.008)
-        system = MeekSystem(default_meek_config(), injector=injector)
-        result = system.run(program)
-        injected += len(injector.injections)
-        detected += injector.detected_count
-        latencies_ns.extend(result.detection_latencies_ns())
+    parser = argparse.ArgumentParser()
+    parser.add_argument("workload", nargs="?", default="ferret")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker shards (default $REPRO_JOBS or 1)")
+    args = parser.parse_args()
 
-    print(f"workload={WORKLOAD}: {injected} faults injected, "
+    spec = CampaignSpec(
+        name=f"example-{args.workload}",
+        points=[CampaignPoint(
+            task="inject", workload=args.workload,
+            instructions=DYNAMIC_INSTRUCTIONS,
+            params={"rate": 0.008, "trial": trial,
+                    "rng_key": f"campaign/{args.workload}/{trial}"})
+            for trial in range(TRIALS)])
+    result = run_campaign(spec, jobs=args.jobs)
+    if not result.all_ok:
+        raise SystemExit("\n".join(f"{r.point_id}: {r.error}"
+                                   for r in result.failed))
+
+    injected = sum(r.metrics["injections"] for r in result.ok)
+    detected = sum(r.metrics["detected"] for r in result.ok)
+    latencies_ns = [lat for r in result.ok
+                    for lat in r.metrics["latencies_ns"]]
+
+    if not injected:
+        print(f"workload={args.workload}: no faults injected at this "
+              f"rate; raise --trials or the rate")
+        return
+    print(f"workload={args.workload}: {injected} faults injected, "
           f"{detected} detected ({detected / injected:.0%}); "
           f"undetected faults hit dead values (masked)")
     if latencies_ns:

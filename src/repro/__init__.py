@@ -14,11 +14,12 @@ Entry points:
   program under checking.
 * :func:`repro.core.system.run_vanilla` — the unmodified big core.
 * :mod:`repro.workloads` — SPECint06/PARSEC-profile program generator.
+* :mod:`repro.campaign` — parallel sharded campaign engine for
+  experiment grids, sweeps and fault-injection campaigns.
 * :mod:`repro.experiments` — regenerate each paper table/figure.
 * ``python -m repro`` — command-line interface.
 
-See README.md for a tour, DESIGN.md for the system inventory, and
-EXPERIMENTS.md for paper-vs-measured results.
+See README.md for a tour of the package and the campaign engine.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""repro.campaign — parallel sharded campaign engine.
+
+Everything the evaluation runs — figure regenerations, ablation
+sweeps, fault-injection campaigns, CLI grids — is a *campaign*: a
+declarative grid of independent simulation points
+(:class:`CampaignSpec`), executed serially or across worker shards
+(:func:`run_campaign`), persisted as append-only JSONL
+(:class:`ResultStore`) and reduced to deterministic summaries.
+
+Sharded execution is bit-identical to serial execution because every
+random stream derives from the point's identity, and the engine orders
+results by point index regardless of completion order.
+
+Quick start::
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec.grid("sweep", workloads=["dedup", "ferret"],
+                             seeds=(0, 1), instructions=20_000,
+                             configs=[{"cores": 2}, {"cores": 4}])
+    result = run_campaign(spec, jobs=4)
+    for point, metrics in zip(spec.points, result.metrics()):
+        print(point.point_id, metrics["cycles"])
+"""
+
+from repro.campaign.executor import (CampaignResult, PointTimeout,
+                                     default_jobs, run_campaign)
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.results import (PointResult, ResultStore, aggregate,
+                                    format_summary)
+from repro.campaign.spec import CampaignPoint, CampaignSpec
+from repro.campaign.tasks import TASKS, evaluate_point, task
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "PointResult",
+    "PointTimeout",
+    "ProgressReporter",
+    "ResultStore",
+    "TASKS",
+    "aggregate",
+    "default_jobs",
+    "evaluate_point",
+    "format_summary",
+    "run_campaign",
+    "task",
+]

@@ -1,0 +1,238 @@
+"""Campaign execution: serial or sharded across worker processes.
+
+:func:`run_campaign` evaluates every point of a
+:class:`~repro.campaign.spec.CampaignSpec` and returns a
+:class:`CampaignResult` whose results are ordered by point index —
+independent of how many shards ran them or in what order they finished.
+
+Dispatch is chunked work stealing: pending points are cut into small
+chunks on a shared queue and each worker pulls its next chunk the
+moment it drains the previous one, so an unlucky shard stuck on a slow
+point never strands the rest of the grid behind a static partition.
+Every point is individually guarded — an exception (or an optional
+per-point wall-clock timeout) is captured as a failed
+:class:`~repro.campaign.results.PointResult`, never a crashed campaign.
+
+Determinism: a point's metrics depend only on the point itself (see
+``spec.py``), so ``jobs=N`` is bit-identical to ``jobs=1``; only the
+bookkeeping fields (elapsed, worker id) differ.
+"""
+
+import multiprocessing
+import os
+import queue as queue_module
+import signal
+import time
+import traceback
+import warnings
+from dataclasses import dataclass, field
+
+from repro.campaign.results import PointResult, ResultStore, aggregate
+from repro.campaign.spec import CampaignPoint
+from repro.campaign.tasks import evaluate_point
+
+
+class PointTimeout(Exception):
+    """A point exceeded the per-point wall-clock budget."""
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: spec + per-point results in spec order."""
+
+    spec: object
+    results: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self):
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def all_ok(self):
+        return not self.failed
+
+    def metrics(self):
+        """Per-point metrics dicts, in spec order (None where failed)."""
+        return [r.metrics if r.ok else None for r in self.results]
+
+    def summary(self):
+        return aggregate(self.results)
+
+
+def default_jobs(jobs=None):
+    """Resolve a job count: explicit > ``$REPRO_JOBS`` > 1 (serial)."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return 1
+
+
+def _evaluate_guarded(point, index, campaign_name, timeout_s, worker_id):
+    """Evaluate one point, capturing errors and enforcing the timeout."""
+    start = time.perf_counter()
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    previous = None
+    try:
+        if use_alarm:
+            def on_alarm(signum, frame):
+                raise PointTimeout(
+                    f"point exceeded {timeout_s:.1f}s wall-clock budget")
+            previous = signal.signal(signal.SIGALRM, on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        metrics = evaluate_point(point, campaign_name=campaign_name)
+        result = PointResult(point_id=point.point_id, index=index,
+                             ok=True, metrics=metrics)
+    except Exception as exc:
+        detail = traceback.format_exc(limit=8)
+        result = PointResult(
+            point_id=point.point_id, index=index, ok=False,
+            error=f"{type(exc).__name__}: {exc}\n{detail}")
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if previous is not None:
+                signal.signal(signal.SIGALRM, previous)
+    result.elapsed_s = time.perf_counter() - start
+    result.worker = worker_id
+    return result
+
+
+def _worker(worker_id, campaign_name, timeout_s, task_queue, result_queue):
+    """Shard main loop: steal chunks until the sentinel arrives."""
+    while True:
+        chunk = task_queue.get()
+        if chunk is None:
+            break
+        for index, point_dict in chunk:
+            point = CampaignPoint.from_dict(point_dict)
+            result = _evaluate_guarded(point, index, campaign_name,
+                                       timeout_s, worker_id)
+            result_queue.put(result.to_row())
+
+
+def _chunk(pending, chunk_size, jobs):
+    """Cut pending (index, point) pairs into work-stealing chunks.
+
+    Default size targets ~4 steals per worker: small enough to
+    rebalance around stragglers, large enough to amortize queue trips.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, len(pending) // (jobs * 4))
+    return [pending[i:i + chunk_size]
+            for i in range(0, len(pending), chunk_size)]
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _run_sharded(spec, pending, jobs, timeout_s, chunk_size, on_result):
+    ctx = _mp_context()
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    serialized = [[(i, p.to_dict()) for i, p in chunk]
+                  for chunk in _chunk(pending, chunk_size, jobs)]
+    for chunk in serialized:
+        task_queue.put(chunk)
+    workers = []
+    for worker_id in range(min(jobs, len(serialized))):
+        task_queue.put(None)  # one sentinel per worker
+        proc = ctx.Process(target=_worker,
+                           args=(worker_id, spec.name, timeout_s,
+                                 task_queue, result_queue),
+                           daemon=True)
+        proc.start()
+        workers.append(proc)
+
+    collected = {}
+    remaining = len(pending)
+    while remaining > 0:
+        try:
+            row = result_queue.get(timeout=0.2)
+        except queue_module.Empty:
+            if not any(w.is_alive() for w in workers):
+                break  # hard worker death; stragglers marked below
+            continue
+        result = PointResult.from_row(row)
+        collected[result.index] = result
+        on_result(result)
+        remaining -= 1
+    for proc in workers:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+    for index, point in pending:
+        if index not in collected:
+            result = PointResult(
+                point_id=point.point_id, index=index, ok=False,
+                error="WorkerDied: shard exited before reporting "
+                      "this point")
+            collected[index] = result
+            on_result(result)
+    return collected
+
+
+def run_campaign(spec, jobs=None, store=None, resume_from=None,
+                 progress=None, chunk_size=None, point_timeout_s=None):
+    """Execute ``spec`` and return a :class:`CampaignResult`.
+
+    ``jobs``
+        Worker shard count (1 = in-process serial; default honours
+        ``$REPRO_JOBS``).
+    ``store``
+        Optional :class:`ResultStore`; every result is appended as it
+        completes.
+    ``resume_from``
+        Path to a previous campaign's JSONL: points already recorded
+        OK there are loaded instead of re-run (failed rows re-run).
+    ``progress``
+        Callable invoked with each freshly-completed
+        :class:`PointResult` (see ``progress.ProgressReporter``).
+    ``point_timeout_s``
+        Per-point wall-clock budget; an overrun becomes a failed
+        point, not a stuck campaign.
+    """
+    spec.validate()
+    jobs = default_jobs(jobs)
+    if point_timeout_s is not None and not hasattr(signal, "SIGALRM"):
+        warnings.warn("point_timeout_s needs SIGALRM (unavailable on "
+                      "this platform); points run unbounded",
+                      RuntimeWarning, stacklevel=2)
+    done = {}
+    if resume_from is not None and os.path.exists(resume_from):
+        stored = ResultStore.load(resume_from)
+        for index, point in enumerate(spec.points):
+            previous = stored.get(point.point_id)
+            if previous is not None and previous.ok:
+                previous.index = index  # realign with this spec's order
+                done[index] = previous
+    pending = [(i, p) for i, p in enumerate(spec.points) if i not in done]
+
+    def on_result(result):
+        if store is not None:
+            store.append(result)
+        if progress is not None:
+            progress(result)
+
+    if jobs <= 1 or len(pending) <= 1:
+        collected = {}
+        for index, point in pending:
+            result = _evaluate_guarded(point, index, spec.name,
+                                       point_timeout_s, worker_id=0)
+            collected[index] = result
+            on_result(result)
+    else:
+        collected = _run_sharded(spec, pending, jobs, point_timeout_s,
+                                 chunk_size, on_result)
+
+    collected.update(done)
+    results = [collected[i] for i in range(len(spec.points))]
+    return CampaignResult(spec=spec, results=results)

@@ -1,0 +1,45 @@
+"""Campaign progress reporting.
+
+A :class:`ProgressReporter` is the ``progress`` callable
+:func:`~repro.campaign.executor.run_campaign` accepts: it counts
+completed points and periodically prints a one-line status to stderr
+(never stdout — the deterministic summary owns stdout).
+"""
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Throttled one-line progress printer."""
+
+    def __init__(self, total, label="campaign", stream=None,
+                 min_interval_s=1.0):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.completed = 0
+        self.failed = 0
+        self._start = time.perf_counter()
+        self._last_print = 0.0
+
+    def __call__(self, result):
+        self.completed += 1
+        if not result.ok:
+            self.failed += 1
+        now = time.perf_counter()
+        finished = self.completed >= self.total
+        if not finished and now - self._last_print < self.min_interval_s:
+            return
+        self._last_print = now
+        elapsed = now - self._start
+        rate = self.completed / elapsed if elapsed > 0 else 0.0
+        eta = ((self.total - self.completed) / rate) if rate > 0 else 0.0
+        line = (f"[{self.label}] {self.completed}/{self.total} points")
+        if self.failed:
+            line += f" ({self.failed} failed)"
+        line += f", {rate:.1f} pts/s, elapsed {elapsed:.1f}s"
+        if not finished:
+            line += f", eta {eta:.0f}s"
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,192 @@
+"""Declarative campaign specifications.
+
+A campaign is a grid of independent simulation *points* — each point
+names a registered task (``meek``, ``vanilla``, ``inject``, …), a
+workload, an instruction budget, a seed, and a dict of task parameters.
+Points are deliberately plain data (strings, ints, floats, bools) so a
+spec can round-trip through JSON, travel to worker processes, and key a
+result store.
+
+Determinism contract: a point's identity (:attr:`CampaignPoint.point_id`)
+is a pure function of its fields, and every random stream a task draws
+is derived from that identity (or an explicit ``rng_key`` parameter)
+through :class:`~repro.common.prng.DeterministicRng` string seeding.
+Sharded execution is therefore bit-identical to serial execution, and a
+resumed campaign continues exactly where the stored rows stop.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+#: Parameter values allowed in a point (must survive JSON round-trips).
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_params(params):
+    for key, value in params.items():
+        if not isinstance(key, str):
+            raise ConfigError(f"param key {key!r} must be a string")
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ConfigError(
+                f"param {key}={value!r} is not JSON-scalar; campaign "
+                f"points carry only str/int/float/bool/None values")
+
+
+@dataclass
+class CampaignPoint:
+    """One independent unit of work in a campaign."""
+
+    task: str
+    workload: str = None
+    instructions: int = 0
+    seed: int = 0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        _check_params(self.params)
+
+    @property
+    def point_id(self):
+        """Canonical identity string; stable across processes/runs."""
+        parts = [self.task, str(self.workload), str(self.instructions),
+                 str(self.seed)]
+        parts.extend(f"{k}={self.params[k]}" for k in sorted(self.params))
+        return "/".join(parts)
+
+    def rng_key(self, campaign_name=""):
+        """Seed string for this point's random streams.
+
+        An explicit ``rng_key`` parameter wins (used by the figure
+        drivers to preserve their historical fault-injection streams);
+        otherwise the key derives from the point id alone — never from
+        the campaign name — so a point's metrics are a pure function
+        of its identity and ``--resume`` can safely reuse rows across
+        differently-named campaigns over the same grid.
+        """
+        explicit = self.params.get("rng_key")
+        if explicit is not None:
+            return explicit
+        return f"campaign/{self.point_id}"
+
+    def to_dict(self):
+        return {"task": self.task, "workload": self.workload,
+                "instructions": self.instructions, "seed": self.seed,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(task=data["task"], workload=data.get("workload"),
+                   instructions=data.get("instructions", 0),
+                   seed=data.get("seed", 0),
+                   params=dict(data.get("params", {})))
+
+
+@dataclass
+class CampaignSpec:
+    """A named, ordered collection of points."""
+
+    name: str
+    points: list = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self):
+        return len(self.points)
+
+    def validate(self):
+        seen = {}
+        for i, point in enumerate(self.points):
+            pid = point.point_id
+            if pid in seen:
+                raise ConfigError(
+                    f"duplicate point {pid!r} at indices "
+                    f"{seen[pid]} and {i}")
+            seen[pid] = i
+        return self
+
+    # -- grid construction ------------------------------------------------
+
+    @classmethod
+    def grid(cls, name, workloads, seeds=(0,), instructions=20_000,
+             configs=None, injection=None, trials=1, task="meek",
+             include_baseline=True):
+        """Expand a workloads × seeds × configs (× trials) grid.
+
+        ``configs`` is an iterable of parameter dicts merged into each
+        point (e.g. ``[{"cores": 2}, {"cores": 4}]``); ``injection``
+        switches the grid to fault-injection points (a dict with at
+        least ``rate``, expanded to ``trials`` points per cell).  With
+        ``include_baseline`` a single ``vanilla`` point per
+        (workload, seed) rides along so summaries can report slowdown.
+        """
+        configs = [dict(c) for c in (configs or [{}])]
+        points = []
+        for workload in workloads:
+            for seed in seeds:
+                if include_baseline and task == "meek" and injection is None:
+                    points.append(CampaignPoint(
+                        task="vanilla", workload=workload,
+                        instructions=instructions, seed=seed))
+                for config in configs:
+                    if injection is not None:
+                        for trial in range(trials):
+                            params = dict(config)
+                            params.update(injection)
+                            params["trial"] = trial
+                            points.append(CampaignPoint(
+                                task="inject", workload=workload,
+                                instructions=instructions, seed=seed,
+                                params=params))
+                    else:
+                        points.append(CampaignPoint(
+                            task=task, workload=workload,
+                            instructions=instructions, seed=seed,
+                            params=dict(config)))
+        return cls(name=name, points=points).validate()
+
+    # -- JSON -------------------------------------------------------------
+
+    def to_dict(self):
+        return {"name": self.name, "meta": dict(self.meta),
+                "points": [p.to_dict() for p in self.points]}
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build from either an explicit point list or grid shorthand.
+
+        Explicit form: ``{"name": ..., "points": [{...}, ...]}``.
+        Grid shorthand mirrors :meth:`grid`'s keyword arguments::
+
+            {"name": "sweep", "workloads": ["dedup"], "seeds": [0, 1],
+             "instructions": 20000, "configs": [{"cores": 4}],
+             "injection": {"rate": 0.008}, "trials": 3}
+        """
+        if "points" in data:
+            spec = cls(name=data.get("name", "campaign"),
+                       points=[CampaignPoint.from_dict(p)
+                               for p in data["points"]],
+                       meta=dict(data.get("meta", {})))
+            return spec.validate()
+        if "workloads" not in data:
+            raise ConfigError(
+                "spec needs either a 'points' list or grid fields "
+                "(at least 'workloads')")
+        return cls.grid(
+            name=data.get("name", "campaign"),
+            workloads=data["workloads"],
+            seeds=tuple(data.get("seeds", (0,))),
+            instructions=data.get("instructions", 20_000),
+            configs=data.get("configs"),
+            injection=data.get("injection"),
+            trials=data.get("trials", 1),
+            task=data.get("task", "meek"),
+            include_baseline=data.get("include_baseline", True))
+
+    @classmethod
+    def from_file(cls, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

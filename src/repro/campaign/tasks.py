@@ -1,0 +1,189 @@
+"""Task registry: how one campaign point becomes one simulation run.
+
+Each task is a function ``fn(point, campaign_name="") -> dict`` of JSON
+metrics.  Tasks rebuild everything they need (program, config, system)
+from the point's plain-data fields, so a point can be evaluated in any
+process and always produces the same metrics.
+
+The registry is open: experiments register the built-in simulation
+tasks below, and tests register throwaway tasks (the executor looks
+tasks up by name at evaluation time).
+"""
+
+from dataclasses import replace
+
+from repro.common.errors import ConfigError
+
+TASKS = {}
+
+
+def task(name):
+    """Decorator: register ``fn`` under ``name``."""
+    def register(fn):
+        TASKS[name] = fn
+        return fn
+    return register
+
+
+def get_task(name):
+    try:
+        return TASKS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown campaign task {name!r}; "
+            f"registered: {sorted(TASKS)}") from None
+
+
+def evaluate_point(point, campaign_name=""):
+    """Run one point and return its metrics dict (raises on error)."""
+    return get_task(point.task)(point, campaign_name=campaign_name)
+
+
+# -- shared builders ------------------------------------------------------
+
+def build_config(params):
+    """A :class:`MeekConfig` from a point's scalar parameters.
+
+    Supported keys: ``cores``, ``fabric``, ``lsl_kb``, ``timeout``
+    (checkpoint instruction timeout) and ``dc_depth`` (DC-Buffer
+    depth), mirroring the ablation sweeps.
+    """
+    from repro.common.config import (FabricConfig, LslConfig,
+                                     default_meek_config)
+
+    fabric_kind = params.get("fabric", "f2")
+    if fabric_kind not in ("f2", "axi", "ideal"):
+        # default_meek_config treats any unknown kind as f2; reject it
+        # here so a typo cannot publish f2 numbers under another label.
+        raise ConfigError(f"unknown fabric kind {fabric_kind!r} "
+                          f"(choose f2, axi or ideal)")
+    config = default_meek_config(
+        num_little_cores=int(params.get("cores", 4)),
+        fabric_kind=fabric_kind)
+    little = config.little_core
+    lsl = little.lsl
+    if params.get("lsl_kb") is not None:
+        lsl = LslConfig(size_bytes=int(params["lsl_kb"]) * 1024,
+                        instruction_timeout=lsl.instruction_timeout)
+    if params.get("timeout") is not None:
+        lsl = replace(lsl, instruction_timeout=int(params["timeout"]))
+    if lsl is not little.lsl:
+        config = replace(config, little_core=replace(little, lsl=lsl))
+    if params.get("dc_depth") is not None:
+        depth = int(params["dc_depth"])
+        config = replace(config, fabric=FabricConfig(
+            status_fifo_depth=depth, runtime_fifo_depth=depth))
+    return config
+
+
+def build_program(point):
+    from repro.workloads import generate_program, get_profile
+    return generate_program(get_profile(point.workload),
+                            dynamic_instructions=point.instructions,
+                            seed=point.seed)
+
+
+def _meek_metrics(result):
+    stats = result.controller.stats()
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "ipc": result.big.ipc,
+        "verified": result.all_segments_verified,
+        "segments": stats["segments"],
+        "mean_segment_instrs": stats["mean_segment_instrs"],
+        "stall_cycles": dict(stats["stall_cycles"]),
+        "end_reasons": dict(stats["end_reasons"]),
+    }
+
+
+# -- built-in simulation tasks --------------------------------------------
+
+@task("vanilla")
+def run_vanilla_point(point, campaign_name=""):
+    """Unmodified big core: the slowdown denominator."""
+    from repro.core.system import run_vanilla
+    result = run_vanilla(build_program(point))
+    return {"cycles": result.cycles, "instructions": result.instructions,
+            "ipc": result.ipc}
+
+
+@task("meek")
+def run_meek_point(point, campaign_name=""):
+    """One MEEK execution (params select cores/fabric/ablation knobs)."""
+    from repro.core.system import MeekSystem
+    system = MeekSystem(build_config(point.params))
+    return _meek_metrics(system.run(build_program(point)))
+
+
+@task("inject")
+def run_inject_point(point, campaign_name=""):
+    """One fault-injection trial through the genuine checking machinery.
+
+    ``rate`` is the per-packet injection probability; the injector's
+    stream is seeded from the point identity (or an explicit
+    ``rng_key`` param), so trials are independent and reproducible.
+    """
+    from repro.common.prng import DeterministicRng
+    from repro.core.faults import FaultInjector
+    from repro.core.system import MeekSystem
+
+    rng = DeterministicRng(point.rng_key(campaign_name), name="faults")
+    injector = FaultInjector(rng, rate=float(point.params.get("rate", 0.008)))
+    system = MeekSystem(build_config(point.params), injector=injector)
+    result = system.run(build_program(point))
+    metrics = _meek_metrics(result)
+    metrics.update({
+        "injections": len(injector.injections),
+        "detected": injector.detected_count,
+        "latencies_ns": result.detection_latencies_ns(),
+    })
+    return metrics
+
+
+@task("lockstep")
+def run_lockstep_point(point, campaign_name=""):
+    """Equivalent-Area LockStep baseline (Sec. V-A)."""
+    from repro.baselines.lockstep import EaLockstep
+    result = EaLockstep().run(build_program(point))
+    return {"cycles": result.cycles, "instructions": result.instructions,
+            "ipc": result.ipc}
+
+
+@task("nzdc")
+def run_nzdc_point(point, campaign_name=""):
+    """Nzdc software baseline (callers skip its compile failures)."""
+    from repro.baselines.nzdc import run_nzdc
+    result, transformed = run_nzdc(build_program(point))
+    return {"cycles": result.cycles, "instructions": result.instructions,
+            "ipc": result.ipc, "static_instructions": len(transformed)}
+
+
+@task("little_ipc")
+def run_little_ipc_point(point, campaign_name=""):
+    """Little-core throughput for Fig. 10 (``core`` selects the config)."""
+    from repro.analysis.area import LITTLE_WRAPPER_AREA_MM2, rocket_area_mm2
+    from repro.common.config import (default_rocket_config,
+                                     optimized_rocket_config)
+    from repro.littlecore.core import LittleCore
+
+    kind = point.params.get("core", "optimized")
+    if kind == "optimized":
+        config = optimized_rocket_config()
+    elif kind == "default":
+        config = default_rocket_config()
+    else:
+        raise ConfigError(f"little_ipc: unknown core kind {kind!r}")
+    core = LittleCore(config, clock_ratio=1)
+    result = core.run(build_program(point),
+                      max_instructions=point.instructions)
+    area = rocket_area_mm2(config) + LITTLE_WRAPPER_AREA_MM2
+    return {"ipc": result.ipc, "area_mm2": area,
+            "perf_per_mm2": result.ipc / area}
+
+
+@task("tab3")
+def run_tab3_point(point, campaign_name=""):
+    """The Table III area report (pure analysis, no simulation)."""
+    from repro.experiments import tab3_area
+    return tab3_area.compute_report()

@@ -3,15 +3,21 @@
 Usage (``python -m repro ...``)::
 
     python -m repro run swaptions --instructions 20000 --cores 4
-    python -m repro inject ferret --trials 3
-    python -m repro figure fig6
+    python -m repro inject ferret --trials 3 --cores 6 --jobs 2
+    python -m repro figure fig6 --jobs 4
     python -m repro figure tab3
+    python -m repro campaign --workloads dedup,ferret --seeds 0,1 \\
+        --cores 2,4 --jobs 4 --out results.jsonl
+    python -m repro campaign --spec campaign.json --resume --out results.jsonl
     python -m repro list
 
 ``run`` executes one workload under MEEK and reports slowdown and
 segment statistics; ``inject`` runs a fault campaign; ``figure``
-regenerates one of the paper's tables/figures; ``list`` shows the
-available workloads.
+regenerates one of the paper's tables/figures; ``campaign`` executes a
+declarative grid (from flags or a JSON spec) through the sharded
+campaign engine; ``list`` shows the available workloads.  Everything
+grid-shaped accepts ``--jobs N`` to shard across worker processes with
+bit-identical results.
 """
 
 import argparse
@@ -19,12 +25,19 @@ import sys
 
 from repro.analysis.report import format_table
 from repro.common.config import default_meek_config
-from repro.common.prng import DeterministicRng
-from repro.core.faults import FaultInjector
+from repro.common.errors import ConfigError
 from repro.core.system import MeekSystem, run_vanilla, slowdown
 from repro.workloads import all_profiles, generate_program, get_profile
 
 _FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "tab3", "ablations")
+_FABRICS = ("f2", "axi", "ideal")
+
+
+def _csv(cast):
+    """argparse type: comma-separated list of ``cast`` values."""
+    def parse(text):
+        return [cast(part) for part in text.split(",") if part]
+    return parse
 
 
 def _cmd_list(_args):
@@ -60,27 +73,91 @@ def _cmd_run(args):
     return 0 if result.all_segments_verified else 1
 
 
+def _progress(spec, args):
+    """A stderr progress reporter when interactive (or forced)."""
+    from repro.campaign import ProgressReporter
+    if getattr(args, "progress", False) or sys.stderr.isatty():
+        return ProgressReporter(total=len(spec.points), label=spec.name)
+    return None
+
+
 def _cmd_inject(args):
-    program = generate_program(get_profile(args.workload),
-                               dynamic_instructions=args.instructions,
-                               seed=args.seed)
-    latencies = []
-    injected = detected = 0
-    for trial in range(args.trials):
-        rng = DeterministicRng(f"cli/{args.workload}/{args.seed}/{trial}")
-        injector = FaultInjector(rng, rate=args.rate)
-        system = MeekSystem(default_meek_config(), injector=injector)
-        result = system.run(program)
-        injected += len(injector.injections)
-        detected += injector.detected_count
-        latencies.extend(result.detection_latencies_ns())
+    from repro.campaign import CampaignPoint, CampaignSpec, run_campaign
+
+    points = [
+        CampaignPoint(
+            task="inject", workload=args.workload,
+            instructions=args.instructions, seed=args.seed,
+            params={"rate": args.rate, "trial": trial,
+                    "cores": args.cores, "fabric": args.fabric,
+                    "rng_key": f"cli/{args.workload}/{args.seed}/{trial}"})
+        for trial in range(args.trials)
+    ]
+    spec = CampaignSpec(name=f"inject-{args.workload}", points=points)
+    result = run_campaign(spec, jobs=args.jobs,
+                          progress=_progress(spec, args))
+    for failure in result.failed:
+        print(f"trial failed    : {failure.point_id}: "
+              f"{(failure.error or '').splitlines()[0]}")
+    injected = sum(r.metrics["injections"] for r in result.ok)
+    detected = sum(r.metrics["detected"] for r in result.ok)
+    latencies = [lat for r in result.ok for lat in r.metrics["latencies_ns"]]
     print(f"injections      : {injected}")
-    print(f"detected        : {detected} "
-          f"({detected / injected:.0%})" if injected else "no injections")
+    if injected:
+        print(f"detected        : {detected} ({detected / injected:.0%})")
+    else:
+        print("detected        : 0 (no injections)")
     if latencies:
         print(f"mean latency    : {sum(latencies) / len(latencies):.0f} ns")
         print(f"worst latency   : {max(latencies):.0f} ns")
-    return 0
+    return 0 if result.all_ok else 1
+
+
+def _cmd_campaign(args):
+    from repro.campaign import (CampaignSpec, ResultStore, format_summary,
+                                run_campaign)
+
+    if args.spec is not None:
+        try:
+            spec = CampaignSpec.from_file(args.spec)
+        except (OSError, ValueError, ConfigError) as exc:
+            print(f"campaign: bad spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
+    elif args.workloads:
+        for fabric in args.fabric:
+            if fabric not in _FABRICS:
+                print(f"campaign: unknown fabric {fabric!r} "
+                      f"(choose from {', '.join(_FABRICS)})",
+                      file=sys.stderr)
+                return 2
+        configs = [{"cores": cores, "fabric": fabric}
+                   for cores in args.cores for fabric in args.fabric]
+        injection = {"rate": args.rate} if args.task == "inject" else None
+        try:
+            spec = CampaignSpec.grid(
+                args.name, workloads=args.workloads,
+                seeds=tuple(args.seeds), instructions=args.instructions,
+                configs=configs, injection=injection, trials=args.trials,
+                task=args.task)
+        except ConfigError as exc:
+            print(f"campaign: bad grid: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("campaign: provide --spec FILE or --workloads LIST",
+              file=sys.stderr)
+        return 2
+    resume_from = args.out if args.resume else None
+    if args.resume and args.out is None:
+        print("campaign: --resume needs --out FILE to resume from",
+              file=sys.stderr)
+        return 2
+    with ResultStore(path=args.out) as store:
+        result = run_campaign(
+            spec, jobs=args.jobs, store=store, resume_from=resume_from,
+            progress=_progress(spec, args),
+            point_timeout_s=args.point_timeout)
+    print(format_summary(spec, result.results))
+    return 0 if result.all_ok else 1
 
 
 def _cmd_figure(args):
@@ -97,10 +174,11 @@ def _cmd_figure(args):
         "ablations": ablations,
     }[args.name]
     if args.name == "tab3":
-        print(module.format_results(module.run()))
+        print(module.format_results(module.run(jobs=args.jobs)))
     else:
         print(module.format_results(
-            module.run(dynamic_instructions=args.instructions)))
+            module.run(dynamic_instructions=args.instructions,
+                       jobs=args.jobs)))
     return 0
 
 
@@ -127,11 +205,48 @@ def build_parser():
     inject_parser.add_argument("--trials", type=int, default=2)
     inject_parser.add_argument("--rate", type=float, default=0.008)
     inject_parser.add_argument("--seed", type=int, default=0)
+    inject_parser.add_argument("--cores", type=int, default=4)
+    inject_parser.add_argument("--fabric", choices=_FABRICS, default="f2")
+    inject_parser.add_argument("--jobs", type=int, default=None,
+                               help="worker shards (default $REPRO_JOBS or 1)")
+    inject_parser.add_argument("--progress", action="store_true",
+                               help="force the stderr progress line")
 
     figure_parser = sub.add_parser("figure",
                                    help="regenerate a paper table/figure")
     figure_parser.add_argument("name", choices=_FIGURES)
     figure_parser.add_argument("--instructions", type=int, default=10_000)
+    figure_parser.add_argument("--jobs", type=int, default=None,
+                               help="worker shards (default $REPRO_JOBS or 1)")
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a declarative grid through the sharded campaign engine")
+    campaign_parser.add_argument("--spec", default=None,
+                                 help="JSON spec file (points or grid "
+                                      "shorthand); overrides grid flags")
+    campaign_parser.add_argument("--name", default="cli")
+    campaign_parser.add_argument("--task", choices=("meek", "inject"),
+                                 default="meek")
+    campaign_parser.add_argument("--workloads", type=_csv(str), default=[])
+    campaign_parser.add_argument("--seeds", type=_csv(int), default=[0])
+    campaign_parser.add_argument("--instructions", type=int, default=20_000)
+    campaign_parser.add_argument("--cores", type=_csv(int), default=[4])
+    campaign_parser.add_argument("--fabric", type=_csv(str), default=["f2"])
+    campaign_parser.add_argument("--trials", type=int, default=3,
+                                 help="fault-injection trials per cell")
+    campaign_parser.add_argument("--rate", type=float, default=0.008)
+    campaign_parser.add_argument("--jobs", type=int, default=None,
+                                 help="worker shards (default $REPRO_JOBS "
+                                      "or 1)")
+    campaign_parser.add_argument("--out", default=None,
+                                 help="append per-point JSONL rows here")
+    campaign_parser.add_argument("--resume", action="store_true",
+                                 help="skip points already OK in --out")
+    campaign_parser.add_argument("--point-timeout", type=float, default=None,
+                                 help="per-point wall-clock budget (s)")
+    campaign_parser.add_argument("--progress", action="store_true",
+                                 help="force the stderr progress line")
     return parser
 
 
@@ -142,6 +257,7 @@ def main(argv=None):
         "run": _cmd_run,
         "inject": _cmd_inject,
         "figure": _cmd_figure,
+        "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)
 

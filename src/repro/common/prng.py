@@ -8,6 +8,7 @@ replayed bit-for-bit from its seed.  The class wraps
 streams independent of each other and of user code.
 """
 
+import hashlib
 import random
 
 
@@ -24,8 +25,14 @@ class DeterministicRng:
 
         Children are seeded from the parent seed and a salt string so
         that adding a new consumer never perturbs existing streams.
+        The derivation hashes with BLAKE2 rather than ``hash()``, whose
+        per-process randomization (PYTHONHASHSEED) would make streams
+        differ between the shards of a parallel campaign and between a
+        campaign and its resume.
         """
-        child_seed = hash((self.seed, salt)) & 0xFFFF_FFFF_FFFF_FFFF
+        digest = hashlib.blake2b(f"{self.seed}\x1f{salt}".encode(),
+                                 digest_size=8).digest()
+        child_seed = int.from_bytes(digest, "big")
         return DeterministicRng(child_seed, name=f"{self.name}/{salt}")
 
     def randint(self, lo, hi):

@@ -76,6 +76,13 @@ class MeekRunResult:
             "cycles": self.cycles,
             "ipc": self.big.ipc,
             "drain_cycle": self.drain_cycle,
+            # Fault outcomes ride along (zero without an injector) so
+            # campaign rows carry them without reaching into the
+            # injector object.
+            "injections": (len(self.injector.injections)
+                           if self.injector is not None else 0),
+            "detected": (self.injector.detected_count
+                         if self.injector is not None else 0),
             "controller": self.controller.stats(),
         }
 

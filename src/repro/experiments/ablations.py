@@ -12,12 +12,11 @@ Three sweeps over the design choices DESIGN.md calls out:
   burst or the commit stage stalls even behind F2.
 """
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.common.config import FabricConfig, LslConfig, default_meek_config
-from repro.core.system import MeekSystem, run_vanilla
-from repro.experiments.runner import DEFAULT_DYNAMIC_INSTRUCTIONS, build_workload
+from repro.campaign import CampaignPoint
+from repro.experiments.runner import DEFAULT_DYNAMIC_INSTRUCTIONS, run_grid
 
 DEFAULT_WORKLOAD = "dedup"
 LSL_SIZES_KB = (1, 2, 4, 8)
@@ -35,76 +34,82 @@ class AblationRow:
     forwarding_stalls: float
 
 
-def _run(config, program, vanilla, parameter, value):
-    result = MeekSystem(config).run(program)
-    stats = result.controller.stats()
-    return AblationRow(
-        parameter=parameter,
-        value=value,
-        slowdown=result.cycles / vanilla.cycles,
-        segments=stats["segments"],
-        collecting_stalls=stats["stall_cycles"]["data_collecting"],
-        forwarding_stalls=stats["stall_cycles"]["data_forwarding"],
-    )
+def _sweep_points(workload, dynamic_instructions, seed, parameter, values):
+    """One vanilla baseline point plus a meek point per swept value
+    (``parameter`` doubles as the campaign-task config key)."""
+    points = [CampaignPoint(task="vanilla", workload=workload,
+                            instructions=dynamic_instructions, seed=seed)]
+    points.extend(CampaignPoint(task="meek", workload=workload,
+                                instructions=dynamic_instructions,
+                                seed=seed, params={parameter: value})
+                  for value in values)
+    return points
+
+
+def _sweep_rows(parameter, values, metrics):
+    base = metrics[0]["cycles"]
+    rows = []
+    for value, meek in zip(values, metrics[1:]):
+        rows.append(AblationRow(
+            parameter=parameter,
+            value=value,
+            slowdown=meek["cycles"] / base,
+            segments=meek["segments"],
+            collecting_stalls=meek["stall_cycles"]["data_collecting"],
+            forwarding_stalls=meek["stall_cycles"]["data_forwarding"],
+        ))
+    return rows
 
 
 def sweep_lsl_size(workload=DEFAULT_WORKLOAD,
                    dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
-                   sizes_kb=LSL_SIZES_KB, seed=0):
+                   sizes_kb=LSL_SIZES_KB, seed=0, jobs=None):
     """Vary the Load-Store Log capacity."""
-    program = build_workload(workload, dynamic_instructions, seed)
-    vanilla = run_vanilla(program)
-    rows = []
-    for size_kb in sizes_kb:
-        base = default_meek_config()
-        little = replace(base.little_core,
-                         lsl=LslConfig(size_bytes=size_kb * 1024))
-        config = replace(base, little_core=little)
-        rows.append(_run(config, program, vanilla, "lsl_kb", size_kb))
-    return rows
+    points = _sweep_points(workload, dynamic_instructions, seed,
+                           "lsl_kb", sizes_kb)
+    return _sweep_rows("lsl_kb", sizes_kb,
+                       run_grid("ablation-lsl", points, jobs=jobs))
 
 
 def sweep_timeout(workload="hmmer",
                   dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
-                  timeouts=TIMEOUTS, seed=0):
+                  timeouts=TIMEOUTS, seed=0, jobs=None):
     """Vary the checkpoint instruction timeout."""
-    program = build_workload(workload, dynamic_instructions, seed)
-    vanilla = run_vanilla(program)
-    rows = []
-    for timeout in timeouts:
-        base = default_meek_config()
-        little = replace(base.little_core,
-                         lsl=replace(base.little_core.lsl,
-                                     instruction_timeout=timeout))
-        config = replace(base, little_core=little)
-        rows.append(_run(config, program, vanilla, "timeout", timeout))
-    return rows
+    points = _sweep_points(workload, dynamic_instructions, seed,
+                           "timeout", timeouts)
+    return _sweep_rows("timeout", timeouts,
+                       run_grid("ablation-timeout", points, jobs=jobs))
 
 
 def sweep_buffer_depth(workload=DEFAULT_WORKLOAD,
                        dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
-                       depths=BUFFER_DEPTHS, seed=0):
+                       depths=BUFFER_DEPTHS, seed=0, jobs=None):
     """Vary the DC-Buffer depth (both channels)."""
-    program = build_workload(workload, dynamic_instructions, seed)
-    vanilla = run_vanilla(program)
+    points = _sweep_points(workload, dynamic_instructions, seed,
+                           "dc_depth", depths)
+    return _sweep_rows("dc_depth", depths,
+                       run_grid("ablation-dc", points, jobs=jobs))
+
+
+def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS, seed=0,
+        jobs=None):
+    """All three sweeps, submitted as one grid so shards stay busy."""
+    sweeps = (
+        ("lsl_kb", DEFAULT_WORKLOAD, LSL_SIZES_KB),
+        ("timeout", "hmmer", TIMEOUTS),
+        ("dc_depth", DEFAULT_WORKLOAD, BUFFER_DEPTHS),
+    )
+    points, slices = [], []
+    for parameter, workload, values in sweeps:
+        start = len(points)
+        points.extend(_sweep_points(workload, dynamic_instructions, seed,
+                                    parameter, values))
+        slices.append((parameter, values, start, len(points)))
+    metrics = run_grid("ablations", points, jobs=jobs)
     rows = []
-    for depth in depths:
-        base = default_meek_config()
-        fabric = FabricConfig(status_fifo_depth=depth,
-                              runtime_fifo_depth=depth)
-        config = replace(base, fabric=fabric)
-        rows.append(_run(config, program, vanilla, "dc_depth", depth))
+    for parameter, values, start, stop in slices:
+        rows.extend(_sweep_rows(parameter, values, metrics[start:stop]))
     return rows
-
-
-def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS, seed=0):
-    """All three sweeps."""
-    return (sweep_lsl_size(dynamic_instructions=dynamic_instructions,
-                           seed=seed)
-            + sweep_timeout(dynamic_instructions=dynamic_instructions,
-                            seed=seed)
-            + sweep_buffer_depth(dynamic_instructions=dynamic_instructions,
-                                 seed=seed))
 
 
 def format_results(rows):

@@ -13,15 +13,13 @@ exactly that stream), measured in instructions per little-core cycle.
 
 from dataclasses import dataclass
 
-from repro.analysis.area import LITTLE_WRAPPER_AREA_MM2, rocket_area_mm2
 from repro.analysis.report import format_table
 from repro.analysis.stats import geomean
-from repro.common.config import default_rocket_config, optimized_rocket_config
+from repro.campaign import CampaignPoint
 from repro.experiments.runner import (
     DEFAULT_DYNAMIC_INSTRUCTIONS,
-    build_workload,
+    run_grid,
 )
-from repro.littlecore.core import LittleCore
 from repro.workloads.profiles import PARSEC_ORDER
 
 
@@ -39,34 +37,30 @@ class Fig10Row:
         return self.optimized_perf_area / self.default_perf_area - 1.0
 
 
-def _little_ipc(program, config, max_instructions):
-    core = LittleCore(config, clock_ratio=1)
-    result = core.run(program, max_instructions=max_instructions)
-    return result.ipc
-
-
 def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS, seed=0,
-        workloads=None):
+        workloads=None, jobs=None):
     if workloads is None:
         workloads = PARSEC_ORDER
-    optimized = optimized_rocket_config()
-    default = default_rocket_config()
-    # A deployed checker core is core + wrapper (LSL + MSU), so the
-    # area denominator includes the wrapper for both configurations.
-    optimized_area = rocket_area_mm2(optimized) + LITTLE_WRAPPER_AREA_MM2
-    default_area = rocket_area_mm2(default) + LITTLE_WRAPPER_AREA_MM2
+    # A deployed checker core is core + wrapper (LSL + MSU); the
+    # little_ipc task includes the wrapper in its area denominator for
+    # both configurations.
+    points = [
+        CampaignPoint(task="little_ipc", workload=name,
+                      instructions=dynamic_instructions, seed=seed,
+                      params={"core": kind})
+        for name in workloads
+        for kind in ("optimized", "default")
+    ]
+    metrics = run_grid("fig10", points, jobs=jobs)
     rows = []
-    for name in workloads:
-        program = build_workload(name, dynamic_instructions, seed)
-        limit = dynamic_instructions
-        opt_ipc = _little_ipc(program, optimized, limit)
-        def_ipc = _little_ipc(program, default, limit)
+    for w, name in enumerate(workloads):
+        opt, dfl = metrics[2 * w], metrics[2 * w + 1]
         rows.append(Fig10Row(
             name=name,
-            optimized_ipc=opt_ipc,
-            default_ipc=def_ipc,
-            optimized_perf_area=opt_ipc / optimized_area,
-            default_perf_area=def_ipc / default_area,
+            optimized_ipc=opt["ipc"],
+            default_ipc=dfl["ipc"],
+            optimized_perf_area=opt["perf_per_mm2"],
+            default_perf_area=dfl["perf_per_mm2"],
         ))
     return rows
 

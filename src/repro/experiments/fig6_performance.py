@@ -18,14 +18,11 @@ from typing import Optional
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import geomean
-from repro.baselines.lockstep import EaLockstep
-from repro.baselines.nzdc import run_nzdc
+from repro.campaign import CampaignPoint
 from repro.experiments.runner import (
     DEFAULT_DYNAMIC_INSTRUCTIONS,
     NZDC_COMPILE_FAILURES,
-    build_workload,
-    run_baseline,
-    run_meek,
+    run_grid,
 )
 from repro.workloads.profiles import PARSEC_ORDER, SPEC_ORDER, get_profile
 
@@ -40,26 +37,34 @@ class Fig6Row:
 
 
 def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS, seed=0,
-        workloads=None):
-    """Regenerate the Fig. 6 slowdown rows."""
+        workloads=None, jobs=None):
+    """Regenerate the Fig. 6 slowdown rows (via the campaign engine)."""
     if workloads is None:
         workloads = SPEC_ORDER + PARSEC_ORDER
-    rows = []
+    points, layout = [], []
     for name in workloads:
-        profile = get_profile(name)
-        program = build_workload(name, dynamic_instructions, seed)
-        vanilla = run_baseline(program)
-        meek = run_meek(program)
-        lockstep = EaLockstep().run(program)
-        nzdc_slowdown = None
+        tasks = ["vanilla", "meek", "lockstep"]
         if name not in NZDC_COMPILE_FAILURES:
-            nzdc_result, _ = run_nzdc(program)
-            nzdc_slowdown = nzdc_result.cycles / vanilla.cycles
+            tasks.append("nzdc")
+        indices = {}
+        for task in tasks:
+            indices[task] = len(points)
+            points.append(CampaignPoint(
+                task=task, workload=name,
+                instructions=dynamic_instructions, seed=seed))
+        layout.append((name, indices))
+    metrics = run_grid("fig6", points, jobs=jobs)
+    rows = []
+    for name, indices in layout:
+        base = metrics[indices["vanilla"]]["cycles"]
+        nzdc_slowdown = None
+        if "nzdc" in indices:
+            nzdc_slowdown = metrics[indices["nzdc"]]["cycles"] / base
         rows.append(Fig6Row(
             name=name,
-            suite=profile.suite,
-            meek=meek.cycles / vanilla.cycles,
-            lockstep=lockstep.cycles / vanilla.cycles,
+            suite=get_profile(name).suite,
+            meek=metrics[indices["meek"]]["cycles"] / base,
+            lockstep=metrics[indices["lockstep"]]["cycles"] / base,
             nzdc=nzdc_slowdown,
         ))
     return rows

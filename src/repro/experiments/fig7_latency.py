@@ -16,12 +16,10 @@ from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table, render_histogram
 from repro.analysis.stats import coverage_within, density_histogram, mean
-from repro.common.prng import DeterministicRng
-from repro.core.faults import FaultInjector
+from repro.campaign import CampaignPoint
 from repro.experiments.runner import (
     DEFAULT_DYNAMIC_INSTRUCTIONS,
-    build_workload,
-    run_meek,
+    run_grid,
 )
 from repro.workloads.profiles import PARSEC_ORDER
 
@@ -53,21 +51,33 @@ class Fig7Row:
 
 
 def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
-        runs_per_workload=3, injection_rate=0.008, seed=0, workloads=None):
-    """Run the fault-injection campaign; returns per-workload rows."""
+        runs_per_workload=3, injection_rate=0.008, seed=0, workloads=None,
+        jobs=None):
+    """Run the fault-injection campaign; returns per-workload rows.
+
+    Every (workload, trial) cell is an independent campaign point with
+    its own injector stream (the historical ``{seed}/{name}/{trial}``
+    key), so the grid shards freely across workers.
+    """
     if workloads is None:
         workloads = PARSEC_ORDER
+    points = [
+        CampaignPoint(task="inject", workload=name,
+                      instructions=dynamic_instructions, seed=seed,
+                      params={"rate": injection_rate, "trial": trial,
+                              "rng_key": f"{seed}/{name}/{trial}"})
+        for name in workloads
+        for trial in range(runs_per_workload)
+    ]
+    metrics = run_grid("fig7", points, jobs=jobs)
     rows = []
-    for name in workloads:
-        program = build_workload(name, dynamic_instructions, seed)
+    for w, name in enumerate(workloads):
         row = Fig7Row(name=name, injections=0, detected=0)
         for trial in range(runs_per_workload):
-            rng = DeterministicRng(f"{seed}/{name}/{trial}", name="faults")
-            injector = FaultInjector(rng, rate=injection_rate)
-            result = run_meek(program, injector=injector)
-            row.injections += len(injector.injections)
-            row.detected += injector.detected_count
-            row.latencies_ns.extend(result.detection_latencies_ns())
+            m = metrics[w * runs_per_workload + trial]
+            row.injections += m["injections"]
+            row.detected += m["detected"]
+            row.latencies_ns.extend(m["latencies_ns"])
         rows.append(row)
     return rows
 

@@ -9,11 +9,10 @@ from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import geomean
+from repro.campaign import CampaignPoint
 from repro.experiments.runner import (
     DEFAULT_DYNAMIC_INSTRUCTIONS,
-    build_workload,
-    run_baseline,
-    run_meek,
+    run_grid,
 )
 from repro.workloads.profiles import PARSEC_ORDER
 
@@ -27,17 +26,28 @@ class Fig8Row:
 
 
 def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
-        core_counts=DEFAULT_CORE_COUNTS, seed=0, workloads=None):
+        core_counts=DEFAULT_CORE_COUNTS, seed=0, workloads=None, jobs=None):
     if workloads is None:
         workloads = PARSEC_ORDER
-    rows = []
+    points = []
     for name in workloads:
-        program = build_workload(name, dynamic_instructions, seed)
-        vanilla = run_baseline(program)
-        row = Fig8Row(name=name)
+        points.append(CampaignPoint(
+            task="vanilla", workload=name,
+            instructions=dynamic_instructions, seed=seed))
         for cores in core_counts:
-            meek = run_meek(program, num_little_cores=cores)
-            row.slowdowns[cores] = meek.cycles / vanilla.cycles
+            points.append(CampaignPoint(
+                task="meek", workload=name,
+                instructions=dynamic_instructions, seed=seed,
+                params={"cores": cores}))
+    metrics = run_grid("fig8", points, jobs=jobs)
+    stride = 1 + len(core_counts)
+    rows = []
+    for w, name in enumerate(workloads):
+        base = metrics[w * stride]["cycles"]
+        row = Fig8Row(name=name)
+        for c, cores in enumerate(core_counts):
+            row.slowdowns[cores] = (
+                metrics[w * stride + 1 + c]["cycles"] / base)
         rows.append(row)
     return rows
 

@@ -17,12 +17,11 @@ from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import geomean
+from repro.campaign import CampaignPoint
 from repro.core.controller import StallReason
 from repro.experiments.runner import (
     DEFAULT_DYNAMIC_INSTRUCTIONS,
-    build_workload,
-    run_baseline,
-    run_meek,
+    run_grid,
 )
 from repro.workloads.profiles import PARSEC_ORDER
 
@@ -40,26 +39,37 @@ class Fig9Row:
 
 
 def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS, seed=0,
-        workloads=None, fabrics=FABRICS):
+        workloads=None, fabrics=FABRICS, jobs=None):
     if workloads is None:
         workloads = PARSEC_ORDER
-    rows = []
+    points = []
     for name in workloads:
-        program = build_workload(name, dynamic_instructions, seed)
-        vanilla = run_baseline(program)
+        points.append(CampaignPoint(
+            task="vanilla", workload=name,
+            instructions=dynamic_instructions, seed=seed))
         for fabric in fabrics:
-            meek = run_meek(program, fabric_kind=fabric)
-            base = vanilla.cycles
+            points.append(CampaignPoint(
+                task="meek", workload=name,
+                instructions=dynamic_instructions, seed=seed,
+                params={"fabric": fabric}))
+    metrics = run_grid("fig9", points, jobs=jobs)
+    stride = 1 + len(fabrics)
+    rows = []
+    for w, name in enumerate(workloads):
+        base = metrics[w * stride]["cycles"]
+        for f, fabric in enumerate(fabrics):
+            meek = metrics[w * stride + 1 + f]
+            stalls = meek["stall_cycles"]
             rows.append(Fig9Row(
                 name=name,
                 fabric=fabric,
-                slowdown=meek.cycles / base,
+                slowdown=meek["cycles"] / base,
                 collecting_fraction=(
-                    meek.stall_cycles(StallReason.COLLECTING) / base),
+                    stalls[StallReason.COLLECTING.value] / base),
                 forwarding_fraction=(
-                    meek.stall_cycles(StallReason.FORWARDING) / base),
+                    stalls[StallReason.FORWARDING.value] / base),
                 little_core_fraction=(
-                    meek.stall_cycles(StallReason.LITTLE_CORE) / base),
+                    stalls[StallReason.LITTLE_CORE.value] / base),
             ))
     return rows
 

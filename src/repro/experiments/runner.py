@@ -1,7 +1,11 @@
-"""Shared experiment machinery."""
+"""Shared experiment machinery.
 
-from repro.common.config import default_meek_config
-from repro.core.system import MeekSystem, run_vanilla
+Every figure/table driver expresses its measurements as a grid of
+campaign points and submits them through :func:`run_grid`, so one
+``jobs=N`` argument (or ``$REPRO_JOBS``) shards any experiment across
+worker processes with bit-identical results.
+"""
+
 from repro.workloads import generate_program, get_profile
 
 #: Committed instructions per experiment run.  The paper runs full
@@ -25,16 +29,31 @@ def build_workload(name, dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
                             seed=seed)
 
 
-def run_meek(program, num_little_cores=4, fabric_kind="f2", injector=None,
-             config=None):
-    """One MEEK execution with a fresh system."""
-    if config is None:
-        config = default_meek_config(num_little_cores=num_little_cores,
-                                     fabric_kind=fabric_kind)
-    system = MeekSystem(config, injector=injector)
-    return system.run(program)
+def run_grid(name, points, jobs=None, progress=None):
+    """Execute experiment ``points`` through the campaign engine.
 
+    Returns the per-point metrics dicts in point order.  Identical
+    points (e.g. the same vanilla baseline shared by two sweeps) are
+    submitted once and their metrics fanned back out.  Experiment
+    grids must evaluate completely — a failed point aborts with its
+    captured error rather than producing a figure with holes.
+    """
+    from repro.campaign import CampaignSpec, run_campaign
 
-def run_baseline(program):
-    """One vanilla big-core execution (the slowdown denominator)."""
-    return run_vanilla(program)
+    points = list(points)
+    unique, index_of = [], {}
+    for point in points:
+        pid = point.point_id
+        if pid not in index_of:
+            index_of[pid] = len(unique)
+            unique.append(point)
+    spec = CampaignSpec(name=name, points=unique)
+    result = run_campaign(spec, jobs=jobs, progress=progress)
+    failed = result.failed
+    if failed:
+        first = failed[0]
+        raise RuntimeError(
+            f"{name}: {len(failed)}/{len(spec.points)} points failed; "
+            f"first failure at {first.point_id}: {first.error}")
+    metrics = result.metrics()
+    return [metrics[index_of[p.point_id]] for p in points]

@@ -22,8 +22,9 @@ from repro.common.config import (
 )
 
 
-def run(meek_config=None):
-    """Compute the Table III rows from the area model."""
+def compute_report(meek_config=None):
+    """Compute the Table III rows from the area model (direct path;
+    also the body of the ``tab3`` campaign task)."""
     config = meek_config if meek_config is not None else default_meek_config()
     report = meek_area_report(config)
     report["default_rocket_mm2"] = rocket_area_mm2(default_rocket_config())
@@ -31,6 +32,22 @@ def run(meek_config=None):
     report["lockstep_core_mm2"] = boom_area_mm2(
         config.big_core.scaled(report["lockstep_scale_factor"]))
     report["dsn18"] = dict(DSN18_COMPARISON)
+    return report
+
+
+def run(meek_config=None, jobs=None):
+    """Regenerate Table III.
+
+    The default configuration routes through the campaign engine as a
+    single analysis point (so ``figure tab3`` shares the engine path);
+    an explicit ``meek_config`` is computed directly, since configs are
+    richer than campaign-point scalars.
+    """
+    if meek_config is not None:
+        return compute_report(meek_config)
+    from repro.campaign import CampaignPoint
+    from repro.experiments.runner import run_grid
+    [report] = run_grid("tab3", [CampaignPoint(task="tab3")], jobs=jobs)
     return report
 
 

@@ -1,0 +1,359 @@
+"""Tests for the campaign engine (spec, executor, results, CLI).
+
+The three contract tests the subsystem was built around:
+
+* sharded execution is bit-identical to serial execution,
+* resume-from-JSONL skips completed points,
+* a worker exception is a failed point, not a crashed campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignPoint,
+    CampaignSpec,
+    PointTimeout,
+    ResultStore,
+    aggregate,
+    format_summary,
+    run_campaign,
+    task,
+)
+from repro.cli import main
+from repro.common.errors import ConfigError
+from repro.common.prng import DeterministicRng
+
+SMALL = 1500
+
+# -- throwaway tasks (serial executor shares this process, so module
+# state observes evaluations) ---------------------------------------------
+
+CALLS = []
+
+
+@task("test_echo")
+def _echo_task(point, campaign_name=""):
+    CALLS.append(point.point_id)
+    return {"value": point.params.get("value", 0) * 2,
+            "workload": point.workload}
+
+
+@task("test_boom")
+def _boom_task(point, campaign_name=""):
+    if point.params.get("explode"):
+        raise ValueError("intentional failure")
+    return {"value": 1}
+
+
+@task("test_sleep")
+def _sleep_task(point, campaign_name=""):
+    import time
+    time.sleep(float(point.params.get("sleep_s", 10.0)))
+    return {"value": 1}
+
+
+def small_spec(workloads=("dedup", "hmmer"), seeds=(0, 1)):
+    return CampaignSpec.grid("t", workloads=workloads, seeds=seeds,
+                             instructions=SMALL,
+                             configs=[{"cores": 2}])
+
+
+@pytest.mark.quick
+class TestSpec:
+    def test_point_id_canonical_and_param_order_independent(self):
+        a = CampaignPoint(task="meek", workload="dedup", instructions=100,
+                          seed=1, params={"cores": 2, "fabric": "f2"})
+        b = CampaignPoint(task="meek", workload="dedup", instructions=100,
+                          seed=1, params={"fabric": "f2", "cores": 2})
+        assert a.point_id == b.point_id
+        assert a.point_id == "meek/dedup/100/1/cores=2/fabric=f2"
+
+    def test_grid_expansion_and_baseline(self):
+        spec = small_spec()
+        # per (workload, seed): one vanilla + one meek point
+        assert len(spec.points) == 2 * 2 * 2
+        tasks = [p.task for p in spec.points]
+        assert tasks.count("vanilla") == 4
+        assert tasks.count("meek") == 4
+
+    def test_injection_grid(self):
+        spec = CampaignSpec.grid("t", workloads=["dedup"],
+                                 instructions=SMALL, trials=3,
+                                 injection={"rate": 0.01})
+        inject_points = [p for p in spec.points if p.task == "inject"]
+        assert len(inject_points) == 3
+        assert {p.params["trial"] for p in inject_points} == {0, 1, 2}
+
+    def test_duplicate_points_rejected(self):
+        point = CampaignPoint(task="vanilla", workload="dedup",
+                              instructions=SMALL)
+        with pytest.raises(ConfigError):
+            CampaignSpec(name="t", points=[point, point]).validate()
+
+    def test_non_scalar_params_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignPoint(task="meek", workload="dedup",
+                          params={"config": {"cores": 2}})
+
+    def test_json_round_trip(self, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        loaded = CampaignSpec.from_file(path)
+        assert [p.point_id for p in loaded.points] == \
+            [p.point_id for p in spec.points]
+
+    def test_grid_shorthand_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({
+            "name": "sweep", "workloads": ["dedup"], "seeds": [0, 1],
+            "instructions": SMALL, "configs": [{"cores": 2}],
+            "injection": {"rate": 0.05}, "trials": 2}))
+        spec = CampaignSpec.from_file(path)
+        assert len(spec.points) == 4
+        assert all(p.task == "inject" for p in spec.points)
+
+    def test_rng_key_stable_across_processes(self):
+        # fork() derivation must not depend on PYTHONHASHSEED: two
+        # streams with the same key always agree.
+        a = DeterministicRng("campaign/x", name="a").fork("salt")
+        b = DeterministicRng("campaign/x", name="b").fork("salt")
+        assert [a.bit64() for _ in range(4)] == \
+            [b.bit64() for _ in range(4)]
+
+
+class TestExecutor:
+    def test_sharded_identical_to_serial(self):
+        """Contract (a): same spec, same metrics, any job count."""
+        spec = small_spec()
+        serial = run_campaign(spec, jobs=1)
+        sharded = run_campaign(spec, jobs=3, chunk_size=1)
+        assert serial.all_ok and sharded.all_ok
+        assert serial.metrics() == sharded.metrics()
+        assert [r.point_id for r in serial.results] == \
+            [r.point_id for r in sharded.results]
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        """Contract (b): points recorded OK are not re-evaluated."""
+        path = tmp_path / "results.jsonl"
+        points = [CampaignPoint(task="test_echo", workload=f"w{i}",
+                                params={"value": i}) for i in range(4)]
+        spec = CampaignSpec(name="resume", points=points)
+
+        CALLS.clear()
+        with ResultStore(path=str(path)) as store:
+            first = run_campaign(spec, jobs=1, store=store)
+        assert first.all_ok and len(CALLS) == 4
+
+        CALLS.clear()
+        with ResultStore(path=str(path)) as store:
+            second = run_campaign(spec, jobs=1, store=store,
+                                  resume_from=str(path))
+        assert CALLS == []  # nothing re-ran
+        assert second.metrics() == first.metrics()
+
+    def test_resume_reruns_failed_and_missing_points(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        points = [CampaignPoint(task="test_echo", workload=f"w{i}",
+                                params={"value": i}) for i in range(4)]
+        spec = CampaignSpec(name="resume2", points=points)
+        # Seed the store with one OK row and one failed row.
+        with ResultStore(path=str(path)) as store:
+            store.append(run_campaign(
+                CampaignSpec(name="resume2", points=points[:1]),
+                jobs=1).results[0])
+            from repro.campaign import PointResult
+            store.append(PointResult(point_id=points[1].point_id,
+                                     index=1, ok=False, error="boom"))
+        CALLS.clear()
+        result = run_campaign(spec, jobs=1, resume_from=str(path))
+        assert result.all_ok
+        # point 0 skipped; points 1 (failed), 2, 3 (missing) re-ran
+        assert len(CALLS) == 3 and points[0].point_id not in CALLS
+
+    def test_worker_exception_is_failed_point_not_crash(self):
+        """Contract (c): exceptions are captured per point."""
+        points = [CampaignPoint(task="test_boom", workload=f"w{i}",
+                                params={"explode": i == 1})
+                  for i in range(4)]
+        spec = CampaignSpec(name="boom", points=points)
+        for jobs in (1, 2):
+            result = run_campaign(spec, jobs=jobs)
+            assert not result.all_ok
+            assert len(result.failed) == 1
+            failure = result.results[1]
+            assert failure.ok is False
+            assert "ValueError" in failure.error
+            assert "intentional failure" in failure.error
+            assert all(r.ok for i, r in enumerate(result.results)
+                       if i != 1)
+
+    def test_point_timeout_becomes_failed_point(self):
+        points = [CampaignPoint(task="test_sleep",
+                                params={"sleep_s": 5.0}),
+                  CampaignPoint(task="test_echo", params={"value": 7})]
+        spec = CampaignSpec(name="slow", points=points)
+        result = run_campaign(spec, jobs=1, point_timeout_s=0.2)
+        assert result.results[0].ok is False
+        assert PointTimeout.__name__ in result.results[0].error
+        assert result.results[1].ok
+        assert result.results[1].metrics["value"] == 14
+
+    def test_unknown_task_is_failed_point(self):
+        spec = CampaignSpec(name="bad", points=[
+            CampaignPoint(task="no_such_task")])
+        result = run_campaign(spec, jobs=1)
+        assert result.results[0].ok is False
+        assert "no_such_task" in result.results[0].error
+
+
+@pytest.mark.quick
+class TestResults:
+    def test_aggregate_counts(self):
+        points = [CampaignPoint(task="test_boom", workload=f"w{i}",
+                                params={"explode": i == 0})
+                  for i in range(3)]
+        result = run_campaign(CampaignSpec(name="agg", points=points),
+                              jobs=1)
+        summary = aggregate(result.results)
+        assert summary["points"] == 3
+        assert summary["ok"] == 2
+        assert summary["failed"] == 1
+
+    def test_summary_deterministic_and_marks_failures(self):
+        points = [CampaignPoint(task="test_boom", workload=f"w{i}",
+                                params={"explode": i == 1})
+                  for i in range(2)]
+        spec = CampaignSpec(name="sum", points=points)
+        a = format_summary(spec, run_campaign(spec, jobs=1).results)
+        b = format_summary(spec, run_campaign(spec, jobs=2).results)
+        assert a == b
+        assert "FAILED" in a
+
+    def test_store_appends_and_loads(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        spec = CampaignSpec(name="store", points=[
+            CampaignPoint(task="test_echo", params={"value": 3})])
+        with ResultStore(path=str(path)) as store:
+            run_campaign(spec, jobs=1, store=store)
+        loaded = ResultStore.load(str(path))
+        [(point_id, row)] = loaded.items()
+        assert point_id == spec.points[0].point_id
+        assert row.metrics["value"] == 6
+        assert ResultStore.completed_ids(str(path)) == {point_id}
+
+
+class TestSimulationTasks:
+    def test_meek_task_matches_direct_run(self):
+        from repro.common.config import default_meek_config
+        from repro.core.system import MeekSystem
+        from repro.workloads import generate_program, get_profile
+
+        point = CampaignPoint(task="meek", workload="dedup",
+                              instructions=SMALL, params={"cores": 2})
+        [metrics] = run_campaign(
+            CampaignSpec(name="direct", points=[point]),
+            jobs=1).metrics()
+        program = generate_program(get_profile("dedup"),
+                                   dynamic_instructions=SMALL, seed=0)
+        direct = MeekSystem(
+            default_meek_config(num_little_cores=2)).run(program)
+        assert metrics["cycles"] == direct.cycles
+        assert metrics["verified"] is True
+
+    def test_run_result_stats_carry_fault_counts(self):
+        from repro.common.config import default_meek_config
+        from repro.core.faults import FaultInjector
+        from repro.core.system import MeekSystem
+        from repro.workloads import generate_program, get_profile
+
+        program = generate_program(get_profile("dedup"),
+                                   dynamic_instructions=3000, seed=0)
+        plain = MeekSystem(default_meek_config()).run(program)
+        assert plain.stats()["injections"] == 0
+        assert plain.stats()["detected"] == 0
+
+        injector = FaultInjector(DeterministicRng("stats/fault"),
+                                 rate=0.05)
+        faulted = MeekSystem(default_meek_config(),
+                             injector=injector).run(program)
+        stats = faulted.stats()
+        assert stats["injections"] == len(injector.injections)
+        assert stats["detected"] == injector.detected_count
+
+
+class TestCli:
+    @pytest.mark.quick
+    def test_campaign_parser(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["campaign", "--workloads", "dedup,ferret", "--seeds", "0,1",
+             "--cores", "2,4", "--jobs", "4"])
+        assert args.workloads == ["dedup", "ferret"]
+        assert args.seeds == [0, 1]
+        assert args.cores == [2, 4]
+        assert args.jobs == 4
+
+    def test_campaign_jobs_output_identical(self, capsys):
+        argv = ["campaign", "--workloads", "dedup", "--instructions",
+                str(SMALL), "--cores", "2"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert serial_out == sharded_out
+        assert "Campaign — cli" in serial_out
+        assert "vanilla/dedup" in serial_out
+
+    def test_campaign_without_grid_is_usage_error(self, capsys):
+        assert main(["campaign"]) == 2
+
+    def test_campaign_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "filespec", "workloads": ["dedup"],
+            "instructions": SMALL, "include_baseline": False}))
+        assert main(["campaign", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "filespec" in out and "meek/dedup" in out
+
+    def test_inject_reports_counts_when_zero_rate(self, capsys):
+        # Satellite regression: zero injections must still print the
+        # detected line instead of collapsing the whole print.
+        code = main(["inject", "dedup", "--instructions", "2000",
+                     "--trials", "1", "--rate", "0.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "injections      : 0" in out
+        assert "detected        : 0 (no injections)" in out
+
+    def test_inject_cores_fabric_flags(self, capsys):
+        code = main(["inject", "dedup", "--instructions", "3000",
+                     "--trials", "1", "--rate", "0.05",
+                     "--cores", "2", "--fabric", "axi", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "injections" in out
+
+
+class TestExperimentsThroughEngine:
+    def test_fig6_sharded_matches_serial(self):
+        from repro.experiments import fig6_performance
+        serial = fig6_performance.run(dynamic_instructions=SMALL,
+                                      workloads=["hmmer"], jobs=1)
+        sharded = fig6_performance.run(dynamic_instructions=SMALL,
+                                       workloads=["hmmer"], jobs=2)
+        assert serial == sharded
+        assert serial[0].meek < serial[0].lockstep
+
+    def test_fig8_sharded_matches_serial(self):
+        from repro.experiments import fig8_scalability
+        serial = fig8_scalability.run(dynamic_instructions=SMALL,
+                                      core_counts=(2, 4),
+                                      workloads=["swaptions"], jobs=1)
+        sharded = fig8_scalability.run(dynamic_instructions=SMALL,
+                                       core_counts=(2, 4),
+                                       workloads=["swaptions"], jobs=2)
+        assert serial == sharded
