@@ -13,6 +13,8 @@ sharded campaigns over the same spec produce byte-identical summaries.
 """
 
 import json
+import os
+import warnings
 from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
@@ -54,9 +56,29 @@ class ResultStore:
         self.rows = []
         self._handle = None
 
+    def _open(self):
+        """Open for append, healing a missing final newline first.
+
+        A campaign killed mid-write leaves a truncated last line with
+        no newline; appending straight after it would merge the next
+        row into the corrupt line and lose it too.  The heal runs in
+        binary mode: a text-mode seek into the middle of a multi-byte
+        character would raise instead of healing.
+        """
+        try:
+            with open(self.path, "rb+") as raw:
+                end = raw.seek(0, os.SEEK_END)
+                if end > 0:
+                    raw.seek(end - 1)
+                    if raw.read(1) != b"\n":
+                        raw.write(b"\n")
+        except FileNotFoundError:
+            pass
+        return open(self.path, "a", encoding="utf-8")
+
     def __enter__(self):
         if self.path is not None:
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle = self._open()
         return self
 
     def __exit__(self, *exc_info):
@@ -67,7 +89,7 @@ class ResultStore:
         self.rows.append(row)
         if self.path is not None:
             if self._handle is None:
-                self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle = self._open()
             self._handle.write(json.dumps(row, sort_keys=True) + "\n")
             self._handle.flush()
 
@@ -81,15 +103,28 @@ class ResultStore:
         """Read stored rows as ``{point_id: PointResult}``.
 
         Later rows win (a re-run of a previously failed point
-        supersedes the failure).
+        supersedes the failure).  A corrupt row — most commonly a
+        trailing line truncated when a campaign was killed mid-write —
+        is skipped with a warning rather than aborting the resume: the
+        point it would have recorded simply re-runs.
         """
         results = {}
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
+        # errors="replace": an undecodable (half-written) row must land
+        # in the per-line JSON guard below, not abort the whole load.
+        with open(path, "r", encoding="utf-8",
+                  errors="replace") as handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                result = PointResult.from_row(json.loads(line))
+                try:
+                    result = PointResult.from_row(json.loads(line))
+                except (ValueError, KeyError, TypeError) as exc:
+                    warnings.warn(
+                        f"{path}:{lineno}: skipping corrupt result row "
+                        f"({type(exc).__name__}: {exc}); the point will "
+                        f"re-run", RuntimeWarning, stacklevel=2)
+                    continue
                 results[result.point_id] = result
         return results
 

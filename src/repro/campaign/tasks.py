@@ -187,3 +187,13 @@ def run_tab3_point(point, campaign_name=""):
     """The Table III area report (pure analysis, no simulation)."""
     from repro.experiments import tab3_area
     return tab3_area.compute_report()
+
+
+@task("difftest")
+def run_difftest_point(point, campaign_name=""):
+    """One differential-fuzzing point: generate a constrained-random
+    program from the point's RNG identity and execute it on every
+    model (golden ISA, big core, little core, MEEK check replay,
+    Nzdc), comparing final architectural state field-by-field."""
+    from repro.difftest.harness import evaluate_fuzz_point
+    return evaluate_fuzz_point(point, campaign_name=campaign_name)

@@ -9,15 +9,19 @@ Usage (``python -m repro ...``)::
     python -m repro campaign --workloads dedup,ferret --seeds 0,1 \\
         --cores 2,4 --jobs 4 --out results.jsonl
     python -m repro campaign --spec campaign.json --resume --out results.jsonl
+    python -m repro difftest --programs 50 --seed 7 --jobs 4 --shrink
+    python -m repro difftest --self-check
     python -m repro list
 
 ``run`` executes one workload under MEEK and reports slowdown and
 segment statistics; ``inject`` runs a fault campaign; ``figure``
 regenerates one of the paper's tables/figures; ``campaign`` executes a
 declarative grid (from flags or a JSON spec) through the sharded
-campaign engine; ``list`` shows the available workloads.  Everything
-grid-shaped accepts ``--jobs N`` to shard across worker processes with
-bit-identical results.
+campaign engine; ``difftest`` fuzzes every execution model against the
+golden ISA semantics (``--self-check`` injects a known fault and proves
+the harness detects and shrinks it); ``list`` shows the available
+workloads.  Everything grid-shaped accepts ``--jobs N`` to shard across
+worker processes with bit-identical results.
 """
 
 import argparse
@@ -160,6 +164,129 @@ def _cmd_campaign(args):
     return 0 if result.all_ok else 1
 
 
+def _difftest_point(args, index, extra=None):
+    from repro.campaign import CampaignPoint
+    from repro.difftest.harness import DEFAULT_MAX_INSTRUCTIONS
+
+    # One effective cap everywhere: the campaign task treats 0 as "use
+    # the default", so the shrink predicates (which pass the raw value)
+    # must see the same substitution or they would cap at 0 and never
+    # reproduce anything.
+    if not args.instructions or args.instructions <= 0:
+        args.instructions = DEFAULT_MAX_INSTRUCTIONS
+    params = {"index": index}
+    if extra:
+        params.update(extra)
+    return CampaignPoint(task="difftest", workload="fuzz",
+                         instructions=args.instructions, seed=args.seed,
+                         params=params)
+
+
+def _difftest_artifact(kind, mismatches, shrunk, small):
+    """Regression-artifact payload for one minimized reproducer."""
+    return {
+        "kind": kind,
+        "mismatches": mismatches,
+        "original_instructions": shrunk.original_instructions,
+        "shrunk_instructions": shrunk.instructions,
+        "source": small.lines,
+        "data": {f"{addr:#x}": value
+                 for addr, value in sorted(small.data_words.items())},
+    }
+
+
+def _difftest_self_check(args):
+    """Inject a known fault into forwarded data and prove the harness
+    detects the divergence and shrinks it to a tiny reproducer."""
+    from repro.campaign import evaluate_point
+    from repro.difftest import (diff_program, fuzz_program_for_point,
+                                shrink_fuzz_program, write_artifact)
+
+    point = _difftest_point(args, 0, {"fault_rate": 1.0,
+                                      "fault_targets": "pc"})
+    metrics = evaluate_point(point)
+    print("self-check      : fault injection armed (rate 1.0, "
+          "target srcp.pc)")
+    print(f"injections      : {metrics['injections']} "
+          f"({metrics['detected']} detected)")
+    if not metrics["divergent"]:
+        print("self-check      : FAILED — no divergence reported")
+        return 1
+    print(f"divergence      : {metrics['mismatches'][0]}")
+
+    fuzz = fuzz_program_for_point(point)
+    fault_key = f"{point.rng_key()}/fault"
+
+    def predicate(program):
+        report = diff_program(program, max_instructions=args.instructions,
+                              fault_rate=1.0, fault_key=fault_key,
+                              fault_targets="pc")
+        return any(m.startswith("meek-replay") for m in report.mismatches)
+
+    shrunk, small = shrink_fuzz_program(fuzz, predicate)
+    path = write_artifact(
+        args.artifacts, point.point_id,
+        _difftest_artifact("self-check", metrics["mismatches"], shrunk,
+                           small))
+    print(f"shrunk          : {shrunk.original_instructions} -> "
+          f"{shrunk.instructions} instructions")
+    print(f"artifact        : {path}")
+    return 0
+
+
+def _cmd_difftest(args):
+    from repro.campaign import CampaignSpec, ResultStore, run_campaign
+    from repro.difftest import (diff_program, fuzz_program_for_point,
+                                shrink_fuzz_program, write_artifact)
+
+    if args.self_check:
+        return _difftest_self_check(args)
+    if args.resume and args.out is None:
+        print("difftest: --resume needs --out FILE to resume from",
+              file=sys.stderr)
+        return 2
+
+    points = [_difftest_point(args, i) for i in range(args.programs)]
+    spec = CampaignSpec(name=f"difftest-seed{args.seed}", points=points)
+    with ResultStore(path=args.out) as store:
+        result = run_campaign(spec, jobs=args.jobs, store=store,
+                              resume_from=args.out if args.resume else None,
+                              progress=_progress(spec, args))
+
+    for failure in result.failed:
+        print(f"point failed    : {failure.point_id}: "
+              f"{(failure.error or 'error').splitlines()[-1][:70]}")
+    divergent = [(point, r)
+                 for point, r in zip(spec.points, result.results)
+                 if r.ok and r.metrics.get("divergent")]
+    for point, r in divergent:
+        mismatches = r.metrics.get("mismatches", [])
+        first = mismatches[0] if mismatches else "(no detail)"
+        print(f"DIVERGENCE      : {point.point_id}: {first}")
+        if not args.shrink:
+            continue
+        fuzz = fuzz_program_for_point(point)
+
+        def predicate(program):
+            return diff_program(
+                program, max_instructions=args.instructions).divergent
+
+        shrunk, small = shrink_fuzz_program(fuzz, predicate)
+        path = write_artifact(
+            args.artifacts, point.point_id,
+            _difftest_artifact("fuzz-divergence", mismatches, shrunk,
+                               small))
+        print(f"  shrunk        : {shrunk.original_instructions} -> "
+              f"{shrunk.instructions} instructions ({path})")
+
+    total = sum(r.metrics.get("instructions", 0) for r in result.ok)
+    print(f"programs        : {len(points)}")
+    print(f"instructions    : {total}")
+    print(f"divergent       : {len(divergent)}")
+    print(f"failed          : {len(result.failed)}")
+    return 0 if not divergent and result.all_ok else 1
+
+
 def _cmd_figure(args):
     from repro.experiments import (ablations, fig6_performance, fig7_latency,
                                    fig8_scalability, fig9_backpressure,
@@ -247,6 +374,35 @@ def build_parser():
                                  help="per-point wall-clock budget (s)")
     campaign_parser.add_argument("--progress", action="store_true",
                                  help="force the stderr progress line")
+
+    difftest_parser = sub.add_parser(
+        "difftest",
+        help="differential fuzzing of every core model against the "
+             "golden ISA semantics")
+    difftest_parser.add_argument("--programs", type=int, default=50,
+                                 help="number of fuzz programs")
+    difftest_parser.add_argument("--seed", type=int, default=0)
+    difftest_parser.add_argument("--jobs", type=int, default=None,
+                                 help="worker shards (default $REPRO_JOBS "
+                                      "or 1)")
+    difftest_parser.add_argument("--shrink", action="store_true",
+                                 help="minimize divergent programs and "
+                                      "write regression artifacts")
+    difftest_parser.add_argument("--self-check", action="store_true",
+                                 help="inject a known fault and prove the "
+                                      "harness detects and shrinks it")
+    difftest_parser.add_argument("--instructions", type=int, default=10_000,
+                                 help="per-executor committed-instruction "
+                                      "cap")
+    difftest_parser.add_argument("--artifacts",
+                                 default="artifacts/difftest",
+                                 help="regression-artifact directory")
+    difftest_parser.add_argument("--out", default=None,
+                                 help="append per-point JSONL rows here")
+    difftest_parser.add_argument("--resume", action="store_true",
+                                 help="skip points already OK in --out")
+    difftest_parser.add_argument("--progress", action="store_true",
+                                 help="force the stderr progress line")
     return parser
 
 
@@ -258,6 +414,7 @@ def main(argv=None):
         "inject": _cmd_inject,
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
+        "difftest": _cmd_difftest,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,72 @@
+"""repro.difftest — sharded differential fuzzing against the golden ISA.
+
+The reproduction's credibility rests on every execution model agreeing
+with the functional ISA semantics.  This package turns that agreement
+into a fuzzable property:
+
+* :mod:`~repro.difftest.progen` draws constrained-random programs from
+  instruction-class weights (loops, calls, bounded loads/stores,
+  guarded divides) — scenario space the curated workloads never reach;
+* :mod:`~repro.difftest.golden` executes a program straight through
+  :mod:`repro.isa.semantics` and snapshots architectural state;
+* :mod:`~repro.difftest.harness` runs the same program on the big core,
+  a standalone little core, the full MEEK system with little-core check
+  replay, and the Nzdc transform, comparing final int/FP registers,
+  CSRs, PC and memory field-by-field;
+* :mod:`~repro.difftest.shrink` minimizes any divergent program
+  (drop instructions, zero operands, re-run) and persists the result as
+  a JSON regression artifact;
+* :mod:`~repro.difftest.disasm` renders decoded instructions back to
+  assembler-accepted text (round-trip tested property-style).
+
+Fuzz points fan out through :mod:`repro.campaign` (task ``difftest``)
+with deterministic per-point RNG, and ``python -m repro difftest``
+exposes the whole loop — including a fault-injecting ``--self-check``
+mode that proves the harness detects and shrinks real divergences.
+
+Quick start::
+
+    from repro.common.prng import DeterministicRng
+    from repro.difftest import diff_program, generate_fuzz_program
+
+    fuzz = generate_fuzz_program(DeterministicRng("demo"))
+    report = diff_program(fuzz.build())
+    assert not report.divergent, report.mismatches
+"""
+
+from repro.difftest.disasm import disassemble, render
+from repro.difftest.golden import (GoldenResult, compare_snapshots,
+                                   run_golden, snapshot)
+from repro.difftest.harness import (DiffReport, ExecutorOutcome,
+                                    diff_program, evaluate_fuzz_point,
+                                    fuzz_program_for_point)
+from repro.difftest.progen import (DEFAULT_WEIGHTS, FuzzConfig, FuzzProgram,
+                                   ProgramGenerator, generate_fuzz_program)
+from repro.difftest.shrink import (DEFAULT_ARTIFACT_DIR, ShrinkResult,
+                                   artifact_name, shrink_fuzz_program,
+                                   shrink_lines, write_artifact)
+
+__all__ = [
+    "DEFAULT_ARTIFACT_DIR",
+    "DEFAULT_WEIGHTS",
+    "DiffReport",
+    "ExecutorOutcome",
+    "FuzzConfig",
+    "FuzzProgram",
+    "GoldenResult",
+    "ProgramGenerator",
+    "ShrinkResult",
+    "artifact_name",
+    "compare_snapshots",
+    "diff_program",
+    "disassemble",
+    "evaluate_fuzz_point",
+    "fuzz_program_for_point",
+    "generate_fuzz_program",
+    "render",
+    "run_golden",
+    "shrink_fuzz_program",
+    "shrink_lines",
+    "snapshot",
+    "write_artifact",
+]

@@ -1,0 +1,68 @@
+"""Disassembler: decoded instructions back to canonical assembly.
+
+The inverse of :mod:`repro.isa.assembler` for single instructions:
+``render(instr)`` produces text the assembler parses back into an equal
+:class:`~repro.isa.instructions.Instruction`.  Branch and jump targets
+are rendered as explicit byte offsets (the assembler accepts those
+wherever it accepts labels), so a rendered program re-assembles without
+a label table.
+
+Used by the assembler round-trip property tests and by the shrinker's
+regression artifacts, where a human-readable listing of the minimized
+program is worth more than a word dump.
+"""
+
+from repro.common.errors import DecodeError
+from repro.isa.instructions import Fmt
+
+
+def render(instr):
+    """Canonical assembly text for one decoded instruction."""
+    op = instr.op
+    fmt = instr.spec.fmt
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    if fmt is Fmt.R:
+        return f"{op} x{rd}, x{rs1}, x{rs2}"
+    if fmt in (Fmt.I, Fmt.SHIFT):
+        return f"{op} x{rd}, x{rs1}, {imm}"
+    if fmt is Fmt.LOAD:
+        dest = f"f{rd}" if instr.spec.writes_fp_rd else f"x{rd}"
+        return f"{op} {dest}, {imm}(x{rs1})"
+    if fmt is Fmt.S:
+        src = f"f{rs2}" if instr.spec.reads_fp_rs2 else f"x{rs2}"
+        return f"{op} {src}, {imm}(x{rs1})"
+    if fmt is Fmt.B:
+        return f"{op} x{rs1}, x{rs2}, {imm}"
+    if fmt is Fmt.U:
+        return f"{op} x{rd}, {imm}"
+    if fmt is Fmt.J:
+        return f"{op} x{rd}, {imm}"
+    if fmt is Fmt.CSR:
+        return f"{op} x{rd}, {imm:#x}, x{rs1}"
+    if fmt is Fmt.CSRI:
+        # The rs1 field carries the 5-bit zero-extended immediate.
+        return f"{op} x{rd}, {imm:#x}, {rs1}"
+    if fmt is Fmt.SYS:
+        return op
+    if fmt is Fmt.FR:
+        return f"{op} f{rd}, f{rs1}, f{rs2}"
+    if fmt is Fmt.FR1:
+        return f"{op} f{rd}, f{rs1}"
+    if fmt is Fmt.FCMP:
+        return f"{op} x{rd}, f{rs1}, f{rs2}"
+    if fmt is Fmt.FMVXD:
+        return f"{op} x{rd}, f{rs1}"
+    if fmt is Fmt.FMVDX:
+        return f"{op} f{rd}, x{rs1}"
+    if fmt is Fmt.M2R:
+        return f"{op} x{rs1}, x{rs2}"
+    if fmt is Fmt.M1R:
+        return f"{op} x{rs1}"
+    if fmt is Fmt.MRD:
+        return f"{op} x{rd}"
+    raise DecodeError(f"cannot render format {fmt} for {op!r}")
+
+
+def disassemble(program):
+    """Render every instruction of ``program``, one line each."""
+    return [render(instr) for instr in program.instructions]

@@ -1,0 +1,104 @@
+"""Golden ISA-model execution and architectural-state snapshots.
+
+The golden model is :mod:`repro.isa.semantics` run straight: fetch,
+execute, step the PC, no timing, no caches, no checking machinery.  It
+defines what *correct* means for the differential harness — every
+timing model in the repository shares the same functional executor, so
+any final-state disagreement is a real bug in how a model drives that
+executor (ordering, memory ports, transforms), not a modelling choice.
+
+:func:`snapshot` reduces an :class:`~repro.isa.state.ArchState` to a
+plain comparable dict — integer/FP register files, PC, CSRs, and the
+memory image — and :func:`compare_snapshots` reports every field that
+differs, which is the core comparison primitive of the harness.
+"""
+
+from repro.isa.semantics import execute
+
+
+class GoldenResult:
+    """Outcome of one golden-model execution."""
+
+    __slots__ = ("instructions", "state", "halted_by")
+
+    def __init__(self, instructions, state, halted_by):
+        self.instructions = instructions
+        self.state = state
+        self.halted_by = halted_by
+
+    def __repr__(self):
+        return (f"GoldenResult({self.instructions} instrs, "
+                f"halted_by={self.halted_by})")
+
+
+def run_golden(program, max_instructions=None, initial_state=None,
+               halt_on_trap=True):
+    """Execute ``program`` on the pure functional model."""
+    from repro.isa.state import ArchState
+
+    state = initial_state
+    if state is None:
+        state = ArchState(pc=program.entry_pc)
+        program.data.apply(state.memory)
+    executed = 0
+    halted_by = "end"
+    while True:
+        if max_instructions is not None and executed >= max_instructions:
+            halted_by = "limit"
+            break
+        instr = program.fetch(state.pc)
+        if instr is None:
+            break
+        result = execute(instr, state)
+        executed += 1
+        if result.trap and halt_on_trap:
+            halted_by = result.trap
+            break
+    return GoldenResult(executed, state, halted_by)
+
+
+def snapshot(state):
+    """Reduce architectural state to a plain comparable dict."""
+    return {
+        "pc": state.pc,
+        "int": tuple(state.int_regs),
+        "fp": tuple(state.fp_regs),
+        "csrs": dict(state.csrs),
+        "mem": state.memory.snapshot(),
+    }
+
+
+def compare_snapshots(label, ref, got, skip_int=(), skip_fp=(),
+                      skip_pc=False):
+    """Field-by-field comparison of two snapshots.
+
+    Returns mismatch strings like ``"bigcore: x7 expected 0x2a got
+    0x2b"``.  ``skip_int``/``skip_fp`` exclude register indices (the
+    Nzdc transform's reserved scratch); ``skip_pc`` drops the PC
+    comparison for executors whose instruction layout differs.
+    """
+    mismatches = []
+    for i, (a, b) in enumerate(zip(ref["int"], got["int"])):
+        if i in skip_int or a == b:
+            continue
+        mismatches.append(f"{label}: x{i} expected {a:#x} got {b:#x}")
+    for i, (a, b) in enumerate(zip(ref["fp"], got["fp"])):
+        if i in skip_fp or a == b:
+            continue
+        mismatches.append(f"{label}: f{i} expected {a:#x} got {b:#x}")
+    if not skip_pc and ref["pc"] != got["pc"]:
+        mismatches.append(f"{label}: pc expected {ref['pc']:#x} "
+                          f"got {got['pc']:#x}")
+    for addr in sorted(set(ref["csrs"]) | set(got["csrs"])):
+        a = ref["csrs"].get(addr, 0)
+        b = got["csrs"].get(addr, 0)
+        if a != b:
+            mismatches.append(f"{label}: csr {addr:#x} expected {a:#x} "
+                              f"got {b:#x}")
+    for addr in sorted(set(ref["mem"]) | set(got["mem"])):
+        a = ref["mem"].get(addr, 0)
+        b = got["mem"].get(addr, 0)
+        if a != b:
+            mismatches.append(f"{label}: mem[{addr:#x}] expected {a:#x} "
+                              f"got {b:#x}")
+    return mismatches

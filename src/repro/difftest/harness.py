@@ -1,0 +1,273 @@
+"""The differential harness: one program, every execution model.
+
+:func:`diff_program` runs one assembled program through
+
+* the **golden** functional ISA model (:mod:`repro.difftest.golden`),
+* the **big core** timing model (:func:`repro.core.system.run_vanilla`),
+* a standalone **little core** (:class:`repro.littlecore.core.LittleCore`),
+* the full **MEEK system** — big core plus little-core *check replay*,
+  where every segment is genuinely re-executed from its forwarded SRCP
+  against the Load-Store Log and the ERCP register comparison
+  (an unverified segment is a divergence even when the big core's own
+  state is right), and
+* the **Nzdc** compiler transform on the big core (compared modulo its
+  reserved shadow/check registers and with the PC/instruction count
+  excluded, since the transform changes the instruction layout).
+
+Final architectural state — integer and FP register files, CSRs, PC and
+the memory image — is compared field-by-field against the golden model,
+and every difference becomes one human-readable mismatch string.
+
+Fault self-check: ``fault_rate`` arms a
+:class:`~repro.core.faults.FaultInjector` on the MEEK executor's
+forwarded data, which must surface as a ``meek-replay`` divergence —
+proving the harness detects real corruption through the genuine
+checking machinery rather than scripted outcomes.
+
+:func:`evaluate_fuzz_point` adapts all of this to one
+:class:`~repro.campaign.spec.CampaignPoint` so fuzzing campaigns fan
+out through :mod:`repro.campaign` with deterministic per-point RNG.
+"""
+
+from repro.difftest.golden import compare_snapshots, run_golden, snapshot
+from repro.difftest.progen import FuzzConfig, generate_fuzz_program
+
+#: Registers excluded from the Nzdc comparison: its reserved shadow and
+#: check scratch (x30/x31/f31, see repro.baselines.nzdc) plus the link
+#: register x1 — ``jal`` writes a layout-relative return address, and
+#: the transform changes the layout.  Generated programs never read x1
+#: as data, so the exclusion hides nothing real.
+NZDC_SCRATCH_INT = (1, 30, 31)
+NZDC_SCRATCH_FP = (31,)
+
+#: Nzdc roughly doubles the dynamic stream (worst case ~6x for
+#: store-only programs); its instruction budget is scaled so a program
+#: that terminates under the cap also terminates transformed.
+NZDC_CAP_FACTOR = 8
+
+#: Default per-executor committed-instruction budget.  Generated
+#: programs run a few hundred instructions; the cap only bites when a
+#: shrink candidate loses its loop exit and spins.
+DEFAULT_MAX_INSTRUCTIONS = 10_000
+
+#: Little cores in the MEEK executor's system (2 keeps the fuzz loop
+#: fast; replay correctness does not depend on the count).
+MEEK_FUZZ_CORES = 2
+
+
+class ExecutorOutcome:
+    """One executor's final state plus bookkeeping."""
+
+    __slots__ = ("name", "instructions", "halted_by", "snapshot",
+                 "verified", "detections", "injections", "detected")
+
+    def __init__(self, name, instructions, halted_by, state_snapshot,
+                 verified=True, detections=(), injections=0, detected=0):
+        self.name = name
+        self.instructions = instructions
+        self.halted_by = halted_by
+        self.snapshot = state_snapshot
+        self.verified = verified
+        self.detections = list(detections)
+        self.injections = injections
+        self.detected = detected
+
+    @property
+    def capped(self):
+        return self.halted_by == "limit"
+
+
+class DiffReport:
+    """Outcome of one differential run."""
+
+    def __init__(self, mismatches, outcomes):
+        self.mismatches = mismatches
+        self.outcomes = outcomes
+
+    @property
+    def divergent(self):
+        return bool(self.mismatches)
+
+    @property
+    def capped(self):
+        return any(o.capped for o in self.outcomes.values())
+
+    @property
+    def injections(self):
+        meek = self.outcomes.get("meek")
+        return meek.injections if meek is not None else 0
+
+    @property
+    def detected(self):
+        meek = self.outcomes.get("meek")
+        return meek.detected if meek is not None else 0
+
+    def to_metrics(self, mismatch_limit=32):
+        """JSON-scalar metrics for a campaign row."""
+        golden = self.outcomes["golden"]
+        return {
+            "divergent": self.divergent,
+            "mismatches": list(self.mismatches[:mismatch_limit]),
+            "mismatch_count": len(self.mismatches),
+            "instructions": golden.instructions,
+            "halted_by": golden.halted_by,
+            "capped": self.capped,
+            "injections": self.injections,
+            "detected": self.detected,
+        }
+
+
+# -- executors -------------------------------------------------------------
+
+def _run_bigcore(program, cap):
+    from repro.core.system import run_vanilla
+    result = run_vanilla(program, max_instructions=cap)
+    return ExecutorOutcome("bigcore", result.instructions, result.halted_by,
+                           snapshot(result.state))
+
+
+def _run_littlecore(program, cap):
+    from repro.littlecore.core import LittleCore
+    result = LittleCore().run(program, max_instructions=cap)
+    return ExecutorOutcome("littlecore", result.instructions,
+                           result.halted_by, snapshot(result.state))
+
+
+def _fault_targets(kind):
+    """Injection-target weights for a self-check fault mode.
+
+    ``"pc"`` corrupts the forwarded SRCP program counter — always
+    architecturally consequential (replay starts in the wrong place),
+    so detection is deterministic.  ``"all"`` uses the injector's
+    default mix, where a flipped register the segment overwrites is
+    legitimately masked and may go undetected.
+    """
+    from repro.core.faults import DEFAULT_TARGET_WEIGHTS, FaultTarget
+    if kind == "pc":
+        return {FaultTarget.STATUS_PC: 1}
+    if kind == "all":
+        return dict(DEFAULT_TARGET_WEIGHTS)
+    raise ValueError(f"unknown fault target set {kind!r}")
+
+
+def _run_meek(program, cap, fault_rate=None, fault_key="difftest/fault",
+              fault_targets="pc"):
+    from repro.common.config import default_meek_config
+    from repro.common.prng import DeterministicRng
+    from repro.core.faults import FaultInjector
+    from repro.core.system import MeekSystem
+
+    injector = None
+    if fault_rate:
+        injector = FaultInjector(
+            DeterministicRng(fault_key, name="difftest-fault"),
+            rate=float(fault_rate), targets=_fault_targets(fault_targets))
+    config = default_meek_config(num_little_cores=MEEK_FUZZ_CORES)
+    system = MeekSystem(config, injector=injector)
+    result = system.run(program, max_instructions=cap)
+    return ExecutorOutcome(
+        "meek", result.instructions, result.big.halted_by,
+        snapshot(result.big.state),
+        verified=result.all_segments_verified,
+        detections=[(seg, reason)
+                    for seg, _cycle, reason in result.detections],
+        injections=(len(injector.injections) if injector else 0),
+        detected=(injector.detected_count if injector else 0))
+
+
+def _run_nzdc(program, cap):
+    from repro.baselines.nzdc import run_nzdc
+    result, _ = run_nzdc(
+        program, max_instructions=cap * NZDC_CAP_FACTOR + 64)
+    return ExecutorOutcome("nzdc", result.instructions, result.halted_by,
+                           snapshot(result.state))
+
+
+# -- the harness -----------------------------------------------------------
+
+def diff_program(program, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+                 fault_rate=None, fault_key="difftest/fault",
+                 fault_targets="pc"):
+    """Run ``program`` through every executor and diff the final states."""
+    golden = run_golden(program, max_instructions=max_instructions)
+    ref = snapshot(golden.state)
+    golden_outcome = ExecutorOutcome("golden", golden.instructions,
+                                     golden.halted_by, ref)
+    outcomes = {"golden": golden_outcome}
+    mismatches = []
+
+    def check(outcome, skip_count=False, **kwargs):
+        outcomes[outcome.name] = outcome
+        if not skip_count and outcome.instructions != golden.instructions:
+            mismatches.append(
+                f"{outcome.name}: committed {outcome.instructions} "
+                f"instructions, golden committed {golden.instructions}")
+        if outcome.halted_by != golden.halted_by:
+            mismatches.append(
+                f"{outcome.name}: halted by {outcome.halted_by!r}, "
+                f"golden halted by {golden.halted_by!r}")
+        mismatches.extend(
+            compare_snapshots(outcome.name, ref, outcome.snapshot, **kwargs))
+
+    check(_run_bigcore(program, max_instructions))
+    check(_run_littlecore(program, max_instructions))
+
+    meek = _run_meek(program, max_instructions, fault_rate=fault_rate,
+                     fault_key=fault_key, fault_targets=fault_targets)
+    check(meek)
+    if not meek.verified:
+        for seg_id, reason in meek.detections:
+            mismatches.append(f"meek-replay: segment {seg_id} "
+                              f"detected {reason}")
+
+    # Nzdc changes the instruction layout, so a capped run stops at a
+    # different architectural point — compare only complete runs.
+    if not golden_outcome.capped:
+        nzdc = _run_nzdc(program, max_instructions)
+        if nzdc.capped:
+            outcomes["nzdc"] = nzdc
+            mismatches.append("nzdc: transformed program hit the "
+                              "instruction cap")
+        else:
+            check(nzdc, skip_count=True, skip_pc=True,
+                  skip_int=NZDC_SCRATCH_INT, skip_fp=NZDC_SCRATCH_FP)
+
+    return DiffReport(mismatches, outcomes)
+
+
+# -- campaign adapter ------------------------------------------------------
+
+def fuzz_config_from_params(params):
+    """Build a :class:`FuzzConfig` from a point's scalar parameters."""
+    kwargs = {}
+    if params.get("body") is not None:
+        kwargs["body_instructions"] = int(params["body"])
+    if params.get("data_window") is not None:
+        kwargs["data_window_bytes"] = int(params["data_window"])
+    return FuzzConfig(**kwargs)
+
+
+def fuzz_program_for_point(point, campaign_name=""):
+    """Regenerate a point's program (pure function of its identity)."""
+    from repro.common.prng import DeterministicRng
+
+    rng = DeterministicRng(point.rng_key(campaign_name), name="difftest")
+    config = fuzz_config_from_params(point.params)
+    index = point.params.get("index", 0)
+    return generate_fuzz_program(rng.fork("program"), config,
+                                 name=f"fuzz{index}")
+
+
+def evaluate_fuzz_point(point, campaign_name=""):
+    """Campaign task body: generate, run differentially, report."""
+    fuzz = fuzz_program_for_point(point, campaign_name)
+    program = fuzz.build()
+    cap = point.instructions or DEFAULT_MAX_INSTRUCTIONS
+    report = diff_program(
+        program, max_instructions=cap,
+        fault_rate=point.params.get("fault_rate"),
+        fault_key=f"{point.rng_key(campaign_name)}/fault",
+        fault_targets=point.params.get("fault_targets", "pc"))
+    metrics = report.to_metrics()
+    metrics["static_instructions"] = len(program)
+    return metrics

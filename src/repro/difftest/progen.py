@@ -1,0 +1,354 @@
+"""Constrained-random program generation for differential fuzzing.
+
+The workload generator (:mod:`repro.workloads.generator`) expands a
+handful of curated SPEC/PARSEC profiles; this module is its adversarial
+sibling: it draws *arbitrary* programs from instruction-class weights —
+ALU/shift chatter, multiplies, guarded divides, FP arithmetic and
+moves/compares/converts, loads and stores of every width into a bounded
+data image, forward branches, bounded counted loops, calls through the
+return-address register, and CSR traffic — so the differential harness
+explores scenario space the curated workloads never reach.
+
+Every program is total and terminating by construction:
+
+* loads/stores address ``base + offset`` with the offset aligned to the
+  access size and bounded by the data window, so the sparse memory
+  model never faults;
+* divides are guarded (``ori scratch, src, 1``) even though the ISA's
+  divide semantics are total, mirroring real compiled code;
+* branches only jump forward to generated labels, loops count a
+  dedicated register down from a small constant, and the body ends in
+  ``ecall`` — so control flow cannot escape the program;
+* registers ``x28``–``x31`` and ``f28``–``f31`` are never touched (they
+  are the Nzdc transform's reserved scratch, exactly as in the workload
+  generator).
+
+A :class:`FuzzProgram` keeps the source as one line per instruction (or
+label), which is the unit the shrinker drops; ``protected`` marks line
+indices the shrinker must keep (labels and the final ``ecall``).
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.program import DataImage
+
+#: Base address of the bounded data window (same region the workload
+#: generator uses, so memory-model assumptions carry over).
+DATA_BASE = 0x100000
+
+#: Value registers the fuzzer reads and writes freely.
+INT_POOL = tuple(range(5, 16))          # x5..x15
+FP_POOL = tuple(range(0, 8))            # f0..f7
+
+_BASE_REG = 20                          # data-window base pointer
+_LOOP_REG = 23                          # bounded loop counter
+_GUARD_REG = 24                         # divide-guard scratch
+_HELPER_REGS = (16, 17)                 # helper-function scratch
+_RA = 1
+
+_ALU_RR = ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra",
+           "or", "and")
+_ALU_RI = ("addi", "slti", "sltiu", "xori", "ori", "andi")
+_SHIFTS = ("slli", "srli", "srai")
+_MULS = ("mul", "mulh")
+_DIVS = ("div", "divu", "rem", "remu")
+_FP_RR = ("fadd.d", "fsub.d", "fmul.d", "fmin.d", "fmax.d")
+_LOADS = (("ld", 8), ("lw", 4), ("lwu", 4), ("lh", 2), ("lhu", 2),
+          ("lb", 1), ("lbu", 1))
+_STORES = (("sd", 8), ("sw", 4), ("sh", 2), ("sb", 1))
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+_CSRS = ("mstatus", "mtvec", "mepc")
+
+#: Default instruction-class weights; override per point through
+#: :class:`FuzzConfig`.
+DEFAULT_WEIGHTS = {
+    "alu": 10,
+    "mul": 2,
+    "div": 2,
+    "fp": 3,
+    "fpmove": 1,
+    "fpdiv": 1,
+    "load": 5,
+    "store": 4,
+    "branch": 3,
+    "loop": 1,
+    "call": 1,
+    "csr": 1,
+}
+
+
+class FuzzConfig:
+    """Knobs for one generated program."""
+
+    def __init__(self, body_instructions=100, data_window_bytes=512,
+                 weights=None, helper_count=2, max_loop_trip=6):
+        if data_window_bytes < 16 or data_window_bytes % 8:
+            raise ValueError("data window must be a multiple of 8 >= 16")
+        self.body_instructions = body_instructions
+        self.data_window_bytes = data_window_bytes
+        self.weights = dict(weights) if weights else dict(DEFAULT_WEIGHTS)
+        unknown = set(self.weights) - set(DEFAULT_WEIGHTS)
+        if unknown:
+            raise ValueError(
+                f"unknown instruction classes {sorted(unknown)}; "
+                f"choose from {sorted(DEFAULT_WEIGHTS)}")
+        if not any(w > 0 for w in self.weights.values()):
+            raise ValueError("at least one instruction-class weight "
+                             "must be positive")
+        if helper_count < 1:
+            raise ValueError("helper_count must be >= 1 (calls need a "
+                             "target)")
+        self.helper_count = helper_count
+        self.max_loop_trip = max_loop_trip
+
+
+class FuzzProgram:
+    """A generated program: source lines + data image + shrink metadata."""
+
+    def __init__(self, lines, data_words, protected, name="fuzz"):
+        self.lines = list(lines)
+        self.data_words = dict(data_words)
+        self.protected = frozenset(protected)
+        self.name = name
+
+    def source(self):
+        return "\n".join(self.lines)
+
+    def build(self, lines=None):
+        """Assemble (optionally overridden) source into a Program."""
+        text = "\n".join(self.lines if lines is None else lines)
+        return assemble(text, name=self.name,
+                        data=DataImage(self.data_words))
+
+    def with_lines(self, lines):
+        """A copy carrying shrunk source (protection indices dropped —
+        a shrunk program is final, not shrunk again through them)."""
+        return FuzzProgram(lines, self.data_words, (), name=self.name)
+
+
+class _Emitter:
+    """Accumulates source lines and tracks protected indices."""
+
+    def __init__(self, rng, config):
+        self.rng = rng
+        self.config = config
+        self.lines = []
+        self.protected = set()
+        self._label_counter = 0
+
+    def emit(self, text):
+        self.lines.append(f"    {text}")
+
+    def emit_protected(self, text):
+        self.protected.add(len(self.lines))
+        self.lines.append(f"    {text}")
+
+    def label(self, prefix):
+        name = f"{prefix}_{self._label_counter}"
+        self._label_counter += 1
+        return name
+
+    def place_label(self, name):
+        self.protected.add(len(self.lines))
+        self.lines.append(f"{name}:")
+
+    # -- operand helpers ---------------------------------------------------
+
+    def int_reg(self):
+        return self.rng.choice(INT_POOL)
+
+    def fp_reg(self):
+        return self.rng.choice(FP_POOL)
+
+    def offset(self, size):
+        window = self.config.data_window_bytes
+        slots = (window - size) // size
+        return self.rng.randint(0, slots) * size
+
+
+class ProgramGenerator:
+    """Draws one :class:`FuzzProgram` from a deterministic RNG."""
+
+    def __init__(self, rng, config=None):
+        self.rng = rng
+        self.config = config if config is not None else FuzzConfig()
+        self._em = None
+
+    # -- instruction-class emitters ---------------------------------------
+
+    def _emit_alu(self):
+        em = self._em
+        roll = self.rng.random()
+        if roll < 0.35:
+            op = self.rng.choice(_ALU_RI)
+            imm = self.rng.randint(-2048, 2047)
+            em.emit(f"{op} x{em.int_reg()}, x{em.int_reg()}, {imm}")
+        elif roll < 0.50:
+            op = self.rng.choice(_SHIFTS)
+            em.emit(f"{op} x{em.int_reg()}, x{em.int_reg()}, "
+                    f"{self.rng.randint(0, 63)}")
+        elif roll < 0.60:
+            # No auipc: its value is layout-relative, so it cannot be
+            # compared across the Nzdc transform's changed layout.
+            em.emit(f"lui x{em.int_reg()}, {self.rng.randint(0, 0xFFFFF)}")
+        else:
+            op = self.rng.choice(_ALU_RR)
+            em.emit(f"{op} x{em.int_reg()}, x{em.int_reg()}, "
+                    f"x{em.int_reg()}")
+
+    def _emit_mul(self):
+        em = self._em
+        em.emit(f"{self.rng.choice(_MULS)} x{em.int_reg()}, "
+                f"x{em.int_reg()}, x{em.int_reg()}")
+
+    def _emit_div(self):
+        em = self._em
+        # Guard the divisor as compiled code would, even though the
+        # ISA's divide-by-zero semantics are total.
+        em.emit(f"ori x{_GUARD_REG}, x{em.int_reg()}, 1")
+        em.emit(f"{self.rng.choice(_DIVS)} x{em.int_reg()}, "
+                f"x{em.int_reg()}, x{_GUARD_REG}")
+
+    def _emit_fp(self):
+        em = self._em
+        em.emit(f"{self.rng.choice(_FP_RR)} f{em.fp_reg()}, "
+                f"f{em.fp_reg()}, f{em.fp_reg()}")
+
+    def _emit_fpmove(self):
+        em = self._em
+        roll = self.rng.random()
+        if roll < 0.25:
+            op = self.rng.choice(("feq.d", "flt.d", "fle.d"))
+            em.emit(f"{op} x{em.int_reg()}, f{em.fp_reg()}, f{em.fp_reg()}")
+        elif roll < 0.45:
+            em.emit(f"fmv.x.d x{em.int_reg()}, f{em.fp_reg()}")
+        elif roll < 0.65:
+            em.emit(f"fmv.d.x f{em.fp_reg()}, x{em.int_reg()}")
+        elif roll < 0.85:
+            em.emit(f"fcvt.d.l f{em.fp_reg()}, x{em.int_reg()}")
+        else:
+            em.emit(f"fcvt.l.d x{em.int_reg()}, f{em.fp_reg()}")
+
+    def _emit_fpdiv(self):
+        em = self._em
+        if self.rng.bernoulli(0.3):
+            em.emit(f"fsqrt.d f{em.fp_reg()}, f{em.fp_reg()}")
+        else:
+            em.emit(f"fdiv.d f{em.fp_reg()}, f{em.fp_reg()}, "
+                    f"f{em.fp_reg()}")
+
+    def _emit_load(self):
+        em = self._em
+        if self.rng.bernoulli(0.15):
+            em.emit(f"fld f{em.fp_reg()}, {em.offset(8)}(x{_BASE_REG})")
+            return
+        op, size = self.rng.choice(_LOADS)
+        em.emit(f"{op} x{em.int_reg()}, {em.offset(size)}(x{_BASE_REG})")
+
+    def _emit_store(self):
+        em = self._em
+        if self.rng.bernoulli(0.15):
+            em.emit(f"fsd f{em.fp_reg()}, {em.offset(8)}(x{_BASE_REG})")
+            return
+        op, size = self.rng.choice(_STORES)
+        em.emit(f"{op} x{em.int_reg()}, {em.offset(size)}(x{_BASE_REG})")
+
+    def _emit_branch(self):
+        em = self._em
+        label = em.label("skip")
+        op = self.rng.choice(_BRANCHES)
+        em.emit(f"{op} x{em.int_reg()}, x{em.int_reg()}, {label}")
+        for _ in range(self.rng.randint(1, 3)):
+            self._emit_alu()
+        em.place_label(label)
+
+    def _emit_loop(self):
+        em = self._em
+        label = em.label("loop")
+        trip = self.rng.randint(2, self.config.max_loop_trip)
+        em.emit(f"addi x{_LOOP_REG}, x0, {trip}")
+        em.place_label(label)
+        for _ in range(self.rng.randint(1, 4)):
+            self._simple_op()
+        em.emit(f"addi x{_LOOP_REG}, x{_LOOP_REG}, -1")
+        em.emit(f"bne x{_LOOP_REG}, x0, {label}")
+
+    def _emit_call(self):
+        index = self.rng.randint(0, self.config.helper_count - 1)
+        self._em.emit(f"jal x{_RA}, helper_{index}")
+
+    def _emit_csr(self):
+        em = self._em
+        csr = self.rng.choice(_CSRS)
+        roll = self.rng.random()
+        if roll < 0.5:
+            em.emit(f"csrrs x{em.int_reg()}, {csr}, x{em.int_reg()}")
+        elif roll < 0.8:
+            em.emit(f"csrrw x{em.int_reg()}, {csr}, x{em.int_reg()}")
+        else:
+            em.emit(f"csrrwi x{em.int_reg()}, {csr}, "
+                    f"{self.rng.randint(0, 31)}")
+
+    def _simple_op(self):
+        """A loop-body op: anything without control flow."""
+        emitter = self.rng.choices(
+            [self._emit_alu, self._emit_mul, self._emit_div, self._emit_fp,
+             self._emit_load, self._emit_store],
+            weights=[5, 1, 1, 1, 2, 2])[0]
+        emitter()
+
+    # -- program assembly --------------------------------------------------
+
+    def _prologue(self):
+        em = self._em
+        em.emit(f"li x{_BASE_REG}, {DATA_BASE}")
+        for reg in INT_POOL:
+            em.emit(f"li x{reg}, {self.rng.randint(0, 0xFFFF)}")
+        for reg in FP_POOL:
+            em.emit(f"li x{_GUARD_REG}, {self.rng.randint(1, 97)}")
+            em.emit(f"fcvt.d.l f{reg}, x{_GUARD_REG}")
+
+    def _helpers(self):
+        em = self._em
+        for index in range(self.config.helper_count):
+            em.place_label(f"helper_{index}")
+            for _ in range(self.rng.randint(2, 4)):
+                dst = self.rng.choice(_HELPER_REGS)
+                em.emit(f"{self.rng.choice(_ALU_RR)} x{dst}, x{dst}, "
+                        f"x{em.int_reg()}")
+            em.emit("ret")
+
+    def _data_image(self):
+        words = {}
+        for i in range(self.config.data_window_bytes // 8):
+            words[DATA_BASE + 8 * i] = self.rng.bit64()
+        return words
+
+    def generate(self, name="fuzz"):
+        """Draw one program."""
+        self._em = _Emitter(self.rng, self.config)
+        em = self._em
+        self._prologue()
+
+        emitters = {
+            "alu": self._emit_alu, "mul": self._emit_mul,
+            "div": self._emit_div, "fp": self._emit_fp,
+            "fpmove": self._emit_fpmove, "fpdiv": self._emit_fpdiv,
+            "load": self._emit_load, "store": self._emit_store,
+            "branch": self._emit_branch, "loop": self._emit_loop,
+            "call": self._emit_call, "csr": self._emit_csr,
+        }
+        kinds = [k for k in emitters if self.config.weights.get(k, 0) > 0]
+        weights = [self.config.weights[k] for k in kinds]
+        start = len(em.lines)
+        while len(em.lines) - start < self.config.body_instructions:
+            emitters[self.rng.choices(kinds, weights=weights)[0]]()
+
+        em.emit_protected("ecall")
+        self._helpers()
+        return FuzzProgram(em.lines, self._data_image(), em.protected,
+                           name=name)
+
+
+def generate_fuzz_program(rng, config=None, name="fuzz"):
+    """Convenience wrapper: one program from ``rng``."""
+    return ProgramGenerator(rng, config).generate(name=name)

@@ -1,0 +1,163 @@
+"""Greedy program shrinking and regression artifacts.
+
+When the differential harness finds a divergence, the raw reproducer is
+a few hundred generated instructions — too big to debug.
+:func:`shrink_lines` minimizes it ddmin-style: repeatedly try removing
+chunks of instruction lines (halving the chunk size down to single
+lines) and keep any removal under which the failure predicate still
+holds, then simplify the surviving operands (immediates to zero).
+Labels and the terminating ``ecall`` are protected so every candidate
+still assembles and terminates.
+
+The predicate re-runs the *full differential harness* on each
+candidate, so a shrunk program is a genuine standalone reproducer; a
+candidate that loses its loop exit simply hits the instruction cap,
+stops diverging, and is rejected.
+
+:func:`write_artifact` persists the minimized case (source, data image,
+mismatches, sizes) as a JSON regression artifact whose filename derives
+from the point identity — re-running the campaign overwrites rather
+than duplicates.
+"""
+
+import hashlib
+import json
+import os
+import re
+
+#: Matches standalone decimal immediates (not hex digits, not parts of
+#: register names), the targets of operand simplification.
+_IMM_RE = re.compile(r"(?<![\w.])-?\d+(?![\w.])")
+
+
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    __slots__ = ("lines", "original_instructions", "instructions",
+                 "rounds", "attempts")
+
+    def __init__(self, lines, original_instructions, instructions, rounds,
+                 attempts):
+        self.lines = lines
+        self.original_instructions = original_instructions
+        self.instructions = instructions
+        self.rounds = rounds
+        self.attempts = attempts
+
+
+def _count_instructions(lines):
+    return sum(1 for line in lines if not line.strip().endswith(":"))
+
+
+def shrink_lines(lines, protected, predicate, max_rounds=16):
+    """Minimize ``lines`` while ``predicate(candidate_lines)`` holds.
+
+    ``predicate`` must hold for the input (the caller established the
+    failure before shrinking).  Returns a :class:`ShrinkResult`; the
+    result's lines always satisfy the predicate.
+    """
+    current = list(lines)
+    protected_lines = {lines[i] for i in protected}
+    attempts = 0
+    rounds = 0
+
+    def droppable(cand):
+        return [i for i, line in enumerate(cand)
+                if line not in protected_lines
+                and not line.strip().endswith(":")]
+
+    # Phase 1: ddmin-style chunk removal until a fixpoint.
+    changed = True
+    while changed and rounds < max_rounds:
+        changed = False
+        rounds += 1
+        indices = droppable(current)
+        chunk = max(1, len(indices) // 2)
+        while chunk >= 1:
+            pos = 0
+            while pos < len(indices):
+                remove = set(indices[pos:pos + chunk])
+                candidate = [line for i, line in enumerate(current)
+                             if i not in remove]
+                attempts += 1
+                if predicate(candidate):
+                    current = candidate
+                    indices = droppable(current)
+                    changed = True
+                    # Do not advance: the window now covers new lines.
+                else:
+                    pos += chunk
+            chunk //= 2
+
+    # Phase 2: operand simplification — try zeroing each immediate.
+    for index, line in enumerate(current):
+        if line in protected_lines or line.strip().endswith(":"):
+            continue
+        for match in _IMM_RE.finditer(line):
+            if match.group() == "0":
+                continue
+            simplified = line[:match.start()] + "0" + line[match.end():]
+            candidate = list(current)
+            candidate[index] = simplified
+            attempts += 1
+            if predicate(candidate):
+                current = candidate
+                break  # one simplification per line is plenty
+
+    # Phase 3: drop labels nothing references any more.  Labels emit no
+    # instructions, so this cannot change behaviour or the predicate.
+    referenced = set()
+    for line in current:
+        if not line.strip().endswith(":"):
+            referenced.update(re.findall(r"[\w.$]+", line))
+    current = [line for line in current
+               if not line.strip().endswith(":")
+               or line.strip()[:-1] in referenced]
+
+    return ShrinkResult(current, _count_instructions(list(lines)),
+                        _count_instructions(current), rounds, attempts)
+
+
+def shrink_fuzz_program(fuzz, predicate, max_rounds=16):
+    """Shrink a :class:`~repro.difftest.progen.FuzzProgram`.
+
+    ``predicate(program)`` receives an assembled
+    :class:`~repro.isa.program.Program` and returns whether the failure
+    still reproduces.  Candidates that fail to assemble are rejected
+    automatically.
+    """
+    from repro.common.errors import AssemblerError
+
+    def line_predicate(candidate_lines):
+        try:
+            program = fuzz.build(lines=candidate_lines)
+        except AssemblerError:
+            return False
+        return predicate(program)
+
+    result = shrink_lines(fuzz.lines, fuzz.protected, line_predicate,
+                          max_rounds=max_rounds)
+    return result, fuzz.with_lines(result.lines)
+
+
+# -- regression artifacts --------------------------------------------------
+
+DEFAULT_ARTIFACT_DIR = os.path.join("artifacts", "difftest")
+
+
+def artifact_name(point_id):
+    """Deterministic, filesystem-safe artifact stem for a point."""
+    digest = hashlib.blake2b(point_id.encode(), digest_size=6).hexdigest()
+    return f"difftest-{digest}"
+
+
+def write_artifact(directory, point_id, payload):
+    """Persist one minimized regression case; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{artifact_name(point_id)}.json")
+    record = {"point_id": point_id}
+    record.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

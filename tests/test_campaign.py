@@ -14,6 +14,7 @@ import pytest
 from repro.campaign import (
     CampaignPoint,
     CampaignSpec,
+    PointResult,
     PointTimeout,
     ResultStore,
     aggregate,
@@ -243,6 +244,55 @@ class TestResults:
         assert point_id == spec.points[0].point_id
         assert row.metrics["value"] == 6
         assert ResultStore.completed_ids(str(path)) == {point_id}
+
+    def test_load_skips_corrupt_trailing_line(self, tmp_path):
+        """A campaign killed mid-write leaves a truncated final row;
+        resume must skip it (with a warning) and re-run that point."""
+        path = tmp_path / "rows.jsonl"
+        points = [CampaignPoint(task="test_echo", workload=f"w{i}",
+                                params={"value": i}) for i in range(3)]
+        spec = CampaignSpec(name="trunc", points=points)
+        with ResultStore(path=str(path)) as store:
+            run_campaign(spec, jobs=1, store=store)
+        # Truncate the last row mid-JSON, as a kill -9 would.
+        text = path.read_text(encoding="utf-8")
+        lines = text.strip().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n"
+                        + lines[-1][:len(lines[-1]) // 2],
+                        encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="corrupt result row"):
+            loaded = ResultStore.load(str(path))
+        assert set(loaded) == {p.point_id for p in points[:2]}
+        # Resume re-runs exactly the point whose row was lost, and the
+        # recovery row starts on a fresh line (not merged into the
+        # truncated one) so the healed file loads completely.
+        CALLS.clear()
+        with pytest.warns(RuntimeWarning):
+            with ResultStore(path=str(path)) as store:
+                result = run_campaign(spec, jobs=1, store=store,
+                                      resume_from=str(path))
+        assert result.all_ok
+        assert CALLS == [points[2].point_id]
+        with pytest.warns(RuntimeWarning):  # truncated line remains
+            healed = ResultStore.load(str(path))
+        assert set(healed) == {p.point_id for p in points}
+
+    def test_load_skips_interior_garbage_rows(self, tmp_path):
+        """Non-JSON garbage and rows missing required keys are skipped
+        without losing the valid rows around them."""
+        path = tmp_path / "rows.jsonl"
+        good = PointResult(point_id="p/ok", index=0, ok=True,
+                           metrics={"v": 1})
+        path.write_text(
+            "not json at all\n"
+            + json.dumps({"unrelated": True}) + "\n"
+            + json.dumps(good.to_row()) + "\n",
+            encoding="utf-8")
+        with pytest.warns(RuntimeWarning) as caught:
+            loaded = ResultStore.load(str(path))
+        assert len(caught) == 2
+        assert set(loaded) == {"p/ok"}
+        assert loaded["p/ok"].metrics == {"v": 1}
 
 
 class TestSimulationTasks:

@@ -1,0 +1,190 @@
+"""Edge-case property tests for ``common/bitops.py`` and ``common/fifo.py``.
+
+Width-boundary algebra for the bit helpers (every width 1..64, the
+extremes of each range, involution/inverse laws) and a randomized
+operation-sequence check of the bounded FIFO against a plain-deque
+model (full/empty/wraparound invariants, conservation of items).
+"""
+
+import pytest
+from collections import deque
+
+from repro.common.bitops import (bit_length64, extract_bits, flip_bit, mask,
+                                 parity, popcount, sign_extend, to_signed,
+                                 to_unsigned)
+from repro.common.errors import FifoError, SimulationError
+from repro.common.fifo import DualChannelFifo, Fifo
+from repro.common.prng import DeterministicRng
+
+
+# -- bitops ----------------------------------------------------------------
+
+@pytest.mark.quick
+def test_signed_unsigned_inverse_at_every_width():
+    for bits in range(1, 65):
+        top = mask(bits)
+        half = 1 << (bits - 1)
+        boundary = {0, 1, half - 1, half, top - 1, top}
+        for value in boundary:
+            value &= top
+            signed = to_signed(value, bits)
+            assert -(1 << (bits - 1)) <= signed < (1 << (bits - 1))
+            assert to_unsigned(signed, bits) == value
+            # Sign-extending to 64 bits preserves the signed value.
+            assert to_signed(sign_extend(value, bits)) == signed
+
+
+def test_signed_unsigned_inverse_random():
+    rng = DeterministicRng("bitops/rand", name="prop")
+    for _ in range(2_000):
+        bits = rng.randint(1, 64)
+        value = rng.bit64() & mask(bits)
+        assert to_unsigned(to_signed(value, bits), bits) == value
+
+
+def test_mask_boundaries():
+    assert mask(0) == 0
+    assert mask(1) == 1
+    assert mask(64) == (1 << 64) - 1
+    with pytest.raises(SimulationError):
+        mask(-1)
+
+
+def test_flip_bit_involution_and_parity():
+    rng = DeterministicRng("bitops/flip", name="prop")
+    for _ in range(500):
+        value = rng.bit64()
+        bit = rng.bit_index(64)
+        flipped = flip_bit(value, bit)
+        assert flipped != value
+        assert flip_bit(flipped, bit) == value
+        # One flip always toggles parity and changes popcount by one.
+        assert parity(flipped) == parity(value) ^ 1
+        assert abs(popcount(flipped) - popcount(value)) == 1
+    with pytest.raises(SimulationError):
+        flip_bit(0, 64)
+    with pytest.raises(SimulationError):
+        flip_bit(0, -1)
+
+
+def test_extract_bits_recomposition():
+    rng = DeterministicRng("bitops/extract", name="prop")
+    for _ in range(500):
+        value = rng.bit64()
+        split = rng.randint(0, 63)
+        low = extract_bits(value, split, 0)
+        high = extract_bits(value, 63, split + 1) if split < 63 else 0
+        assert (high << (split + 1)) | low == value
+    with pytest.raises(SimulationError):
+        extract_bits(0, 0, 1)
+
+
+def test_sign_extend_boundaries():
+    assert sign_extend(0x80, 8) == to_unsigned(-128)
+    assert sign_extend(0x7F, 8) == 0x7F
+    assert sign_extend(1, 1) == mask(64)
+    assert sign_extend(0xFFFF, 16, 16) == 0xFFFF
+    with pytest.raises(SimulationError):
+        sign_extend(0, 33, 32)
+    assert bit_length64(-1) == 64  # unsigned view of all-ones
+
+
+# -- fifo ------------------------------------------------------------------
+
+@pytest.mark.quick
+def test_fifo_random_ops_match_deque_model():
+    """Random push/pop/peek/drain/clear sequences against a model."""
+    rng = DeterministicRng("fifo/model", name="prop")
+    for trial in range(30):
+        capacity = rng.choice([1, 2, 3, 5, 8, None])
+        fifo = Fifo(capacity, name=f"t{trial}")
+        model = deque()
+        pushed = popped = 0
+        for step in range(400):
+            roll = rng.random()
+            if roll < 0.45:
+                item = (trial, step)
+                if capacity is not None and len(model) >= capacity:
+                    assert fifo.full
+                    assert not fifo.try_push(item)
+                    with pytest.raises(FifoError):
+                        fifo.push(item)
+                else:
+                    assert not fifo.full
+                    fifo.push(item)
+                    model.append(item)
+                    pushed += 1
+            elif roll < 0.80:
+                if model:
+                    assert fifo.peek() == model[0]
+                    assert fifo.pop() == model.popleft()
+                    popped += 1
+                else:
+                    assert fifo.empty
+                    with pytest.raises(FifoError):
+                        fifo.pop()
+                    with pytest.raises(FifoError):
+                        fifo.peek()
+            elif roll < 0.90:
+                limit = rng.randint(0, 4)
+                drained = fifo.drain(limit)
+                expect = [model.popleft()
+                          for _ in range(min(limit, len(model)))]
+                assert drained == expect
+                popped += len(drained)
+            elif roll < 0.93:
+                fifo.clear()
+                model.clear()
+            # Invariants after every step.
+            assert len(fifo) == len(model)
+            assert fifo.empty == (not model)
+            assert list(fifo) == list(model)
+            if capacity is not None:
+                assert 0 <= len(fifo) <= capacity
+                assert fifo.free_slots == capacity - len(model)
+                assert fifo.full == (len(model) == capacity)
+            assert fifo.high_watermark <= (capacity or 400)
+        assert fifo.total_pushed == pushed
+        assert fifo.total_popped >= popped  # drain() pops via pop()
+
+
+def test_fifo_wraparound_capacity_one():
+    """Tightest wraparound: capacity 1 cycles full/empty every op."""
+    fifo = Fifo(1, name="unit")
+    for i in range(100):
+        assert fifo.empty and not fifo.full
+        fifo.push(i)
+        assert fifo.full and not fifo.empty
+        assert not fifo.try_push(i)
+        assert fifo.pop() == i
+    assert fifo.total_pushed == fifo.total_popped == 100
+    assert fifo.high_watermark == 1
+
+
+def test_fifo_rejects_degenerate_capacity():
+    with pytest.raises(FifoError):
+        Fifo(0)
+    with pytest.raises(FifoError):
+        Fifo(-2)
+
+
+def test_dual_channel_fifo_independent_backpressure():
+    rng = DeterministicRng("fifo/dual", name="prop")
+    buf = DualChannelFifo(2, 3, name="dc")
+    status, runtime = deque(), deque()
+    for step in range(300):
+        roll = rng.random()
+        if roll < 0.35 and len(status) < 2:
+            buf.status.push(step)
+            status.append(step)
+        elif roll < 0.6 and len(runtime) < 3:
+            buf.runtime.push(step)
+            runtime.append(step)
+        elif roll < 0.8 and status:
+            assert buf.status.pop() == status.popleft()
+        elif runtime:
+            assert buf.runtime.pop() == runtime.popleft()
+        assert buf.occupancy() == (len(status), len(runtime))
+        assert buf.empty == (not status and not runtime)
+        assert buf.can_accept(2 - len(status), 3 - len(runtime))
+        assert not buf.can_accept(status_packets=3 - len(status) + 1)

@@ -1,0 +1,345 @@
+"""repro.difftest — generator, harness, shrinker, campaign/CLI wiring."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignPoint, CampaignSpec, run_campaign
+from repro.cli import main
+from repro.common.prng import DeterministicRng
+from repro.difftest import (FuzzConfig, diff_program, evaluate_fuzz_point,
+                            fuzz_program_for_point, generate_fuzz_program,
+                            run_golden, shrink_fuzz_program, shrink_lines,
+                            snapshot, write_artifact)
+from repro.difftest.progen import INT_POOL
+
+
+def _point(index=0, seed=0, params=None, instructions=10_000):
+    merged = {"index": index}
+    if params:
+        merged.update(params)
+    return CampaignPoint(task="difftest", workload="fuzz",
+                         instructions=instructions, seed=seed, params=merged)
+
+
+# -- program generation ----------------------------------------------------
+
+class TestProgramGeneration:
+
+    def test_deterministic_in_rng_key(self):
+        one = generate_fuzz_program(DeterministicRng("k", name="g"))
+        two = generate_fuzz_program(DeterministicRng("k", name="g"))
+        assert one.lines == two.lines
+        assert one.data_words == two.data_words
+
+    def test_different_keys_differ(self):
+        one = generate_fuzz_program(DeterministicRng("k1", name="g"))
+        two = generate_fuzz_program(DeterministicRng("k2", name="g"))
+        assert one.lines != two.lines
+
+    @pytest.mark.quick
+    def test_programs_assemble_and_terminate(self):
+        for seed in range(5):
+            fuzz = generate_fuzz_program(
+                DeterministicRng(f"gen/{seed}", name="g"))
+            program = fuzz.build()
+            result = run_golden(program, max_instructions=10_000)
+            assert result.halted_by in ("ecall", "end")
+
+    def test_reserved_registers_untouched(self):
+        """x28-x31 (Nzdc scratch) and x2-x4 never appear."""
+        fuzz = generate_fuzz_program(DeterministicRng("resv", name="g"))
+        program = fuzz.build()
+        for instr in program.instructions:
+            spec = instr.spec
+            for field, used in (("rd", spec.writes_int_rd),
+                                ("rs1", spec.reads_int_rs1),
+                                ("rs2", spec.reads_int_rs2)):
+                if used:
+                    assert getattr(instr, field) <= 27
+            if spec.writes_fp_rd or spec.reads_fp_rs1 or spec.reads_fp_rs2:
+                for field in ("rd", "rs1", "rs2"):
+                    assert getattr(instr, field) <= 27
+
+    def test_weights_respected(self):
+        config = FuzzConfig(weights={"alu": 1}, body_instructions=40)
+        fuzz = generate_fuzz_program(DeterministicRng("w", name="g"),
+                                     config)
+        program = fuzz.build()
+        # alu-only weights: ALU body plus the fixed scaffolding — the
+        # li/fcvt.d.l prologue (alu+fp), the terminating ecall, and the
+        # helper functions' ret (jump).  No loads/stores/branches/
+        # mul/div/csr may appear.
+        classes = {i.spec.iclass.value for i in program.instructions}
+        assert classes <= {"alu", "fp", "system", "jump"}, classes
+
+    def test_rejects_bad_weight_configs(self):
+        with pytest.raises(ValueError, match="unknown instruction"):
+            FuzzConfig(weights={"laod": 5})  # typo'd class name
+        with pytest.raises(ValueError, match="must be positive"):
+            FuzzConfig(weights={"alu": 0})
+        with pytest.raises(ValueError, match="multiple of 8"):
+            FuzzConfig(data_window_bytes=100)
+
+    def test_cli_instructions_zero_uses_default_cap(self, capsys,
+                                                    tmp_path):
+        code = main(["difftest", "--self-check", "--instructions", "0",
+                     "--artifacts", str(tmp_path / "arts")])
+        out = capsys.readouterr().out
+        assert code == 0
+        shrunk_line = [l for l in out.splitlines()
+                       if l.startswith("shrunk")][0]
+        assert int(shrunk_line.split("->")[1].split()[0]) <= 10
+
+    def test_loads_stay_in_data_window(self):
+        config = FuzzConfig(data_window_bytes=256)
+        fuzz = generate_fuzz_program(DeterministicRng("win", name="g"),
+                                     config)
+        program = fuzz.build()
+        for instr in program.instructions:
+            if instr.spec.is_mem and instr.rs1 == 20:
+                assert 0 <= instr.imm < 256
+
+
+# -- the differential harness ----------------------------------------------
+
+class TestHarness:
+
+    @pytest.mark.quick
+    def test_clean_programs_do_not_diverge(self):
+        for seed in range(3):
+            fuzz = generate_fuzz_program(
+                DeterministicRng(f"clean/{seed}", name="g"))
+            report = diff_program(fuzz.build())
+            assert not report.divergent, report.mismatches
+            assert set(report.outcomes) == {"golden", "bigcore",
+                                            "littlecore", "meek", "nzdc"}
+
+    def test_snapshot_comparison_flags_each_field(self):
+        from repro.difftest import compare_snapshots
+        from repro.isa.state import ArchState
+        a, b = ArchState(), ArchState()
+        b.write_int(7, 42)
+        b.write_fp(3, 9)
+        b.write_csr(0x300, 1)
+        b.memory.store(0x100, 5, 8)
+        b.pc = 4
+        mismatches = compare_snapshots("x", snapshot(a), snapshot(b))
+        kinds = " ".join(mismatches)
+        assert "x7" in kinds and "f3" in kinds and "csr" in kinds
+        assert "mem[0x100]" in kinds and "pc" in kinds
+        assert len(mismatches) == 5
+        assert compare_snapshots("x", snapshot(a), snapshot(b),
+                                 skip_int=(7,), skip_fp=(3,),
+                                 skip_pc=True) == mismatches[3:5]
+
+    @pytest.mark.quick
+    def test_fault_injection_self_check_detects(self):
+        """A corrupted forwarded SRCP must surface as a divergence
+        through the genuine checking machinery."""
+        fuzz = generate_fuzz_program(DeterministicRng("fault", name="g"))
+        report = diff_program(fuzz.build(), fault_rate=1.0,
+                              fault_key="t/fault", fault_targets="pc")
+        assert report.injections >= 1
+        assert report.detected >= 1
+        assert report.divergent
+        assert any(m.startswith("meek-replay") for m in report.mismatches)
+
+    def test_fault_free_meek_replay_verifies(self):
+        fuzz = generate_fuzz_program(DeterministicRng("ok", name="g"))
+        report = diff_program(fuzz.build())
+        assert report.outcomes["meek"].verified
+        assert report.injections == 0
+
+    def test_broken_transform_caught(self):
+        """Sanity: a deliberately wrong program diverges loudly."""
+        from repro.isa.assembler import assemble
+        good = assemble("addi x5, x0, 7\necall")
+        bad_lines = ["addi x5, x0, 8", "ecall"]
+        ref = run_golden(good)
+        got = run_golden(assemble("\n".join(bad_lines)))
+        from repro.difftest import compare_snapshots
+        assert compare_snapshots("mut", snapshot(ref.state),
+                                 snapshot(got.state))
+
+
+# -- shrinking -------------------------------------------------------------
+
+class TestShrinker:
+
+    def test_shrinks_to_predicate_core(self):
+        """Predicate 'a mul instruction survives' leaves ~1 mul."""
+        fuzz = generate_fuzz_program(DeterministicRng("shrink", name="g"))
+
+        def predicate(program):
+            return any(i.op == "mul" for i in program.instructions)
+
+        assert predicate(fuzz.build())
+        result, small = shrink_fuzz_program(fuzz, predicate)
+        program = small.build()
+        assert predicate(program)
+        muls = sum(1 for i in program.instructions if i.op == "mul")
+        assert muls == 1
+        assert result.instructions < result.original_instructions
+        assert result.instructions <= 3  # mul + protected ecall (+slack)
+
+    def test_result_always_satisfies_predicate(self):
+        lines = [f"    addi x5, x5, {i}" for i in range(1, 9)]
+        lines.append("    ecall")
+
+        def predicate(candidate):
+            return any("addi x5, x5, 3" in line for line in candidate)
+
+        result = shrink_lines(lines, {8}, predicate)
+        assert predicate(result.lines)
+        assert result.instructions == 2  # the addi + protected ecall
+
+    def test_unreferenced_labels_swept(self):
+        fuzz = generate_fuzz_program(DeterministicRng("labels", name="g"))
+        result, small = shrink_fuzz_program(
+            fuzz, lambda program: len(program) >= 1)
+        assert not any(line.strip().endswith(":") for line in small.lines
+                       if "helper" in line or "skip" in line
+                       or "loop" in line)
+
+    @pytest.mark.quick
+    def test_fault_self_check_shrinks_small(self):
+        """The acceptance property: a fault reproducer minimizes to a
+        handful of instructions."""
+        fuzz = generate_fuzz_program(DeterministicRng("sc", name="g"))
+
+        def predicate(program):
+            report = diff_program(program, fault_rate=1.0,
+                                  fault_key="sc/fault",
+                                  fault_targets="pc")
+            return any(m.startswith("meek-replay")
+                       for m in report.mismatches)
+
+        assert predicate(fuzz.build())
+        result, small = shrink_fuzz_program(fuzz, predicate)
+        assert result.instructions <= 10
+        assert predicate(small.build())
+
+    def test_artifact_roundtrip(self, tmp_path):
+        path = write_artifact(str(tmp_path), "task/a/b",
+                              {"source": ["    ecall"], "n": 1})
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["point_id"] == "task/a/b"
+        assert record["source"] == ["    ecall"]
+        # Same point overwrites, different point gets a new file.
+        write_artifact(str(tmp_path), "task/a/b", {"n": 2})
+        write_artifact(str(tmp_path), "task/other", {"n": 3})
+        assert len(os.listdir(tmp_path)) == 2
+
+
+# -- campaign + CLI wiring -------------------------------------------------
+
+class TestCampaignWiring:
+
+    @pytest.mark.quick
+    def test_task_registered_and_deterministic(self):
+        metrics_a = evaluate_fuzz_point(_point(3, seed=7))
+        metrics_b = evaluate_fuzz_point(_point(3, seed=7),
+                                        campaign_name="other-name")
+        assert metrics_a == metrics_b  # identity-derived RNG
+        assert metrics_a["divergent"] is False
+        assert metrics_a["instructions"] > 50
+
+    def test_program_regeneration_matches_point(self):
+        point = _point(5, seed=11)
+        one = fuzz_program_for_point(point)
+        two = fuzz_program_for_point(point)
+        assert one.lines == two.lines
+
+    def test_sharded_matches_serial(self):
+        spec = CampaignSpec(
+            name="difftest-test",
+            points=[_point(i, seed=2) for i in range(4)])
+        serial = run_campaign(spec, jobs=1)
+        sharded = run_campaign(spec, jobs=2)
+        assert serial.metrics() == sharded.metrics()
+        assert all(not m["divergent"] for m in serial.metrics())
+
+    @pytest.mark.quick
+    def test_cli_difftest_runs_clean(self, capsys):
+        code = main(["difftest", "--programs", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "programs        : 3" in out
+        assert "divergent       : 0" in out
+
+    def test_cli_difftest_self_check(self, capsys, tmp_path,
+                                     monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["difftest", "--self-check",
+                     "--artifacts", "arts"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "divergence      : meek-replay" in out
+        assert "shrunk          : " in out
+        shrunk_line = [l for l in out.splitlines()
+                       if l.startswith("shrunk")][0]
+        final = int(shrunk_line.split("->")[1].split()[0])
+        assert final <= 10
+        artifacts = os.listdir(tmp_path / "arts")
+        assert len(artifacts) == 1
+
+    def test_cli_difftest_resume(self, tmp_path, capsys):
+        out_path = str(tmp_path / "rows.jsonl")
+        assert main(["difftest", "--programs", "2", "--out",
+                     out_path]) == 0
+        capsys.readouterr()
+        with open(out_path, encoding="utf-8") as handle:
+            first_rows = [json.loads(l) for l in handle if l.strip()]
+        assert len(first_rows) == 2
+        # Resume re-runs nothing; the file does not grow.
+        assert main(["difftest", "--programs", "2", "--out", out_path,
+                     "--resume"]) == 0
+        with open(out_path, encoding="utf-8") as handle:
+            rows = [json.loads(l) for l in handle if l.strip()]
+        assert len(rows) == 2
+
+
+# -- the deep sweep (run with `pytest -m fuzz`) ----------------------------
+
+@pytest.mark.fuzz
+def test_deep_differential_sweep():
+    """Hundreds of programs across weight emphases; any divergence is a
+    real cross-model bug."""
+    emphases = {
+        "default": None,
+        "memory": {"alu": 4, "load": 8, "store": 8, "branch": 2,
+                   "loop": 1, "call": 1, "csr": 1},
+        "control": {"alu": 4, "branch": 8, "loop": 4, "call": 4,
+                    "load": 2, "store": 2},
+        "fp": {"alu": 2, "fp": 8, "fpdiv": 4, "fpmove": 4, "load": 2,
+               "store": 2},
+        "division": {"alu": 2, "div": 8, "mul": 4, "load": 1,
+                     "store": 1},
+    }
+    failures = []
+    for name, weights in emphases.items():
+        config = FuzzConfig(weights=weights) if weights else None
+        for seed in range(40):
+            rng = DeterministicRng(f"deep/{name}/{seed}", name="g")
+            fuzz = generate_fuzz_program(rng, config)
+            report = diff_program(fuzz.build())
+            if report.divergent:
+                failures.append((name, seed, report.mismatches[:4]))
+    assert not failures, failures
+
+
+@pytest.mark.fuzz
+def test_deep_fault_sweep_detects_every_pc_fault():
+    """PC corruption of forwarded SRCPs is always detected."""
+    for seed in range(25):
+        rng = DeterministicRng(f"deepfault/{seed}", name="g")
+        fuzz = generate_fuzz_program(rng)
+        report = diff_program(fuzz.build(), fault_rate=1.0,
+                              fault_key=f"deepfault/{seed}",
+                              fault_targets="pc")
+        assert report.injections >= 1
+        assert report.detected == report.injections, seed
+        assert report.divergent
