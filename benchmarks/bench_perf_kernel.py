@@ -1,0 +1,71 @@
+"""Fast-kernel throughput: the numbers ``repro bench`` locks in.
+
+Runs the swaptions profile through every execution system on the fast
+kernel, then A/Bs the MEEK system against the naive loop
+(``REPRO_SLOW_KERNEL=1``) and asserts both the bit-identical contract
+and that the decoded kernel is actually faster — the speedup this PR
+exists to protect.
+"""
+
+import os
+import time
+
+from repro.analysis.report import format_table
+from repro.common.config import default_meek_config
+from repro.core.system import MeekSystem, run_vanilla
+from repro.difftest.golden import run_golden
+from repro.workloads import generate_program, get_profile
+
+DYNAMIC_INSTRUCTIONS = 20_000
+
+
+def _program():
+    return generate_program(get_profile("swaptions"),
+                            dynamic_instructions=DYNAMIC_INSTRUCTIONS,
+                            seed=0)
+
+
+def _best(fn, repeat=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_kernel_throughput(once):
+    program = _program()
+
+    def suite():
+        rows = []
+        golden_s, _ = _best(lambda: run_golden(program))
+        rows.append(["golden", DYNAMIC_INSTRUCTIONS / golden_s])
+        vanilla_s, _ = _best(lambda: run_vanilla(program))
+        rows.append(["vanilla", DYNAMIC_INSTRUCTIONS / vanilla_s])
+        config = default_meek_config(num_little_cores=4)
+        meek_s, meek = _best(lambda: MeekSystem(config).run(program))
+        rows.append(["meek", DYNAMIC_INSTRUCTIONS / meek_s])
+        return rows, meek_s, meek
+
+    rows, fast_meek_s, fast = once(suite)
+
+    os.environ["REPRO_SLOW_KERNEL"] = "1"
+    try:
+        config = default_meek_config(num_little_cores=4)
+        slow_meek_s, slow = _best(lambda: MeekSystem(config).run(program))
+    finally:
+        os.environ.pop("REPRO_SLOW_KERNEL", None)
+
+    assert fast.cycles == slow.cycles, "kernels diverged on cycle count"
+    assert fast.instructions == slow.instructions
+    assert fast_meek_s < slow_meek_s, \
+        "the fast kernel must beat the naive loop"
+
+    print(format_table(
+        ["system", "instrs/sec"],
+        [[name, f"{rate:,.0f}"] for name, rate in rows],
+        title="Fast-kernel throughput (swaptions, 20k instrs)"))
+    print(f"meek kernel speedup: {slow_meek_s / fast_meek_s:.2f}x "
+          "(fast vs REPRO_SLOW_KERNEL=1)")

@@ -41,6 +41,12 @@ class BranchPredictor:
             length *= 2
         self._tables = [{} for _ in range(num_tables)]
         self._table_bits = table_bits
+        # Precomputed masks: the folds below run once or twice per
+        # committed branch, so per-call mask() construction is pure
+        # hot-path waste.
+        self._index_mask = mask(table_bits)
+        self._history_masks = [mask(length)
+                               for length in self._history_lengths]
         self._history = 0
         self._btb = {}
         self._btb_order = []
@@ -53,33 +59,47 @@ class BranchPredictor:
 
     # -- internals ---------------------------------------------------
 
-    def _fold(self, value, bits):
+    @staticmethod
+    def _fold(value, bits):
         folded = 0
+        chunk = (1 << bits) - 1
         while value:
-            folded ^= value & mask(bits)
+            folded ^= value & chunk
             value >>= bits
         return folded
 
     def _index(self, pc, table):
-        hist = self._history & mask(self._history_lengths[table])
+        hist = self._history & self._history_masks[table]
         return (self._fold(pc >> 2, self._table_bits)
                 ^ self._fold(hist, self._table_bits)
-                ^ table) & mask(self._table_bits)
+                ^ table) & self._index_mask
 
     def _tag(self, pc, table):
-        hist = self._history & mask(self._history_lengths[table])
+        hist = self._history & self._history_masks[table]
         return (self._fold(pc >> 2, 8) ^ self._fold(hist, 8)
-                ^ (table << 1)) & mask(8)
+                ^ (table << 1)) & 0xFF
 
     def _base_index(self, pc):
         return (pc >> 2) & mask(self.BASE_BITS)
 
     def _predict_direction(self, pc):
         """Return (taken?, provider_table or None, provider index)."""
+        # The PC folds are table-independent; hoist them out of the
+        # longest-match scan (they used to be recomputed per table).
+        fold = self._fold
+        pc_idx_fold = fold(pc >> 2, self._table_bits)
+        pc_tag_fold = fold(pc >> 2, 8)
+        history = self._history
+        hist_masks = self._history_masks
+        index_mask = self._index_mask
+        table_bits = self._table_bits
         for table in range(len(self._tables) - 1, -1, -1):
-            index = self._index(pc, table)
+            hist = history & hist_masks[table]
+            index = (pc_idx_fold ^ fold(hist, table_bits)
+                     ^ table) & index_mask
             entry = self._tables[table].get(index)
-            if entry is not None and entry.tag == self._tag(pc, table):
+            if entry is not None and entry.tag == (
+                    pc_tag_fold ^ fold(hist, 8) ^ (table << 1)) & 0xFF:
                 return entry.counter >= 4, table, index
         counter = self._base.get(self._base_index(pc), 2)
         return counter >= 2, None, None

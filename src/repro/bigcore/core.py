@@ -31,6 +31,8 @@ from repro.isa.instructions import InstrClass
 from repro.isa.semantics import execute
 from repro.isa.state import ArchState
 from repro.mem.hierarchy import AccessKind, MemoryHierarchy
+from repro.perf.decode import (CLASS_INDEX, CLASS_LIST, decode_program,
+                               slow_kernel_enabled)
 
 #: Fetch-to-rename depth of the modelled front end, in cycles.
 FRONTEND_DEPTH = 6
@@ -98,14 +100,20 @@ class _FuPool:
 
     def acquire(self, ready, occupancy):
         """Earliest issue >= ready on any unit; occupy it."""
+        free_at = self.free_at
+        if len(free_at) == 1:
+            best_time = free_at[0]
+            issue = ready if best_time <= ready else best_time
+            free_at[0] = issue + occupancy
+            return issue
         best = 0
-        best_time = self.free_at[0]
-        for i in range(1, len(self.free_at)):
-            if self.free_at[i] < best_time:
+        best_time = free_at[0]
+        for i in range(1, len(free_at)):
+            if free_at[i] < best_time:
                 best = i
-                best_time = self.free_at[i]
+                best_time = free_at[i]
         issue = ready if best_time <= ready else best_time
-        self.free_at[best] = issue + occupancy
+        free_at[best] = issue + occupancy
         return issue
 
 
@@ -166,6 +174,46 @@ class BigCore:
             program.data.apply(state.memory)
         predictor = self.predictor
         hierarchy = self.hierarchy
+        if not slow_kernel_enabled():
+            # Fast kernel: program-specialized steppers (repro.perf.jit)
+            # run the same timing equations from exec-compiled,
+            # constant-folded per-instruction closures over the decoded
+            # program cache.  REPRO_SLOW_KERNEL=1 keeps the naive
+            # decode-every-instruction loop below for A/B equivalence.
+            from repro.perf.jit import run_big_core
+            instructions, cycles, halted_by = run_big_core(
+                self, program, decode_program(program), state,
+                max_instructions, commit_hook, meek_handler, halt_on_trap)
+            return RunResult(
+                instructions=instructions,
+                cycles=cycles,
+                state=state,
+                predictor_stats=self.predictor.stats(),
+                memory_stats=hierarchy.stats(),
+                halted_by=halted_by,
+            )
+        fetch = program.fetch
+        access = hierarchy.access
+        # Per-class lookup tables indexed by the small class integer so
+        # the loop never hashes an enum member.
+        pools = [self._pools[c] for c in CLASS_LIST]
+        latencies = [self._latency.get(c, 1) for c in CLASS_LIST]
+        occupancies = [self._occupancy.get(c, 1) for c in CLASS_LIST]
+        class_index = CLASS_INDEX
+        l1i_hit_latency = hierarchy.config.l1i.hit_latency
+        fetch_width = cfg.fetch_width
+        commit_width = cfg.commit_width
+        rob_entries = cfg.rob_entries
+        iq_entries = cfg.issue_queue_entries
+        ldq_entries = cfg.ldq_entries
+        stq_entries = cfg.stq_entries
+        ifetch_kind = AccessKind.IFETCH
+        load_kind = AccessKind.LOAD
+        store_kind = AccessKind.STORE
+        cls_load = class_index[InstrClass.LOAD]
+        cls_store = class_index[InstrClass.STORE]
+        cls_branch = class_index[InstrClass.BRANCH]
+        cls_jump = class_index[InstrClass.JUMP]
 
         int_ready = [0] * 32
         fp_ready = [0] * 32
@@ -192,20 +240,27 @@ class BigCore:
                 halted_by = "limit"
                 break
             pc = state.pc
-            instr = program.fetch(pc)
+            instr = fetch(pc)
             if instr is None:
                 break
+            spec = instr.spec
+            iclass = class_index[spec.iclass]
+            reads_i1 = spec.reads_int_rs1
+            reads_i2 = spec.reads_int_rs2
+            reads_f1 = spec.reads_fp_rs1
+            reads_f2 = spec.reads_fp_rs2
+            writes_int = spec.writes_int_rd
+            writes_fp = spec.writes_fp_rd
 
             # ---- fetch -------------------------------------------------
             line = pc >> 6
             if line != current_fetch_line:
-                ifetch = hierarchy.access(pc, next_fetch_cycle,
-                                          AccessKind.IFETCH)
-                if ifetch > hierarchy.config.l1i.hit_latency:
+                ifetch = access(pc, next_fetch_cycle, ifetch_kind)
+                if ifetch > l1i_hit_latency:
                     next_fetch_cycle += ifetch
                     fetched_this_cycle = 0
                 current_fetch_line = line
-            if fetched_this_cycle >= cfg.fetch_width:
+            if fetched_this_cycle >= fetch_width:
                 next_fetch_cycle += 1
                 fetched_this_cycle = 0
             fetch_cycle = next_fetch_cycle
@@ -213,52 +268,60 @@ class BigCore:
 
             # ---- rename/dispatch (occupancy windows) --------------------
             rename_cycle = fetch_cycle + FRONTEND_DEPTH
-            if len(rob) >= cfg.rob_entries:
-                rename_cycle = max(rename_cycle, rob.popleft())
-            if len(iq) >= cfg.issue_queue_entries:
-                rename_cycle = max(rename_cycle, iq.popleft())
-            spec = instr.spec
-            iclass = spec.iclass
-            if iclass is InstrClass.LOAD and len(ldq) >= cfg.ldq_entries:
-                rename_cycle = max(rename_cycle, ldq.popleft())
-            if iclass is InstrClass.STORE and len(stq) >= cfg.stq_entries:
-                rename_cycle = max(rename_cycle, stq.popleft())
-            if spec.writes_int_rd and len(int_writers) >= int_prf_window:
-                rename_cycle = max(rename_cycle, int_writers.popleft())
-            if spec.writes_fp_rd and len(fp_writers) >= fp_prf_window:
-                rename_cycle = max(rename_cycle, fp_writers.popleft())
+            if len(rob) >= rob_entries:
+                t = rob.popleft()
+                if t > rename_cycle:
+                    rename_cycle = t
+            if len(iq) >= iq_entries:
+                t = iq.popleft()
+                if t > rename_cycle:
+                    rename_cycle = t
+            if iclass == cls_load and len(ldq) >= ldq_entries:
+                t = ldq.popleft()
+                if t > rename_cycle:
+                    rename_cycle = t
+            if iclass == cls_store and len(stq) >= stq_entries:
+                t = stq.popleft()
+                if t > rename_cycle:
+                    rename_cycle = t
+            if writes_int and len(int_writers) >= int_prf_window:
+                t = int_writers.popleft()
+                if t > rename_cycle:
+                    rename_cycle = t
+            if writes_fp and len(fp_writers) >= fp_prf_window:
+                t = fp_writers.popleft()
+                if t > rename_cycle:
+                    rename_cycle = t
 
             # ---- operand readiness --------------------------------------
             ready = rename_cycle + 1
-            if spec.reads_int_rs1 and int_ready[instr.rs1] > ready:
+            if reads_i1 and int_ready[instr.rs1] > ready:
                 ready = int_ready[instr.rs1]
-            if spec.reads_int_rs2 and int_ready[instr.rs2] > ready:
+            if reads_i2 and int_ready[instr.rs2] > ready:
                 ready = int_ready[instr.rs2]
-            if spec.reads_fp_rs1 and fp_ready[instr.rs1] > ready:
+            if reads_f1 and fp_ready[instr.rs1] > ready:
                 ready = fp_ready[instr.rs1]
-            if spec.reads_fp_rs2 and fp_ready[instr.rs2] > ready:
+            if reads_f2 and fp_ready[instr.rs2] > ready:
                 ready = fp_ready[instr.rs2]
 
             # ---- functional execution (commit-order semantics) ----------
             result = execute(instr, state, meek_handler=meek_handler)
 
             # ---- issue + complete ----------------------------------------
-            pool = self._pools[iclass]
-            occupancy = self._occupancy.get(iclass, 1)
-            if iclass is InstrClass.LOAD:
+            pool = pools[iclass]
+            if iclass == cls_load:
                 issue = pool.acquire(ready, 1)
-                latency = hierarchy.access(result.mem_addr, issue,
-                                           AccessKind.LOAD)
+                latency = access(result.mem_addr, issue, load_kind)
                 complete = issue + latency
-            elif iclass is InstrClass.STORE:
+            elif iclass == cls_store:
                 issue = pool.acquire(ready, 1)
                 complete = issue + 1
             else:
-                issue = pool.acquire(ready, occupancy)
-                complete = issue + self._latency[iclass]
+                issue = pool.acquire(ready, occupancies[iclass])
+                complete = issue + latencies[iclass]
 
             # ---- control flow / prediction --------------------------------
-            if iclass is InstrClass.BRANCH:
+            if iclass == cls_branch:
                 outcome = predictor.predict_and_update(
                     pc, result.taken,
                     target=result.next_pc if result.taken else None)
@@ -275,7 +338,7 @@ class BigCore:
                     next_fetch_cycle = fetch_cycle + 1
                     fetched_this_cycle = 0
                     current_fetch_line = None
-            elif iclass is InstrClass.JUMP:
+            elif iclass == cls_jump:
                 if instr.op == "jal":
                     if instr.rd == _RA:
                         predictor.predict_call(pc, pc + 4)
@@ -304,16 +367,16 @@ class BigCore:
             if commit < last_commit_cycle:
                 commit = last_commit_cycle
             if commit == last_commit_cycle:
-                if committed_this_cycle >= cfg.commit_width:
+                if committed_this_cycle >= commit_width:
                     commit += 1
                     committed_this_cycle = 0
             else:
                 committed_this_cycle = 0
             commit_slot = committed_this_cycle
 
-            if iclass is InstrClass.STORE:
+            if iclass == cls_store:
                 # The write buffer retires the store after commit.
-                hierarchy.access(result.mem_addr, commit, AccessKind.STORE)
+                access(result.mem_addr, commit, store_kind)
 
             if commit_hook is not None:
                 event = CommitEvent(index, pc, instr, result, commit,
@@ -334,14 +397,14 @@ class BigCore:
             # ---- bookkeeping ------------------------------------------------
             rob.append(commit)
             iq.append(issue)
-            if iclass is InstrClass.LOAD:
+            if iclass == cls_load:
                 ldq.append(commit)
-            elif iclass is InstrClass.STORE:
+            elif iclass == cls_store:
                 stq.append(commit)
-            if spec.writes_int_rd and instr.rd:
+            if writes_int and instr.rd:
                 int_ready[instr.rd] = complete
                 int_writers.append(commit)
-            if spec.writes_fp_rd:
+            if writes_fp:
                 fp_ready[instr.rd] = complete
                 fp_writers.append(commit)
 

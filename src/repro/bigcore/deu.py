@@ -22,9 +22,6 @@ from repro.fabric.packets import (
     STATUS_CSR_SLOTS,
     StatusSnapshot,
 )
-from repro.isa.instructions import InstrClass
-
-
 class DataExtractionUnit:
     """Commit-stage extraction logic for one big core."""
 
@@ -52,24 +49,45 @@ class DataExtractionUnit:
         csr_cycles = -(-STATUS_CSR_SLOTS // self.prf_read_ports)
         return reg_cycles + csr_cycles
 
+    def classify(self, result):
+        """Commit Detector decision: the ``(kind, addr, data, size)``
+        of the run-time record this commit produces, or ``None`` when
+        the instruction needs no logging.
+
+        The single source of truth for which commits are logged —
+        shared by :meth:`extract_runtime` and the controller's commit
+        paths.  (The exec-compiled steppers in :mod:`repro.perf.jit`
+        bake the same mapping into their source; they cross-reference
+        this method.)
+        """
+        if result.is_load:
+            return (RuntimeKind.LOAD, result.mem_addr, result.mem_value,
+                    result.mem_size)
+        if result.is_store:
+            return (RuntimeKind.STORE, result.mem_addr, result.mem_value,
+                    result.mem_size)
+        if result.csr_addr is not None:
+            return RuntimeKind.CSR, result.csr_addr, result.rd_value, 8
+        return None
+
     def extract_runtime(self, event):
-        """Commit Detector: produce a run-time record for this commit,
-        or ``None`` when the instruction needs no logging."""
+        """Produce a run-time record for this commit, or ``None`` when
+        the instruction needs no logging."""
         if not self.enabled:
             return None
-        result = event.result
-        iclass = event.instr.spec.iclass
-        if iclass is InstrClass.LOAD:
-            kind = RuntimeKind.LOAD
-            addr, data, size = result.mem_addr, result.mem_value, result.mem_size
-        elif iclass is InstrClass.STORE:
-            kind = RuntimeKind.STORE
-            addr, data, size = result.mem_addr, result.mem_value, result.mem_size
-        elif iclass is InstrClass.CSR:
-            kind = RuntimeKind.CSR
-            addr, data, size = result.csr_addr, result.rd_value, 8
-        else:
+        record = self.classify(event.result)
+        if record is None:
             return None
+        return self.record_runtime(*record)
+
+    def record_runtime(self, kind, addr, data, size):
+        """Stamp and account one run-time record.
+
+        The single source of truth for sequence numbers, parity
+        re-checking and record counting — used by the classic
+        CommitEvent path above and by the controller's scalar
+        ``fast_commit`` path alike.
+        """
         self._seq += 1
         entry = RuntimeEntry(kind, addr, data, size, seq=self._seq)
         # Double-check the parity copied from the cache once the data

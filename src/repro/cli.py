@@ -11,6 +11,7 @@ Usage (``python -m repro ...``)::
     python -m repro campaign --spec campaign.json --resume --out results.jsonl
     python -m repro difftest --programs 50 --seed 7 --jobs 4 --shrink
     python -m repro difftest --self-check
+    python -m repro bench --check
     python -m repro list
 
 ``run`` executes one workload under MEEK and reports slowdown and
@@ -19,19 +20,17 @@ regenerates one of the paper's tables/figures; ``campaign`` executes a
 declarative grid (from flags or a JSON spec) through the sharded
 campaign engine; ``difftest`` fuzzes every execution model against the
 golden ISA semantics (``--self-check`` injects a known fault and proves
-the harness detects and shrinks it); ``list`` shows the available
-workloads.  Everything grid-shaped accepts ``--jobs N`` to shard across
-worker processes with bit-identical results.
+the harness detects and shrinks it); ``bench`` measures simulation
+throughput per system, writes ``BENCH_perf.json``, and with ``--check``
+fails on regressions against the committed baseline; ``list`` shows the
+available workloads.  Everything grid-shaped accepts ``--jobs N`` to
+shard across worker processes with bit-identical results.
 """
 
 import argparse
 import sys
 
-from repro.analysis.report import format_table
-from repro.common.config import default_meek_config
 from repro.common.errors import ConfigError
-from repro.core.system import MeekSystem, run_vanilla, slowdown
-from repro.workloads import all_profiles, generate_program, get_profile
 
 _FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "tab3", "ablations")
 _FABRICS = ("f2", "axi", "ideal")
@@ -45,6 +44,9 @@ def _csv(cast):
 
 
 def _cmd_list(_args):
+    from repro.analysis.report import format_table
+    from repro.workloads import all_profiles
+
     rows = [[p.name, p.suite, f"{p.mix.memory_fraction:.2f}",
              f"{p.mix.fp_fraction:.2f}", p.working_set_kb,
              p.body_instructions]
@@ -56,6 +58,10 @@ def _cmd_list(_args):
 
 
 def _cmd_run(args):
+    from repro.common.config import default_meek_config
+    from repro.core.system import MeekSystem, run_vanilla, slowdown
+    from repro.workloads import generate_program, get_profile
+
     program = generate_program(get_profile(args.workload),
                                dynamic_instructions=args.instructions,
                                seed=args.seed)
@@ -287,6 +293,62 @@ def _cmd_difftest(args):
     return 0 if not divergent and result.all_ok else 1
 
 
+def _cmd_bench(args):
+    from repro.perf.bench import format_bench, run_bench
+    from repro.perf.regress import (check_regression, format_check,
+                                    load_baseline, write_result)
+
+    figures = () if args.skip_figures else tuple(args.figures)
+    result = run_bench(
+        workloads=tuple(args.workloads), instructions=args.instructions,
+        seed=args.seed, cores=args.cores, repeat=args.repeat,
+        figures=figures, figure_instructions=args.figure_instructions,
+        kernels=not args.skip_kernels,
+        log=lambda msg: print(msg, file=sys.stderr))
+    print(format_bench(result))
+
+    status = 0
+    if args.check:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        base_config = baseline.get("config", {})
+        base_workloads = set(baseline.get("workloads", {}))
+        if (base_config.get("instructions") != args.instructions
+                or not base_workloads.issubset(result["workloads"])):
+            print("bench: note: run config differs from the baseline "
+                  f"(baseline: {sorted(base_workloads)} at "
+                  f"{base_config.get('instructions')} instrs); floors "
+                  "assume the baseline config, expect false regressions",
+                  file=sys.stderr)
+        violations = check_regression(result, baseline,
+                                      tolerance=args.tolerance,
+                                      kernel_tolerance=args.kernel_tolerance)
+        print(format_check(violations, args.baseline))
+        if violations:
+            status = 1
+    if args.out:
+        import os.path
+        same_file = (args.check
+                     and os.path.realpath(args.out)
+                     == os.path.realpath(args.baseline))
+        if same_file:
+            # --check treats the baseline as read-only: writing the
+            # fresh numbers over it would ratchet the floor down by
+            # the tolerance on every run (and lock in any regression
+            # that just failed).  Updating the baseline is an explicit
+            # act: run without --check, or point --out elsewhere.
+            print(f"bench: --check leaves the baseline {args.out} "
+                  "untouched (rerun without --check to update it)",
+                  file=sys.stderr)
+        else:
+            write_result(result, args.out)
+            print(f"bench written : {args.out}")
+    return status
+
+
 def _cmd_figure(args):
     from repro.experiments import (ablations, fig6_performance, fig7_latency,
                                    fig8_scalability, fig9_backpressure,
@@ -375,6 +437,35 @@ def build_parser():
     campaign_parser.add_argument("--progress", action="store_true",
                                  help="force the stderr progress line")
 
+    bench_parser = sub.add_parser(
+        "bench",
+        help="benchmark the simulation kernel and check for regressions")
+    bench_parser.add_argument("--workloads", type=_csv(str),
+                              default=["swaptions", "mcf", "streamcluster"])
+    bench_parser.add_argument("--instructions", type=int, default=20_000)
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--cores", type=int, default=4)
+    bench_parser.add_argument("--repeat", type=int, default=3,
+                              help="samples per measurement (best is kept)")
+    bench_parser.add_argument("--figures", type=_csv(str), default=["fig7"],
+                              help="figure drivers to time")
+    bench_parser.add_argument("--figure-instructions", type=int,
+                              default=2_000)
+    bench_parser.add_argument("--skip-figures", action="store_true")
+    bench_parser.add_argument("--skip-kernels", action="store_true",
+                              help="skip the fast-vs-slow kernel A/B")
+    bench_parser.add_argument("--out", default="BENCH_perf.json",
+                              help="write the result JSON here ('' skips)")
+    bench_parser.add_argument("--baseline", default="BENCH_perf.json",
+                              help="committed baseline for --check")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="fail (exit 1) on regression vs the "
+                                   "baseline")
+    bench_parser.add_argument("--tolerance", type=float, default=0.5,
+                              help="allowed fractional throughput drop")
+    bench_parser.add_argument("--kernel-tolerance", type=float, default=0.5,
+                              help="allowed fractional kernel-speedup drop")
+
     difftest_parser = sub.add_parser(
         "difftest",
         help="differential fuzzing of every core model against the "
@@ -415,6 +506,7 @@ def main(argv=None):
         "figure": _cmd_figure,
         "campaign": _cmd_campaign,
         "difftest": _cmd_difftest,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 

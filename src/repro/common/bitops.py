@@ -66,9 +66,9 @@ def parity(value, bits=WORD_BITS):
     The paper copies the cache's parity bits into the LSQ to close the
     unprotected window between cache read and LSL duplication.
     """
-    value &= mask(bits)
-    ones = bin(value).count("1")
-    return ones & 1
+    if bits == WORD_BITS:  # the hot default: skip the mask() call
+        return (value & _WORD_MASK).bit_count() & 1
+    return (value & mask(bits)).bit_count() & 1
 
 
 def bit_length64(value):
@@ -78,4 +78,6 @@ def bit_length64(value):
 
 def popcount(value, bits=WORD_BITS):
     """Number of set bits in the low ``bits`` bits of ``value``."""
-    return bin(value & mask(bits)).count("1")
+    if bits == WORD_BITS:
+        return (value & _WORD_MASK).bit_count()
+    return (value & mask(bits)).bit_count()

@@ -71,8 +71,7 @@ class Clock:
 
     def domain_ticks(self, domain_name):
         """Whether the named slow domain has an edge on the current cycle."""
-        ratio = self._ratios[domain_name]
-        return self.cycle % ratio == 0
+        return self.cycle % self._ratios[domain_name] == 0
 
     def ratio(self, domain_name):
         return self._ratios[domain_name]

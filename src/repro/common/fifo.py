@@ -58,12 +58,15 @@ class Fifo:
 
     def push(self, item):
         """Append ``item``; raises :class:`FifoError` when full."""
-        if self.full:
+        items = self._items
+        depth = len(items)
+        if self.capacity is not None and depth >= self.capacity:
             raise FifoError(f"{self.name}: push to full FIFO (capacity {self.capacity})")
-        self._items.append(item)
+        items.append(item)
         self.total_pushed += 1
-        if len(self._items) > self.high_watermark:
-            self.high_watermark = len(self._items)
+        depth += 1
+        if depth > self.high_watermark:
+            self.high_watermark = depth
 
     def try_push(self, item):
         """Push if there is room; return ``True`` on success."""
@@ -74,10 +77,11 @@ class Fifo:
 
     def pop(self):
         """Remove and return the oldest item; raises when empty."""
-        if not self._items:
+        items = self._items
+        if not items:
             raise FifoError(f"{self.name}: pop from empty FIFO")
         self.total_popped += 1
-        return self._items.popleft()
+        return items.popleft()
 
     def peek(self):
         """Return the oldest item without removing it; raises when empty."""

@@ -15,12 +15,13 @@ Fig. 5b) allows.  All timestamps come from the little core's pipeline
 model, in big-core cycles.
 """
 
-from repro.common.bitops import mask, to_unsigned
+from repro.common.bitops import mask
 from repro.common.errors import SimulationError
 from repro.fabric.packets import RuntimeKind
 from repro.isa.instructions import InstrClass
 from repro.isa.semantics import execute
 from repro.isa.state import ArchState, Memory
+from repro.perf.decode import decode_program, slow_kernel_enabled
 
 
 class SegmentVerdict:
@@ -95,6 +96,16 @@ class CheckerRun:
         self.executed = 0
         self.next_entry = 0
         self._port = _LslPort()
+        # Replay through the same decoded closure table as the big
+        # core; the naive kernel re-decodes per instruction instead.
+        if slow_kernel_enabled():
+            self._decoded = None
+            self._replay = None
+        else:
+            from repro.perf.jit import build_replay_steps
+            self._decoded = decode_program(program)
+            # Fused replay+timing closures, cached on the pipeline.
+            self._replay = build_replay_steps(self._decoded, pipeline)
 
         srcp = segment.srcp
         # The checker's state comes from the forwarded SRCP — including
@@ -145,49 +156,103 @@ class CheckerRun:
         if self.verdict is not None:
             return self.verdict
         seg = self.segment
+        decoded = self._decoded
+        state = self.state
+        pipeline = self.pipeline
+        port = self._port
+        # The allowed count and the entry log are fixed for the whole
+        # call (the controller mutates them only between calls), so the
+        # loop bounds hoist out: one batched replay burst per call.
+        allowed = self._allowed_count
+        entries = seg.entries
+        deliveries = seg.entry_deliveries
+        num_entries = len(entries)
+        record_consumption = self.lsl.record_consumption
+
+        if decoded is not None:
+            # Fast kernel: fused replay+timing closures, one call per
+            # instruction, batched across the whole allowed prefix.
+            replay = self._replay
+            dec_entries = decoded.entries
+            base = decoded.base
+            n = len(dec_entries)
+            while True:
+                executed = self.executed
+                if executed >= allowed:
+                    if seg.closed and executed >= seg.instr_count:
+                        return self._final_compare()
+                    return None  # wait for the main thread
+                pc = state.pc
+                offset = pc - base
+                if offset < 0 or offset & 3:
+                    return self._detect(pipeline.time, "pc-misaligned")
+                idx = offset >> 2
+                if idx >= n:
+                    return self._detect(pipeline.time, "pc-out-of-program")
+                if dec_entries[idx].needs_entry:
+                    next_entry = self.next_entry
+                    if next_entry >= num_entries:
+                        if seg.closed:
+                            return self._detect(pipeline.time,
+                                                "log-exhausted")
+                        return None  # entry not produced yet
+                    entry = entries[next_entry]
+                    delivery = deliveries[next_entry]
+                    self.next_entry = next_entry + 1
+                    complete, mismatch = replay[idx](state, pc, entry,
+                                                     delivery)
+                    self.executed = executed + 1
+                    consume = complete if complete > delivery else delivery
+                    record_consumption(consume)
+                    if mismatch is not None:
+                        return self._detect(consume, mismatch)
+                else:
+                    replay[idx](state, pc, None, None)
+                    self.executed = executed + 1
+
+        cls_load = InstrClass.LOAD
         while True:
-            if self.executed >= self._allowed_count:
+            if self.executed >= allowed:
                 if seg.closed and self.executed >= seg.instr_count:
                     return self._final_compare()
                 return None  # wait for the main thread
 
-            # Fetch from the shared program image.
+            # Fetch from the shared program image (naive kernel).
             try:
-                instr = self.program.fetch(self.state.pc)
+                instr = self.program.fetch(state.pc)
             except SimulationError:
-                return self._detect(self.pipeline.time, "pc-misaligned")
+                return self._detect(pipeline.time, "pc-misaligned")
             if instr is None:
-                return self._detect(self.pipeline.time, "pc-out-of-program")
-
+                return self._detect(pipeline.time, "pc-out-of-program")
             iclass = instr.spec.iclass
             needs_entry = iclass in (InstrClass.LOAD, InstrClass.STORE,
                                      InstrClass.CSR)
+
             entry = None
             delivery = None
             if needs_entry:
-                if self.next_entry >= len(seg.entries):
+                if self.next_entry >= num_entries:
                     if seg.closed:
-                        return self._detect(self.pipeline.time,
-                                            "log-exhausted")
+                        return self._detect(pipeline.time, "log-exhausted")
                     return None  # entry not produced yet
-                entry = seg.entries[self.next_entry]
-                delivery = seg.entry_deliveries[self.next_entry]
+                entry = entries[self.next_entry]
+                delivery = deliveries[self.next_entry]
                 self.next_entry += 1
 
-            pc = self.state.pc
-            self._port.entry = entry
-            self._port.mismatch = None
-            result = execute(instr, self.state,
-                             mem_port=self._port if needs_entry else None)
-            complete = self.pipeline.step(
+            pc = state.pc
+            port.entry = entry
+            port.mismatch = None
+            result = execute(instr, state,
+                             mem_port=port if needs_entry else None)
+            complete = pipeline.step(
                 instr, pc, taken_branch=result.taken,
                 load_data_available=(delivery
-                                     if iclass is InstrClass.LOAD else None))
+                                     if iclass is cls_load else None))
             self.executed += 1
 
             if needs_entry:
                 consume = max(complete, delivery)
-                self.lsl.record_consumption(consume)
+                record_consumption(consume)
                 if iclass is InstrClass.CSR:
                     if entry.rkind is not RuntimeKind.CSR:
                         self._port.mismatch = "lsl-kind-mismatch-on-csr"

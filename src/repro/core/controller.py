@@ -21,6 +21,7 @@ from repro.core.lsl import LoadStoreLog
 from repro.core.segments import Segment, SegmentEndReason
 from repro.fabric.dcbuffer import DcBufferModel
 from repro.fabric.packets import Packet, PacketKind
+from repro.perf.decode import slow_kernel_enabled
 
 
 class StallReason(enum.Enum):
@@ -52,6 +53,7 @@ class MeekController:
                           config.fabric.runtime_fifo_depth,
                           name=f"dcbuf{i}")
             for i in range(width)]
+        self._num_buffers = len(self.dc_buffers)
         self.segments = []
         self.active = None
         self.checkers = {}          # seg_id -> CheckerRun
@@ -64,6 +66,15 @@ class MeekController:
         self._pending_srcp = None   # (snapshot, delivery_cycle)
         self._timeout = config.little_core.lsl.instruction_timeout
         self._initialized = False
+        # Fast kernel: batch checker replay.  The checker's progress is
+        # only observable to the big core through LSL consumption times
+        # (the credit-full check below) and the close-time verdict, and
+        # neither depends on *when* advance() runs — the pipeline model
+        # is driven by delivery times, not wall order.  So the fast
+        # kernel advances only at log-producing commits and at segment
+        # close, replaying whole runs of ALU work per call; the slow
+        # kernel keeps the naive advance-every-commit loop.
+        self._eager_advance = slow_kernel_enabled()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -87,49 +98,73 @@ class MeekController:
     # -- the commit hook (DEU observation channel) ---------------------------
 
     def commit_hook(self, event):
-        """Observe one commit; return its (possibly stalled) cycle."""
+        """Observe one commit; return its (possibly stalled) cycle.
+
+        A thin adapter: classifies the commit through the DEU and
+        delegates to :meth:`fast_commit`, so the classic (slow-kernel /
+        custom-hook) path and the JIT path share one implementation of
+        the commit protocol.
+        """
+        result = event.result
+        record = self.deu.classify(result)
+        if record is None:
+            rkind, addr, data, size = None, 0, 0, 0
+        else:
+            rkind, addr, data, size = record
+        return self.fast_commit(event.index, event.pc, event.commit_cycle,
+                                event.commit_slot, result.trap, rkind,
+                                addr, data, size)
+
+    def fast_commit(self, index, pc, t, slot, trap, rkind, addr, data, size):
+        """The commit protocol, on scalar commit facts.
+
+        The fused big-core steppers (:mod:`repro.perf.jit`) call this
+        directly, skipping the per-instruction CommitEvent/ExecResult;
+        :meth:`commit_hook` adapts the classic event interface onto it.
+        ``rkind`` is the RuntimeKind of a load/store/CSR commit or
+        ``None``.
+        """
         if not self._initialized:
             raise SimulationError("controller used before initialize()")
-        t = event.commit_cycle
         if not self.deu.enabled:
             return t
         if self.active is None:
-            t = self._open_segment(t, event.pc)
+            t = self._open_segment(t, pc)
         seg = self.active
 
-        entry = self.deu.extract_runtime(event)
-        if entry is not None:
-            entry = entry.copy()
+        if rkind is not None:
+            entry = self.deu.record_runtime(rkind, addr, data, size)
             if self.injector is not None and not seg.injected:
                 record = self.injector.maybe_inject_runtime(entry, t,
                                                             seg.seg_id)
                 if record is not None:
                     seg.injected = True
-            packet = Packet(PacketKind.RUNTIME, entry, seg.seg_id, t,
-                            dests=(seg.assigned_core,))
-            report = self.fabric.send(packet, t)
-            buffer = self.dc_buffers[event.commit_slot % len(self.dc_buffers)]
-            stall_until = buffer.push("runtime", report.accept_times, t)
+            accept_times, delivery = self.fabric.send_runtime(
+                seg.assigned_core, t)
+            buffer = self.dc_buffers[slot % self._num_buffers]
+            stall_until = buffer.push("runtime", accept_times, t)
             if stall_until > t:
                 self.stall_cycles[StallReason.FORWARDING] += stall_until - t
                 t = stall_until
-            delivery = report.delivery_times[seg.assigned_core]
             seg.add_entry(entry, delivery)
             self.lsls[seg.assigned_core].record_delivery(delivery)
+            logged = True
+        else:
+            logged = False
 
         seg.instr_count += 1
-        checker = self.checkers[seg.seg_id]
-        checker.advance()
+        if logged or self._eager_advance:
+            self.checkers[seg.seg_id].advance()
 
         reason = None
-        if entry is not None and self._lsl_credit_full(seg, t):
+        if logged and self._lsl_credit_full(seg, t):
             reason = SegmentEndReason.LSL_FULL
         elif seg.instr_count >= self._timeout:
             reason = SegmentEndReason.TIMEOUT
-        elif event.result.trap is not None:
+        elif trap is not None:
             reason = SegmentEndReason.KERNEL_TRAP
         if reason is not None:
-            t = self._close_segment(t, reason, event.commit_slot)
+            t = self._close_segment(t, reason, slot)
         return t
 
     def finalize(self, end_cycle):
@@ -204,7 +239,7 @@ class MeekController:
         packet = Packet(PacketKind.STATUS, snapshot, seg.seg_id, t,
                         dests=dests)
         report = self.fabric.send(packet, t)
-        buffer = self.dc_buffers[commit_slot % len(self.dc_buffers)]
+        buffer = self.dc_buffers[commit_slot % self._num_buffers]
         stall_until = buffer.push("status", report.accept_times, t)
         if stall_until > t:
             self.stall_cycles[StallReason.FORWARDING] += stall_until - t

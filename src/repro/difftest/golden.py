@@ -13,6 +13,7 @@ memory image — and :func:`compare_snapshots` reports every field that
 differs, which is the core comparison primitive of the harness.
 """
 
+from repro.common.errors import SimulationError
 from repro.isa.semantics import execute
 
 
@@ -35,6 +36,7 @@ def run_golden(program, max_instructions=None, initial_state=None,
                halt_on_trap=True):
     """Execute ``program`` on the pure functional model."""
     from repro.isa.state import ArchState
+    from repro.perf.decode import decode_program, slow_kernel_enabled
 
     state = initial_state
     if state is None:
@@ -42,17 +44,45 @@ def run_golden(program, max_instructions=None, initial_state=None,
         program.data.apply(state.memory)
     executed = 0
     halted_by = "end"
+    if slow_kernel_enabled():
+        fetch = program.fetch
+        while True:
+            if max_instructions is not None and executed >= max_instructions:
+                halted_by = "limit"
+                break
+            instr = fetch(state.pc)
+            if instr is None:
+                break
+            result = execute(instr, state)
+            executed += 1
+            if result.trap and halt_on_trap:
+                halted_by = result.trap
+                break
+        return GoldenResult(executed, state, halted_by)
+
+    from repro.perf.jit import build_golden_steps
+
+    decoded = decode_program(program)
+    steps = build_golden_steps(decoded, state)
+    base = decoded.base
+    n = len(steps)
+    pc = state.pc
     while True:
         if max_instructions is not None and executed >= max_instructions:
             halted_by = "limit"
             break
-        instr = program.fetch(state.pc)
-        if instr is None:
+        offset = pc - base
+        if offset < 0 or offset & 3:
+            raise SimulationError(f"bad fetch address {pc:#x} "
+                                  f"(base {base:#x})")
+        idx = offset >> 2
+        if idx >= n:
             break
-        result = execute(instr, state)
+        trap = steps[idx](pc)
         executed += 1
-        if result.trap and halt_on_trap:
-            halted_by = result.trap
+        pc = state.pc
+        if trap is not None and halt_on_trap:
+            halted_by = trap
             break
     return GoldenResult(executed, state, halted_by)
 

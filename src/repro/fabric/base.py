@@ -9,6 +9,7 @@ RCP, accept times queue up and the DC-Buffers fill.
 """
 
 from repro.common.errors import ConfigError
+from repro.fabric.packets import RUNTIME_RECORD_BITS
 
 
 class DeliveryReport:
@@ -63,21 +64,77 @@ class ForwardingFabric:
         flits = packet.flit_count(self.config.width_bits)
         transfers = self._transfers_for(packet)
         interval = self._slot_interval()
+        # The first slot cannot start before either the shared counter
+        # or ``now``; after that every slot is exactly one interval
+        # later, so the whole accept schedule fast-forwards from the
+        # start cursor without re-arbitrating per flit.  (Repeated
+        # addition, not multiplication, to keep the float sequence
+        # bit-identical to the original per-slot loop.)
+        total = flits * transfers
+        cursor = self._next_slot
+        fnow = float(now)
+        if fnow > cursor:
+            cursor = fnow
         accept_times = []
-        cursor = max(self._next_slot, float(now))
-        for _ in range(flits * transfers):
-            cursor = max(cursor + interval, float(now) + interval)
-            accept_times.append(cursor)
+        append = accept_times.append
+        for _ in range(total):
+            cursor += interval
+            append(cursor)
         self._next_slot = cursor
-        self.flits_carried += flits * transfers
+        self.flits_carried += total
         self.packets_carried += 1
-        self.busy_time += flits * transfers * interval
+        self.busy_time += total * interval
 
         last = accept_times[-1]
         delivery_times = {}
         for dest in packet.dests:
             delivery_times[dest] = last + self._route_latency(dest)
         return DeliveryReport(accept_times, delivery_times)
+
+    def send_runtime(self, dest, now):
+        """Fast path for the continuous run-time record stream.
+
+        A run-time packet always has exactly one destination (the
+        active segment's core), so the transfer count is 1 on every
+        fabric kind.  Returns ``(accept_times, delivery_time)`` with
+        values identical to :meth:`send` on an equivalent packet — a
+        subclass that overrides :meth:`send` or ``_transfers_for``
+        keeps its behavior, because this path falls back to the real
+        ``send`` for it.  The ``_slot_interval``/``_route_latency``
+        hooks are still consulted per call.
+        """
+        flits = getattr(self, "_runtime_flits", None)
+        if flits is None:
+            flits = -(-RUNTIME_RECORD_BITS // self.config.width_bits)
+            self._runtime_flits = flits
+            cls = type(self)
+            self._runtime_fast_ok = (
+                cls.send is ForwardingFabric.send
+                and cls._transfers_for is ForwardingFabric._transfers_for)
+        if not self._runtime_fast_ok:
+            from repro.fabric.packets import Packet, PacketKind
+            packet = Packet(PacketKind.RUNTIME, None, 0, now, dests=(dest,))
+            report = self.send(packet, now)
+            return report.accept_times, report.delivery_times[dest]
+        interval = self._slot_interval()
+        cursor = self._next_slot
+        fnow = float(now)
+        if fnow > cursor:
+            cursor = fnow
+        if flits == 1:
+            cursor += interval
+            accept_times = [cursor]
+        else:
+            accept_times = []
+            append = accept_times.append
+            for _ in range(flits):
+                cursor += interval
+                append(cursor)
+        self._next_slot = cursor
+        self.flits_carried += flits
+        self.packets_carried += 1
+        self.busy_time += flits * interval
+        return accept_times, cursor + self._route_latency(dest)
 
     def utilization(self, elapsed_cycles):
         if elapsed_cycles <= 0:

@@ -69,8 +69,14 @@ class RuntimeEntry:
         return self.recompute_parity() == self.parity
 
     def copy(self):
-        clone = RuntimeEntry(self.rkind, self.addr, self.data, self.size,
-                             self.seq)
+        # Bypass __init__: the parity field is copied, not recomputed
+        # (a copy of a corrupted entry must keep the stale parity bit).
+        clone = RuntimeEntry.__new__(RuntimeEntry)
+        clone.rkind = self.rkind
+        clone.addr = self.addr
+        clone.data = self.data
+        clone.size = self.size
+        clone.seq = self.seq
         clone.parity = self.parity
         return clone
 

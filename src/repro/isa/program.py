@@ -24,7 +24,14 @@ class DataImage:
 
 
 class Program:
-    """An assembled program."""
+    """An assembled program.
+
+    ``instructions`` is fixed at construction: the fast kernel caches
+    decoded closure tables keyed on the list's identity and length, so
+    mutating it in place after a core has executed the program would
+    serve stale closures.  Build a new Program (as the Nzdc transform
+    and the difftest shrinker do) instead of editing one.
+    """
 
     def __init__(self, instructions, labels=None, base=0x1000, data=None,
                  name="program"):

@@ -16,15 +16,22 @@ from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS
 
 _WORD_MASK = mask(64)
 
+# Pre-bound struct codecs (identical encodings; skips the per-call
+# format-string lookup in the struct module cache).
+_PACK_D = struct.Struct("<d").pack
+_UNPACK_D = struct.Struct("<d").unpack
+_PACK_Q = struct.Struct("<Q").pack
+_UNPACK_Q = struct.Struct("<Q").unpack
+
 
 def float_to_bits(value):
     """Raw 64-bit pattern of a Python float."""
-    return struct.unpack("<Q", struct.pack("<d", value))[0]
+    return _UNPACK_Q(_PACK_D(value))[0]
 
 
 def bits_to_float(bits):
     """Python float from a raw 64-bit pattern."""
-    return struct.unpack("<d", struct.pack("<Q", bits & _WORD_MASK))[0]
+    return _UNPACK_D(_PACK_Q(bits & _WORD_MASK))[0]
 
 
 class Memory:
@@ -45,6 +52,10 @@ class Memory:
         self.writes += 1
         self._words[addr & ~0x7] = value & _WORD_MASK
 
+    #: Field masks per access size, so the hot load/store paths never
+    #: call ``mask()``.
+    _SIZE_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: _WORD_MASK}
+
     def load(self, addr, size, signed=False):
         """Read ``size`` bytes (1/2/4/8) at ``addr`` (must not straddle
         an aligned 64-bit word)."""
@@ -53,7 +64,7 @@ class Memory:
             raise SimulationError(f"misaligned {size}-byte access at {addr:#x}")
         word = self._words.get(addr & ~0x7, 0)
         self.reads += 1
-        value = (word >> (offset * 8)) & mask(size * 8)
+        value = (word >> (offset * 8)) & self._SIZE_MASKS[size]
         if signed and value >> (size * 8 - 1):
             value -= 1 << (size * 8)
         return value
@@ -65,8 +76,9 @@ class Memory:
             raise SimulationError(f"misaligned {size}-byte access at {addr:#x}")
         base = addr & ~0x7
         word = self._words.get(base, 0)
-        field_mask = mask(size * 8) << (offset * 8)
-        word = (word & ~field_mask) | ((value & mask(size * 8)) << (offset * 8))
+        size_mask = self._SIZE_MASKS[size]
+        shift = offset * 8
+        word = (word & ~(size_mask << shift)) | ((value & size_mask) << shift)
         self._words[base] = word & _WORD_MASK
         self.writes += 1
 

@@ -14,6 +14,7 @@ from repro.isa.semantics import execute
 from repro.isa.state import ArchState
 from repro.littlecore.msu import ModeSwitchUnit
 from repro.littlecore.pipeline import LittleCorePipeline
+from repro.perf.decode import decode_program, slow_kernel_enabled
 
 
 class LittleCoreRunResult:
@@ -67,15 +68,23 @@ class LittleCore:
         pipeline = self.pipeline
         executed = 0
         halted_by = "end"
+        decoded = None if slow_kernel_enabled() else decode_program(program)
         while True:
             if max_instructions is not None and executed >= max_instructions:
                 halted_by = "limit"
                 break
             pc = state.pc
-            instr = program.fetch(pc)
-            if instr is None:
-                break
-            result = execute(instr, state)
+            if decoded is not None:
+                dec = decoded.lookup(pc)
+                if dec is None:
+                    break
+                instr = dec.instr
+                result = dec.fn(state, None, None)
+            else:
+                instr = program.fetch(pc)
+                if instr is None:
+                    break
+                result = execute(instr, state)
             load_available = None
             if result.is_load:
                 latency = pipeline.dcache_load(result.mem_addr, pipeline.time)

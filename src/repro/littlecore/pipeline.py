@@ -15,6 +15,8 @@ from repro.common.config import LittleCoreConfig
 from repro.isa.instructions import InstrClass
 from repro.mem.cache import CacheModel
 
+_ZEROS32 = [0] * 32
+
 
 class LittleCorePipeline:
     """Cycle bookkeeping for one little core."""
@@ -28,11 +30,28 @@ class LittleCorePipeline:
         self.icache = CacheModel(self.config.icache)
         self.dcache = CacheModel(self.config.dcache)
         self._l2_port = l2_port
+        # Latency products are config constants; precompute them in
+        # big-core cycles so the per-instruction path multiplies
+        # nothing and never touches the config object.
+        cfg = self.config
+        ratio = clock_ratio
+        self._miss_penalty = self.ICACHE_MISS_PENALTY * ratio
+        self._div_busy = cfg.div_latency * ratio
+        self._fdiv_busy = cfg.fdiv_latency * ratio
+        self._fp_lat = cfg.fp_latency * ratio
+        self._fp_occ = cfg.fp_occupancy * ratio
+        self._mul_lat = cfg.mul_latency * ratio
+        self._load_data_lat = (1 + cfg.load_use_penalty) * ratio
+        self._branch_pen = cfg.branch_penalty * ratio
         # All in big-core cycles:
         self.time = 0              # cycle the next instruction may issue
         self._div_free = 0
         self._fpu_free = 0
-        self._reg_ready = {}       # reg name -> big-cycle value is ready
+        # Scoreboards: cycle each architectural register is ready.
+        # Flat lists (one per file) replace the tuple-keyed dict the
+        # profiler flagged — no tuple allocation per lookup.
+        self._int_ready = [0] * 32
+        self._fp_ready = [0] * 32
         self.instructions_retired = 0
         self.busy_cycles = 0
 
@@ -40,27 +59,11 @@ class LittleCorePipeline:
         """Start a fresh activity (segment / thread slice) at ``cycle``."""
         if cycle > self.time:
             self.time = cycle
-        self._reg_ready.clear()
-
-    def _source_ready(self, instr):
-        spec = instr.spec
-        ready = 0
-        if spec.reads_int_rs1:
-            ready = max(ready, self._reg_ready.get(("x", instr.rs1), 0))
-        if spec.reads_int_rs2:
-            ready = max(ready, self._reg_ready.get(("x", instr.rs2), 0))
-        if spec.reads_fp_rs1:
-            ready = max(ready, self._reg_ready.get(("f", instr.rs1), 0))
-        if spec.reads_fp_rs2:
-            ready = max(ready, self._reg_ready.get(("f", instr.rs2), 0))
-        return ready
-
-    def _mark_dest(self, instr, ready_cycle):
-        spec = instr.spec
-        if spec.writes_int_rd and instr.rd:
-            self._reg_ready[("x", instr.rd)] = ready_cycle
-        elif spec.writes_fp_rd:
-            self._reg_ready[("f", instr.rd)] = ready_cycle
+        # In-place clear: the fast kernel's fused replay closures
+        # capture these list objects, so their identity must survive
+        # segment resets.
+        self._int_ready[:] = _ZEROS32
+        self._fp_ready[:] = _ZEROS32
 
     def step(self, instr, pc, taken_branch=False, load_data_available=None,
              extra_stall=0):
@@ -71,63 +74,68 @@ class LittleCorePipeline:
         ``None`` models an L1 hit.  Returns the cycle at which the
         instruction's *result* is available (its completion time).
         """
-        cfg = self.config
         ratio = self.ratio
         start = self.time
 
         # Instruction fetch: a miss on a new line stalls the front end.
         if not self.icache.lookup(pc):
             self.icache.fill(pc)
-            start += self.ICACHE_MISS_PENALTY * ratio
+            start += self._miss_penalty
 
-        # Structural hazard on issue + source operands.
-        issue = max(start, self._source_ready(instr))
+        # Structural hazard on issue + source operands (scoreboard
+        # checks inlined from _source_ready/_mark_dest).
+        spec = instr.spec
+        int_ready = self._int_ready
+        fp_ready = self._fp_ready
+        issue = start
+        if spec.reads_int_rs1 and int_ready[instr.rs1] > issue:
+            issue = int_ready[instr.rs1]
+        if spec.reads_int_rs2 and int_ready[instr.rs2] > issue:
+            issue = int_ready[instr.rs2]
+        if spec.reads_fp_rs1 and fp_ready[instr.rs1] > issue:
+            issue = fp_ready[instr.rs1]
+        if spec.reads_fp_rs2 and fp_ready[instr.rs2] > issue:
+            issue = fp_ready[instr.rs2]
         if extra_stall:
             issue += extra_stall
 
-        iclass = instr.spec.iclass
+        iclass = spec.iclass
         complete = issue + ratio  # default single-cycle op
         next_issue = issue + ratio
 
         if iclass is InstrClass.DIV:
             issue = max(issue, self._div_free)
-            busy = cfg.div_latency * ratio
-            complete = issue + busy
+            complete = issue + self._div_busy
             self._div_free = complete          # iterative: blocks the unit
             next_issue = issue + ratio
         elif iclass is InstrClass.FPDIV:
             issue = max(issue, self._fpu_free)
-            busy = cfg.fdiv_latency * ratio
-            complete = issue + busy
+            complete = issue + self._fdiv_busy
             self._fpu_free = complete
             next_issue = issue + ratio
         elif iclass is InstrClass.FP:
             issue = max(issue, self._fpu_free)
-            complete = issue + cfg.fp_latency * ratio
-            self._fpu_free = issue + cfg.fp_occupancy * ratio
+            complete = issue + self._fp_lat
+            self._fpu_free = issue + self._fp_occ
             next_issue = issue + ratio
         elif iclass is InstrClass.MUL:
-            complete = issue + cfg.mul_latency * ratio
+            complete = issue + self._mul_lat
             next_issue = issue + ratio
         elif iclass is InstrClass.LOAD:
-            data_at = issue + (1 + cfg.load_use_penalty) * ratio
-            if load_data_available is not None:
-                data_at = max(data_at, load_data_available)
+            data_at = issue + self._load_data_lat
+            if load_data_available is not None and \
+                    load_data_available > data_at:
+                data_at = load_data_available
             complete = data_at
             next_issue = issue + ratio
-        elif iclass is InstrClass.STORE:
-            complete = issue + ratio
-            next_issue = issue + ratio
-        elif iclass in (InstrClass.BRANCH, InstrClass.JUMP):
-            complete = issue + ratio
-            next_issue = issue + ratio
+        elif iclass is InstrClass.BRANCH or iclass is InstrClass.JUMP:
             if taken_branch:
-                next_issue += cfg.branch_penalty * ratio
-        elif iclass is InstrClass.MEEK or iclass is InstrClass.CSR:
-            complete = issue + ratio
-            next_issue = issue + ratio
+                next_issue += self._branch_pen
 
-        self._mark_dest(instr, complete)
+        if spec.writes_int_rd and instr.rd:
+            int_ready[instr.rd] = complete
+        elif spec.writes_fp_rd:
+            fp_ready[instr.rd] = complete
         self.time = next_issue
         self.instructions_retired += 1
         self.busy_cycles += next_issue - start

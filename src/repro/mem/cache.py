@@ -6,7 +6,14 @@ long a miss stalls.  MSHRs bound the number of misses in flight — when
 all are busy a new miss queues behind the oldest, which is how the
 narrow little-core caches (2 MSHRs) throttle and the big L2 (12 MSHRs)
 does not.
+
+MSHR completion times live in a min-heap: instead of rescanning and
+rebuilding the in-flight list on every miss ("ticking" each entry), an
+allocation fast-forwards by popping only the entries that have already
+retired — the earliest outstanding completion is always ``heap[0]``.
 """
+
+from heapq import heappop, heappush
 
 from repro.common.errors import SimulationError
 
@@ -20,8 +27,9 @@ class CacheModel:
         self._offset_bits = config.line_bytes.bit_length() - 1
         # Per-set list of tags, most-recently-used last.
         self._sets = [[] for _ in range(self.num_sets)]
-        # Completion cycles of in-flight misses (for MSHR accounting).
+        # Completion cycles of in-flight misses (MSHR min-heap).
         self._mshr_busy_until = []
+        self._ways = config.ways
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -38,11 +46,13 @@ class CacheModel:
 
     def lookup(self, addr):
         """Access the cache: returns ``True`` on hit and updates LRU."""
-        index, tag = self._index_tag(addr)
+        line = addr >> self._offset_bits
+        tag, index = divmod(line, self.num_sets)
         ways = self._sets[index]
         if tag in ways:
-            ways.remove(tag)
-            ways.append(tag)
+            if ways[-1] != tag:
+                ways.remove(tag)
+                ways.append(tag)
             self.hits += 1
             return True
         self.misses += 1
@@ -50,11 +60,12 @@ class CacheModel:
 
     def fill(self, addr):
         """Install the line containing ``addr``, evicting LRU if needed."""
-        index, tag = self._index_tag(addr)
+        line = addr >> self._offset_bits
+        tag, index = divmod(line, self.num_sets)
         ways = self._sets[index]
         if tag in ways:
             return
-        if len(ways) >= self.config.ways:
+        if len(ways) >= self._ways:
             ways.pop(0)
             self.evictions += 1
         ways.append(tag)
@@ -79,14 +90,16 @@ class CacheModel:
         """
         if completion < now:
             raise SimulationError("miss cannot complete before it starts")
-        active = [t for t in self._mshr_busy_until if t > now]
-        self._mshr_busy_until = active
-        if len(active) >= self.config.mshrs:
-            earliest = min(active)
+        busy = self._mshr_busy_until
+        # Fast-forward: retire every miss already complete by ``now``.
+        while busy and busy[0] <= now:
+            heappop(busy)
+        if len(busy) >= self.config.mshrs:
+            earliest = busy[0]
             delay = earliest - now
             self.mshr_stall_cycles += delay
             completion += delay
-        self._mshr_busy_until.append(completion)
+        heappush(busy, completion)
         return completion
 
     @property

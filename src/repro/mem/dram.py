@@ -4,7 +4,13 @@ Table II: 16 GB DDR3 @ 1066 MHz with at most 32 outstanding requests.
 The model charges a fixed access latency and, when the request window
 is full, queues behind the oldest outstanding request — the same
 shape of backpressure a real memory controller applies.
+
+Outstanding completions live in a min-heap so each access fast-forwards
+past already-retired requests instead of filtering and rebuilding the
+whole window (the earliest outstanding completion is ``heap[0]``).
 """
+
+from heapq import heappop, heappush
 
 
 class DramModel:
@@ -20,15 +26,16 @@ class DramModel:
     def access(self, now):
         """Issue a request at cycle ``now``; return its completion cycle."""
         self.requests += 1
-        active = [t for t in self._busy_until if t > now]
-        self._busy_until = active
+        busy = self._busy_until
+        while busy and busy[0] <= now:
+            heappop(busy)
         start = now
-        if len(active) >= self.max_requests:
-            earliest = min(active)
+        if len(busy) >= self.max_requests:
+            earliest = busy[0]
             self.queue_stall_cycles += earliest - now
             start = earliest
         completion = start + self.latency_cycles
-        self._busy_until.append(completion)
+        heappush(busy, completion)
         return completion
 
     def stats(self):

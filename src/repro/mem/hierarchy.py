@@ -41,40 +41,49 @@ class MemoryHierarchy:
             self.llc = CacheModel(self.config.llc)
             self.dram = DramModel(self.config.dram_latency,
                                   self.config.dram_max_requests)
+        # Hit latencies and line size are config constants; resolve the
+        # attribute chains once instead of on every access.
+        self._l1i_hit = self.l1i.config.hit_latency
+        self._l1d_hit = self.l1d.config.hit_latency
+        self._l2_hit = self.l2.config.hit_latency
+        self._llc_hit = self.llc.config.hit_latency
+        self._l1d_line = self.l1d.config.line_bytes
 
     def access(self, addr, now, kind=AccessKind.LOAD):
         """Latency in cycles of an access issued at cycle ``now``."""
-        l1 = self.l1i if kind is AccessKind.IFETCH else self.l1d
-        latency = l1.config.hit_latency
+        if kind is AccessKind.IFETCH:
+            l1 = self.l1i
+            latency = self._l1i_hit
+        else:
+            l1 = self.l1d
+            latency = self._l1d_hit
         if l1.lookup(addr):
             return latency
+        l2 = self.l2
+        llc = self.llc
         if kind is not AccessKind.IFETCH:
             # Next-line prefetcher: on a demand miss, pull the adjacent
             # line into the hierarchy so streaming patterns (libquantum,
             # streamcluster) hide most of their miss latency, as the
             # hardware prefetchers on BOOM-class cores do.  Pointer
             # chasing gets no benefit, exactly as on real hardware.
-            line = l1.config.line_bytes
+            line = self._l1d_line
             for ahead in (1, 2):
                 next_line = addr + ahead * line
-                self.llc.fill(next_line)
-                self.l2.fill(next_line)
+                llc.fill(next_line)
+                l2.fill(next_line)
                 l1.fill(next_line)
         # L1 miss: walk down, charging each level's hit latency.
-        level_chain = [self.l2, self.llc]
-        for level in level_chain:
-            latency += level.config.hit_latency
-            if level.lookup(addr):
-                break
-            if level is self.llc:
+        latency += self._l2_hit
+        if not l2.lookup(addr):
+            latency += self._llc_hit
+            if not llc.lookup(addr):
                 # LLC miss: go to DRAM.
                 completion = self.dram.access(now + latency)
                 latency = completion - now
-        else:  # pragma: no cover - loop always breaks or hits DRAM path
-            pass
         # Fill upward and charge MSHR queueing at the L1.
-        self.llc.fill(addr)
-        self.l2.fill(addr)
+        llc.fill(addr)
+        l2.fill(addr)
         l1.fill(addr)
         completion = l1.mshr_allocate(now, now + latency)
         return completion - now

@@ -1,0 +1,38 @@
+"""Hot-path acceleration of the cycle kernel.
+
+The simulator's inner loop used to pay for a full decode on every
+committed instruction: :func:`repro.isa.semantics.execute` walks an
+``if/elif`` chain of string compares for every op, three times per
+instruction (vanilla big core, MEEK big core, checker replay).  This
+package removes that tax without touching a single timing equation:
+
+* :mod:`repro.perf.decode` — a decoded-instruction cache keyed by
+  program identity.  Each :class:`~repro.isa.instructions.Instruction`
+  is compiled once into a specialized closure that performs exactly the
+  same architectural-state transition as ``execute`` (it reuses the
+  same arithmetic helpers), so results are bit-identical while the
+  per-instruction dispatch collapses to one function call.
+* :mod:`repro.perf.bench` — the ``repro bench`` suite: instructions
+  per second for every execution system plus wall time per figure
+  driver, written to ``BENCH_perf.json``.
+* :mod:`repro.perf.regress` — the benchmark-regression harness that
+  compares a fresh ``BENCH_perf.json`` against the committed baseline
+  with a configurable tolerance, so future PRs cannot silently give
+  the speedup back.
+
+Setting ``REPRO_SLOW_KERNEL=1`` in the environment keeps the naive
+decode-every-tick loop available for A/B checking; the equivalence
+suite (``tests/test_perf_equivalence.py``) runs every workload through
+both kernels and asserts bit-identical cycles, state, and detection
+latencies.
+"""
+
+from repro.perf.decode import (DecodedProgram, compile_instruction,
+                               decode_program, slow_kernel_enabled)
+
+__all__ = [
+    "DecodedProgram",
+    "compile_instruction",
+    "decode_program",
+    "slow_kernel_enabled",
+]

@@ -1,0 +1,231 @@
+"""The ``repro bench`` suite.
+
+Measures wall-clock simulation throughput — instructions per second —
+for every execution system (golden ISA model, vanilla big core, MEEK
+system, Nzdc baseline, standalone little core), the wall time of one
+figure driver, and the fast-vs-slow kernel speedup measured in-process
+(the machine-independent number the regression harness locks in).
+
+The result is a plain dict, written to ``BENCH_perf.json`` by the CLI;
+:mod:`repro.perf.regress` compares it against the committed baseline.
+Every measured simulation is deterministic — only the wall clock
+varies between runs, which is why each sample takes the best of
+``repeat`` runs.
+"""
+
+import os
+import time
+
+BENCH_SCHEMA = 1
+
+#: Default workloads: one FP-heavy PARSEC profile, one pointer-chasing
+#: SPECint profile, one streaming profile — the three memory behaviours
+#: that stress different parts of the timing model.
+DEFAULT_WORKLOADS = ("swaptions", "mcf", "streamcluster")
+
+DEFAULT_FIGURES = ("fig7",)
+
+
+def _best(fn, repeat):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _throughput(instructions, wall_s):
+    return instructions / wall_s if wall_s > 0 else 0.0
+
+
+def _bench_workload(name, instructions, seed, cores, repeat):
+    from repro.baselines.nzdc import run_nzdc
+    from repro.common.config import default_meek_config
+    from repro.core.system import MeekSystem, run_vanilla, slowdown
+    from repro.difftest.golden import run_golden
+    from repro.littlecore.core import LittleCore
+    from repro.workloads import generate_program, get_profile
+
+    program = generate_program(get_profile(name),
+                               dynamic_instructions=instructions, seed=seed)
+    systems = {}
+
+    wall, golden = _best(lambda: run_golden(program), repeat)
+    systems["golden"] = {
+        "wall_s": wall,
+        "instructions": golden.instructions,
+        "instrs_per_s": _throughput(golden.instructions, wall),
+    }
+
+    wall, vanilla = _best(lambda: run_vanilla(program), repeat)
+    systems["vanilla"] = {
+        "wall_s": wall,
+        "instructions": vanilla.instructions,
+        "instrs_per_s": _throughput(vanilla.instructions, wall),
+        "ipc": vanilla.ipc,
+    }
+
+    config = default_meek_config(num_little_cores=cores)
+    wall, meek = _best(lambda: MeekSystem(config).run(program), repeat)
+    systems["meek"] = {
+        "wall_s": wall,
+        "instructions": meek.instructions,
+        "instrs_per_s": _throughput(meek.instructions, wall),
+        "slowdown": slowdown(meek, vanilla),
+        "all_verified": meek.all_segments_verified,
+    }
+
+    wall, nzdc = _best(lambda: run_nzdc(program), repeat)
+    nzdc_result = nzdc[0]
+    systems["nzdc"] = {
+        "wall_s": wall,
+        "instructions": nzdc_result.instructions,
+        "instrs_per_s": _throughput(nzdc_result.instructions, wall),
+    }
+
+    wall, little = _best(lambda: LittleCore().run(program), repeat)
+    systems["littlecore"] = {
+        "wall_s": wall,
+        "instructions": little.instructions,
+        "instrs_per_s": _throughput(little.instructions, wall),
+    }
+    return systems
+
+
+def _bench_kernels(workload, instructions, seed, cores, repeat):
+    """Fast-vs-slow kernel speedup, measured in one process.
+
+    This ratio is (nearly) machine-independent, which makes it the
+    robust metric for CI: a change that quietly loses the decoded-
+    kernel speedup shows up here no matter how slow the runner is.
+    """
+    from repro.common.config import default_meek_config
+    from repro.core.system import MeekSystem, run_vanilla
+    from repro.workloads import generate_program, get_profile
+
+    program = generate_program(get_profile(workload),
+                               dynamic_instructions=instructions, seed=seed)
+    config = default_meek_config(num_little_cores=cores)
+    previous = os.environ.get("REPRO_SLOW_KERNEL")
+    try:
+        os.environ["REPRO_SLOW_KERNEL"] = "0"
+        fast_vanilla, _ = _best(lambda: run_vanilla(program), repeat)
+        fast_meek, fast_result = _best(
+            lambda: MeekSystem(config).run(program), repeat)
+        os.environ["REPRO_SLOW_KERNEL"] = "1"
+        slow_vanilla, _ = _best(lambda: run_vanilla(program), repeat)
+        slow_meek, slow_result = _best(
+            lambda: MeekSystem(config).run(program), repeat)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SLOW_KERNEL", None)
+        else:
+            os.environ["REPRO_SLOW_KERNEL"] = previous
+    if (fast_result.cycles != slow_result.cycles
+            or fast_result.instructions != slow_result.instructions):
+        raise AssertionError(
+            "fast/slow kernels disagree on cycles — equivalence broken")
+    return {
+        "workload": workload,
+        "instructions": instructions,
+        "fast_vanilla_s": fast_vanilla,
+        "slow_vanilla_s": slow_vanilla,
+        "vanilla_speedup": slow_vanilla / fast_vanilla,
+        "fast_meek_s": fast_meek,
+        "slow_meek_s": slow_meek,
+        "meek_speedup": slow_meek / fast_meek,
+    }
+
+
+def _bench_figures(figures, instructions):
+    """Wall time of each requested figure driver (single-job)."""
+    from repro.experiments import (ablations, fig6_performance, fig7_latency,
+                                   fig8_scalability, fig9_backpressure,
+                                   fig10_perf_area, tab3_area)
+    modules = {
+        "fig6": fig6_performance,
+        "fig7": fig7_latency,
+        "fig8": fig8_scalability,
+        "fig9": fig9_backpressure,
+        "fig10": fig10_perf_area,
+        "tab3": tab3_area,
+        "ablations": ablations,
+    }
+    results = {}
+    for name in figures:
+        module = modules[name]
+        t0 = time.perf_counter()
+        if name == "tab3":
+            module.run(jobs=1)
+        else:
+            module.run(dynamic_instructions=instructions, jobs=1)
+        results[name] = {"wall_s": time.perf_counter() - t0,
+                         "instructions": instructions}
+    return results
+
+
+def run_bench(workloads=DEFAULT_WORKLOADS, instructions=20_000, seed=0,
+              cores=4, repeat=3, figures=DEFAULT_FIGURES,
+              figure_instructions=2_000, kernels=True, log=None):
+    """Run the benchmark suite; returns the BENCH_perf dict."""
+    from repro.perf.decode import slow_kernel_enabled
+
+    def say(msg):
+        if log is not None:
+            log(msg)
+
+    result = {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "instructions": instructions,
+            "seed": seed,
+            "cores": cores,
+            "repeat": repeat,
+            "kernel": "slow" if slow_kernel_enabled() else "fast",
+        },
+        "workloads": {},
+        "figures": {},
+        "kernels": None,
+    }
+    for name in workloads:
+        say(f"bench {name} ({instructions} instrs x{repeat})")
+        result["workloads"][name] = _bench_workload(
+            name, instructions, seed, cores, repeat)
+    if kernels and workloads:
+        say("bench kernels (fast vs REPRO_SLOW_KERNEL=1)")
+        result["kernels"] = _bench_kernels(
+            workloads[0], instructions, seed, cores, repeat)
+    if figures:
+        say(f"bench figure drivers {', '.join(figures)}")
+        result["figures"] = _bench_figures(figures, figure_instructions)
+    return result
+
+
+def format_bench(result):
+    """Human-readable table of one bench result."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for workload, systems in result["workloads"].items():
+        for system, metrics in systems.items():
+            rows.append([
+                workload, system,
+                f"{metrics['instrs_per_s']:,.0f}",
+                f"{metrics['wall_s'] * 1e3:.1f}",
+            ])
+    out = [format_table(["workload", "system", "instrs/sec", "wall (ms)"],
+                        rows, title="Simulation throughput")]
+    kernels = result.get("kernels")
+    if kernels:
+        out.append(
+            f"kernel speedup ({kernels['workload']}): "
+            f"meek {kernels['meek_speedup']:.2f}x, "
+            f"vanilla {kernels['vanilla_speedup']:.2f}x "
+            "(fast vs REPRO_SLOW_KERNEL=1)")
+    for name, metrics in result.get("figures", {}).items():
+        out.append(f"figure {name}: {metrics['wall_s']:.2f}s wall")
+    return "\n".join(out)

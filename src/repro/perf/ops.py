@@ -1,0 +1,239 @@
+"""Per-op source fragments for the specialized steppers.
+
+:mod:`repro.perf.jit` assembles each fragment into a step function and
+``exec``-compiles it once per process, so the hot loops run straight-
+line bytecode with the operation's arithmetic inlined and every decode
+decision already taken.
+
+A fragment is Python source with these names in scope:
+
+* ``pc`` — the instruction's PC (int, local);
+* ``regs`` / ``fregs`` — the integer / FP register lists;
+* ``state`` — the :class:`~repro.isa.state.ArchState` (for CSRs,
+  privilege, and the MEEK handler);
+* ``RD``, ``RS1``, ``RS2``, ``IMM``, ``UIMM`` (= ``IMM & WORD``),
+  ``OP_INSTR`` (the decoded Instruction), ``MH`` (meek handler) —
+  per-instruction constants bound as closure freevars;
+* ``WORD`` (2**64-1), ``SIGN`` (2**63), ``TWO64`` (2**64) and the
+  helper functions ``B2F``/``F2B``/``SGN``/``DIVS``/``REMS``/
+  ``FPDIV``/``FPSQRT``/``FCVTL`` plus ``PrivilegeError``;
+* memory ports: ``LOADFN``/``STOREFN`` (bound ``Memory.load``/
+  ``Memory.store``) in the big-core/golden steppers.
+
+Every fragment must leave ``next_pc`` defined and mirror
+:func:`repro.isa.semantics.execute` bit for bit — including *which*
+results are masked and the order of register reads vs. writes.  The
+fragments are deliberately line-by-line transcriptions of the closure
+compiler in :mod:`repro.perf.decode`, which the equivalence suite
+proves identical to the interpreted executor.
+
+Mem-op fragments additionally define ``addr`` (and stores ``value``)
+for the timing model; branch fragments define ``taken``.
+"""
+
+from repro.isa.instructions import SPECS, InstrClass
+
+#: Ops whose fragment writes an integer destination computed into
+#: ``value`` (the shared "write rd" tail is appended by the template).
+_INT_VALUE_EXPRS = {
+    "add": "value = (regs[RS1] + regs[RS2]) & WORD",
+    "addi": "value = (regs[RS1] + IMM) & WORD",
+    "sub": "value = (regs[RS1] - regs[RS2]) & WORD",
+    "and": "value = regs[RS1] & regs[RS2]",
+    "andi": "value = regs[RS1] & UIMM",
+    "or": "value = regs[RS1] | regs[RS2]",
+    "ori": "value = regs[RS1] | UIMM",
+    "xor": "value = regs[RS1] ^ regs[RS2]",
+    "xori": "value = regs[RS1] ^ UIMM",
+    "sll": "value = (regs[RS1] << (regs[RS2] & 0x3F)) & WORD",
+    "slli": "value = (regs[RS1] << IMM) & WORD",
+    "srl": "value = regs[RS1] >> (regs[RS2] & 0x3F)",
+    "srli": "value = regs[RS1] >> IMM",
+    "sra": "value = (SGN(regs[RS1]) >> (regs[RS2] & 0x3F)) & WORD",
+    "srai": "value = (SGN(regs[RS1]) >> IMM) & WORD",
+    "slt": "value = 1 if SGN(regs[RS1]) < SGN(regs[RS2]) else 0",
+    "slti": "value = 1 if SGN(regs[RS1]) < IMM else 0",
+    "sltu": "value = 1 if regs[RS1] < regs[RS2] else 0",
+    "sltiu": "value = 1 if regs[RS1] < UIMM else 0",
+    "lui": "value = LUI_VALUE",
+    "auipc": "value = (pc + IMM12) & WORD",
+    "mul": "value = (regs[RS1] * regs[RS2]) & WORD",
+    "mulh": "value = ((SGN(regs[RS1]) * SGN(regs[RS2])) >> 64) & WORD",
+    "div": "value = DIVS(SGN(regs[RS1]), SGN(regs[RS2])) & WORD",
+    "divu": "value = (regs[RS1] // regs[RS2]) if regs[RS2] else WORD",
+    "rem": "value = REMS(SGN(regs[RS1]), SGN(regs[RS2])) & WORD",
+    "remu": "value = (regs[RS1] % regs[RS2]) if regs[RS2] else regs[RS1]",
+}
+
+#: FP ops whose fragment computes a raw-bits ``value`` written to the
+#: FP destination register.
+_FP_VALUE_EXPRS = {
+    "fadd.d": "value = F2B(B2F(fregs[RS1]) + B2F(fregs[RS2]))",
+    "fsub.d": "value = F2B(B2F(fregs[RS1]) - B2F(fregs[RS2]))",
+    "fdiv.d": "value = F2B(FPDIV(B2F(fregs[RS1]), B2F(fregs[RS2])))",
+    "fsqrt.d": "value = F2B(FPSQRT(B2F(fregs[RS1])))",
+    "fmin.d": "value = F2B(min(B2F(fregs[RS1]), B2F(fregs[RS2])))",
+    "fmax.d": "value = F2B(max(B2F(fregs[RS1]), B2F(fregs[RS2])))",
+    "fmv.d.x": "value = regs[RS1]",
+    "fcvt.d.l": "value = F2B(float(SGN(regs[RS1])))",
+}
+
+_FMUL_SRC = """\
+f1 = B2F(fregs[RS1])
+f2 = B2F(fregs[RS2])
+try:
+    value = F2B(f1 * f2)
+except OverflowError:
+    value = F2B(float("inf") if (f1 > 0) == (f2 > 0) else float("-inf"))"""
+
+#: FP compares / moves that write an integer register.
+_FP_TO_INT_SRCS = {
+    "feq.d": """\
+f1 = B2F(fregs[RS1])
+f2 = B2F(fregs[RS2])
+value = 0 if (f1 != f1 or f2 != f2) else (1 if f1 == f2 else 0)""",
+    "flt.d": """\
+f1 = B2F(fregs[RS1])
+f2 = B2F(fregs[RS2])
+value = 0 if (f1 != f1 or f2 != f2) else (1 if f1 < f2 else 0)""",
+    "fle.d": """\
+f1 = B2F(fregs[RS1])
+f2 = B2F(fregs[RS2])
+value = 0 if (f1 != f1 or f2 != f2) else (1 if f1 <= f2 else 0)""",
+    "fmv.x.d": "value = fregs[RS1]",
+    "fcvt.l.d": "value = FCVTL(B2F(fregs[RS1])) & WORD",
+}
+
+_BRANCH_CONDS = {
+    "beq": "regs[RS1] == regs[RS2]",
+    "bne": "regs[RS1] != regs[RS2]",
+    "blt": "SGN(regs[RS1]) < SGN(regs[RS2])",
+    "bge": "SGN(regs[RS1]) >= SGN(regs[RS2])",
+    "bltu": "regs[RS1] < regs[RS2]",
+    "bgeu": "regs[RS1] >= regs[RS2]",
+}
+
+_CSR_NEW_EXPRS = {
+    "csrrw": "new = regs[RS1]",
+    "csrrs": "new = old | regs[RS1]",
+    "csrrwi": "new = RS1",
+}
+
+
+def exec_fragment(op, mem_mode="direct"):
+    """The execution source fragment for ``op``.
+
+    ``mem_mode`` selects how loads/stores touch memory:
+
+    * ``"direct"`` — through ``LOADFN``/``STOREFN`` (big core, golden);
+    * ``"replay"`` — against the current LSL ``entry`` (checker), with
+      the same comparisons :class:`repro.core.checker._LslPort` makes
+      and a ``mismatch`` local carrying any detection.
+
+    The fragment always defines ``next_pc``; mem fragments define
+    ``addr``; branches define ``taken``.
+    """
+    spec = SPECS[op]
+    iclass = spec.iclass
+
+    if op in _INT_VALUE_EXPRS:
+        return (f"{_INT_VALUE_EXPRS[op]}\n"
+                "next_pc = pc + 4\n"
+                "if RD:\n    regs[RD] = value & WORD")
+
+    if op in _FP_VALUE_EXPRS or op == "fmul.d":
+        src = _FMUL_SRC if op == "fmul.d" else _FP_VALUE_EXPRS[op]
+        return (f"{src}\n"
+                "next_pc = pc + 4\n"
+                "fregs[RD] = value & WORD")
+
+    if op in _FP_TO_INT_SRCS:
+        return (f"{_FP_TO_INT_SRCS[op]}\n"
+                "next_pc = pc + 4\n"
+                "if RD:\n    regs[RD] = value & WORD")
+
+    if iclass is InstrClass.LOAD:
+        if mem_mode == "replay":
+            head = ("addr = (regs[RS1] + IMM) & WORD\n"
+                    "if entry.rkind is not RK_LOAD:\n"
+                    "    mismatch = 'lsl-kind-mismatch-on-load'\n"
+                    "elif entry.addr != addr or entry.size != MEM_SIZE:\n"
+                    "    mismatch = 'load-address-mismatch'\n"
+                    "value = entry.data\n")
+        else:
+            head = ("addr = (regs[RS1] + IMM) & WORD\n"
+                    "value = LOADFN(addr, MEM_SIZE, signed=MEM_SIGNED)\n")
+        if spec.writes_fp_rd:
+            tail = "fregs[RD] = value & WORD\n"
+        else:
+            tail = "if RD:\n    regs[RD] = value & WORD\n"
+        return head + "next_pc = pc + 4\n" + tail
+
+    if iclass is InstrClass.STORE:
+        value = "fregs[RS2]" if spec.reads_fp_rs2 else "regs[RS2]"
+        if mem_mode == "replay":
+            body = (f"value = {value}\n"
+                    "if entry.rkind is not RK_STORE:\n"
+                    "    mismatch = 'lsl-kind-mismatch-on-store'\n"
+                    "elif entry.addr != addr or entry.size != MEM_SIZE:\n"
+                    "    mismatch = 'store-address-mismatch'\n"
+                    "elif (value & MEM_MASK) != entry.data:\n"
+                    "    mismatch = 'store-data-mismatch'\n")
+        else:
+            body = (f"value = {value}\n"
+                    "STOREFN(addr, value, MEM_SIZE)\n")
+        return ("addr = (regs[RS1] + IMM) & WORD\n"
+                + body + "next_pc = pc + 4\n")
+
+    if iclass is InstrClass.BRANCH:
+        return (f"if {_BRANCH_CONDS[op]}:\n"
+                "    taken = True\n"
+                "    next_pc = (pc + IMM) & WORD\n"
+                "else:\n"
+                "    taken = False\n"
+                "    next_pc = pc + 4\n")
+
+    if op == "jal":
+        return ("link = (pc + 4) & WORD\n"
+                "if RD:\n    regs[RD] = link\n"
+                "next_pc = (pc + IMM) & WORD\n")
+    if op == "jalr":
+        return ("next_pc = (regs[RS1] + IMM) & ~1 & WORD\n"
+                "link = (pc + 4) & WORD\n"
+                "if RD:\n    regs[RD] = link\n")
+
+    if iclass is InstrClass.CSR:
+        return ("csrs = state.csrs\n"
+                "old = csrs.get(IMM, 0)\n"
+                f"{_CSR_NEW_EXPRS[op]}\n"
+                "csrs[IMM] = new & WORD\n"
+                "if RD:\n    regs[RD] = old & WORD\n"
+                "next_pc = pc + 4\n")
+
+    if iclass is InstrClass.SYSTEM:
+        return "next_pc = pc + 4\n"
+
+    if iclass is InstrClass.MEEK:
+        priv = ""
+        if spec.privileged:
+            priv = ("if not state.priv_kernel:\n"
+                    "    raise PrivilegeError(\n"
+                    f"        \"{op} is a kernel-mode instruction "
+                    "(Table I, Priv 1)\")\n")
+        return (priv
+                + "next_pc = pc + 4\n"
+                "taken = False\n"
+                "if MH is not None:\n"
+                "    override = MH(OP_INSTR, state)\n"
+                "    if override is not None:\n"
+                "        next_pc = override & WORD\n"
+                "        taken = True\n")
+
+    raise KeyError(f"no fragment for op {op!r}")
+
+
+def trap_expr(op):
+    """Source expression for the step's return value (the trap)."""
+    if op in ("ecall", "ebreak"):
+        return f"'{op}'"
+    return "None"

@@ -1,0 +1,105 @@
+"""Benchmark-regression harness.
+
+Compares a fresh ``repro bench`` result against the committed
+``BENCH_perf.json`` baseline so nothing can silently give back the
+fast-kernel speedup:
+
+* **Throughput floors** — every recorded ``instrs_per_s`` must stay
+  within ``tolerance`` of the baseline (machine-dependent, so the
+  default tolerance is generous; CI can tighten or loosen it).
+* **Kernel-speedup floor** — the fast-vs-slow kernel ratio is measured
+  in-process and is therefore (nearly) machine-independent; losing it
+  means the decoded kernel itself regressed, not the hardware.
+
+``repro bench --check`` drives :func:`check_regression` and exits
+non-zero on any violation.
+"""
+
+import json
+
+from repro.perf.bench import BENCH_SCHEMA
+
+
+class Violation:
+    """One benchmark-regression finding."""
+
+    __slots__ = ("metric", "baseline", "current", "floor")
+
+    def __init__(self, metric, baseline, current, floor):
+        self.metric = metric
+        self.baseline = baseline
+        self.current = current
+        self.floor = floor
+
+    def __str__(self):
+        return (f"{self.metric}: {self.current:,.2f} below floor "
+                f"{self.floor:,.2f} (baseline {self.baseline:,.2f})")
+
+
+def load_baseline(path):
+    """Load and sanity-check a committed baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if not isinstance(baseline, dict) or "workloads" not in baseline:
+        raise ValueError(f"{path}: not a BENCH_perf baseline")
+    schema = baseline.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(f"{path}: schema {schema!r} unsupported "
+                         f"(expected {BENCH_SCHEMA})")
+    return baseline
+
+
+def check_regression(current, baseline, tolerance=0.5,
+                     kernel_tolerance=0.5):
+    """Return the list of :class:`Violation` (empty = no regression).
+
+    ``tolerance`` is the allowed fractional drop for wall-clock
+    throughput metrics; ``kernel_tolerance`` for the fast/slow kernel
+    speedup ratios.  A metric present in the baseline but missing from
+    ``current`` is a violation (floor of the baseline value itself).
+    """
+    violations = []
+
+    for workload, systems in baseline.get("workloads", {}).items():
+        current_systems = current.get("workloads", {}).get(workload, {})
+        for system, metrics in systems.items():
+            base_rate = metrics.get("instrs_per_s")
+            if not base_rate:
+                continue
+            floor = base_rate * (1.0 - tolerance)
+            got = current_systems.get(system, {}).get("instrs_per_s", 0.0)
+            if got < floor:
+                violations.append(Violation(
+                    f"{workload}/{system} instrs_per_s",
+                    base_rate, got, floor))
+
+    base_kernels = baseline.get("kernels")
+    cur_kernels = current.get("kernels") or {}
+    if base_kernels:
+        for ratio in ("meek_speedup", "vanilla_speedup"):
+            base_ratio = base_kernels.get(ratio)
+            if not base_ratio:
+                continue
+            # A speedup of 1.0 means "no faster than the naive loop";
+            # the floor never drops below that.
+            floor = max(1.0, base_ratio * (1.0 - kernel_tolerance))
+            got = cur_kernels.get(ratio, 0.0)
+            if got < floor:
+                violations.append(Violation(
+                    f"kernels/{ratio}", base_ratio, got, floor))
+    return violations
+
+
+def format_check(violations, baseline_path):
+    if not violations:
+        return f"bench check   : OK (no regression vs {baseline_path})"
+    lines = [f"bench check   : {len(violations)} regression(s) "
+             f"vs {baseline_path}"]
+    lines.extend(f"  REGRESSION  : {violation}" for violation in violations)
+    return "\n".join(lines)
+
+
+def write_result(result, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
