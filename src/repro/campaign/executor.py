@@ -13,6 +13,17 @@ Every point is individually guarded — an exception (or an optional
 per-point wall-clock timeout) is captured as a failed
 :class:`~repro.campaign.results.PointResult`, never a crashed campaign.
 
+The shards live in a :class:`WorkerPool`.  A pool is forked **once**
+and can outlive any number of campaigns: workers pre-import the
+simulator, pre-warm the persistent stepper cache
+(:mod:`repro.perf.cache`), and then stream campaign points over the
+shared queues — so back-to-back campaigns (figure drivers, difftest
+sweeps, ``repro batch`` scripts) pay interpreter startup and stepper
+compilation once per worker, not once per campaign.
+:func:`run_campaign` accepts an external ``pool`` (usually owned by
+:class:`repro.perf.service.ExecutionService`); without one it spins up
+an ephemeral pool per call, which preserves the classic behaviour.
+
 Determinism: a point's metrics depend only on the point itself (see
 ``spec.py``), so ``jobs=N`` is bit-identical to ``jobs=1``; only the
 bookkeeping fields (elapsed, worker id) differ.
@@ -103,17 +114,43 @@ def _evaluate_guarded(point, index, campaign_name, timeout_s, worker_id):
     return result
 
 
-def _worker(worker_id, campaign_name, timeout_s, task_queue, result_queue):
-    """Shard main loop: steal chunks until the sentinel arrives."""
+def _warm_worker():
+    """Pre-import the simulator and prime every stepper maker so no
+    point pays a first-touch compile inside the pool."""
+    import repro.campaign.tasks  # noqa: F401 — registers built-in tasks
+    import repro.core.system    # noqa: F401 — pulls the simulator in
+    from repro.perf.cache import stepper_cache
+    from repro.perf.jit import prime_steppers
+    prime_steppers()
+    # Persist anything compiled cold right away: fork-start children
+    # exit via os._exit, which skips atexit handlers, so this is the
+    # worker's only chance to share its compiles with future processes.
+    stepper_cache().flush()
+
+
+def _pool_worker(worker_id, task_queue, result_queue, warm):
+    """Shard main loop: steal work items until the sentinel arrives.
+
+    An item is ``(epoch, campaign_name, timeout_s, chunk)``; the epoch
+    tags each result row with the :meth:`WorkerPool.run` call that
+    submitted it, so rows from an abandoned run can never be mistaken
+    for a later campaign's.
+    """
+    if warm:
+        try:
+            _warm_worker()
+        except Exception:  # noqa: BLE001 — warm-up is never fatal
+            pass
     while True:
-        chunk = task_queue.get()
-        if chunk is None:
+        item = task_queue.get()
+        if item is None:
             break
+        epoch, campaign_name, timeout_s, chunk = item
         for index, point_dict in chunk:
             point = CampaignPoint.from_dict(point_dict)
             result = _evaluate_guarded(point, index, campaign_name,
                                        timeout_s, worker_id)
-            result_queue.put(result.to_row())
+            result_queue.put((epoch, result.to_row()))
 
 
 def _chunk(pending, chunk_size, jobs):
@@ -134,59 +171,134 @@ def _mp_context():
         "fork" if "fork" in methods else "spawn")
 
 
-def _run_sharded(spec, pending, jobs, timeout_s, chunk_size, on_result):
-    ctx = _mp_context()
-    task_queue = ctx.Queue()
-    result_queue = ctx.Queue()
-    serialized = [[(i, p.to_dict()) for i, p in chunk]
-                  for chunk in _chunk(pending, chunk_size, jobs)]
-    for chunk in serialized:
-        task_queue.put(chunk)
-    workers = []
-    for worker_id in range(min(jobs, len(serialized))):
-        task_queue.put(None)  # one sentinel per worker
-        proc = ctx.Process(target=_worker,
-                           args=(worker_id, spec.name, timeout_s,
-                                 task_queue, result_queue),
-                           daemon=True)
-        proc.start()
-        workers.append(proc)
+class WorkerPool:
+    """A set of persistent campaign shards (forked once, reused).
 
-    collected = {}
-    remaining = len(pending)
-    while remaining > 0:
-        try:
-            row = result_queue.get(timeout=0.2)
-        except queue_module.Empty:
-            if not any(w.is_alive() for w in workers):
-                break  # hard worker death; stragglers marked below
-            continue
-        result = PointResult.from_row(row)
-        collected[result.index] = result
-        on_result(result)
-        remaining -= 1
-    for proc in workers:
-        proc.join(timeout=5.0)
-        if proc.is_alive():
-            proc.terminate()
-    for index, point in pending:
-        if index not in collected:
-            result = PointResult(
-                point_id=point.point_id, index=index, ok=False,
-                error="WorkerDied: shard exited before reporting "
-                      "this point")
-            collected[index] = result
-            on_result(result)
-    return collected
+    With the default ``fork`` start method the workers inherit the
+    parent's warm state (imported modules, compiled steppers) for
+    free; ``warm=True`` additionally primes each worker explicitly,
+    which covers spawn platforms and workers forked before the parent
+    warmed up.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, jobs, warm=False, context=None):
+        self.jobs = max(1, int(jobs))
+        self._ctx = context if context is not None else _mp_context()
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._epoch = 0
+        self._closed = False
+        self._workers = [
+            self._ctx.Process(target=_pool_worker,
+                              args=(worker_id, self._task_queue,
+                                    self._result_queue, warm),
+                              daemon=True)
+            for worker_id in range(self.jobs)]
+        for proc in self._workers:
+            proc.start()
+
+    @property
+    def healthy(self):
+        """Whether every shard is still alive (a dead shard means the
+        pool should be rebuilt rather than reused)."""
+        return (not self._closed
+                and all(proc.is_alive() for proc in self._workers))
+
+    def run(self, campaign_name, pending, timeout_s=None, chunk_size=None,
+            on_result=None):
+        """Stream ``pending`` ``(index, point)`` pairs through the
+        shards; returns ``{index: PointResult}`` with every pending
+        index present (worker death becomes a failed point)."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        self._epoch += 1
+        epoch = self._epoch
+        for chunk in _chunk(pending, chunk_size, self.jobs):
+            self._task_queue.put(
+                (epoch, campaign_name, timeout_s,
+                 [(index, point.to_dict()) for index, point in chunk]))
+        collected = {}
+        remaining = len(pending)
+        draining_after_death = False
+        while remaining > 0:
+            try:
+                got_epoch, row = self._result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                alive = sum(1 for proc in self._workers if proc.is_alive())
+                if alive == 0:
+                    break  # everyone gone; stragglers marked below
+                if alive < len(self._workers) and not draining_after_death:
+                    # A shard died and its in-flight chunk died with it,
+                    # so `remaining` can never reach zero.  Hand the
+                    # survivors shutdown sentinels: they drain the
+                    # still-queued chunks (reporting those points) and
+                    # exit, the alive==0 break fires, and only the lost
+                    # chunk's points become WorkerDied.  The pool is
+                    # spent afterwards (reaped below) — the owner sees
+                    # ``healthy == False`` and rebuilds.
+                    for _ in range(alive):
+                        self._task_queue.put(None)
+                    draining_after_death = True
+                continue
+            if got_epoch != epoch:
+                continue  # abandoned-run leftover
+            result = PointResult.from_row(row)
+            collected[result.index] = result
+            if on_result is not None:
+                on_result(result)
+            remaining -= 1
+        if draining_after_death:
+            self._closed = True
+            for proc in self._workers:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+        for index, point in pending:
+            if index not in collected:
+                result = PointResult(
+                    point_id=point.point_id, index=index, ok=False,
+                    error="WorkerDied: shard exited before reporting "
+                          "this point")
+                collected[index] = result
+                if on_result is not None:
+                    on_result(result)
+        return collected
+
+    def close(self, join_timeout=5.0):
+        """Send shutdown sentinels and reap the shards."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._task_queue.put(None)
+        for proc in self._workers:
+            proc.join(timeout=join_timeout)
+            if proc.is_alive():
+                proc.terminate()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
 
 
 def run_campaign(spec, jobs=None, store=None, resume_from=None,
-                 progress=None, chunk_size=None, point_timeout_s=None):
+                 progress=None, chunk_size=None, point_timeout_s=None,
+                 pool=None):
     """Execute ``spec`` and return a :class:`CampaignResult`.
 
     ``jobs``
         Worker shard count (1 = in-process serial; default honours
         ``$REPRO_JOBS``).
+    ``pool``
+        An externally-owned persistent :class:`WorkerPool` — or a
+        zero-argument callable returning one (or ``None``), invoked
+        only once more than one point is known to be pending, so a
+        fully-resumed campaign never pays pool startup.  When a pool
+        is used it overrides ``jobs`` and the campaign streams through
+        its already-warm shards.  The caller keeps ownership — the
+        pool stays open for the next campaign.
     ``store``
         Optional :class:`ResultStore`; every result is appended as it
         completes.
@@ -222,7 +334,12 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
         if progress is not None:
             progress(result)
 
-    if jobs <= 1 or len(pending) <= 1:
+    if pool is not None and len(pending) > 1 and callable(pool):
+        pool = pool()
+    if pool is not None and not callable(pool) and len(pending) > 1:
+        collected = pool.run(spec.name, pending, timeout_s=point_timeout_s,
+                             chunk_size=chunk_size, on_result=on_result)
+    elif jobs <= 1 or len(pending) <= 1:
         collected = {}
         for index, point in pending:
             result = _evaluate_guarded(point, index, spec.name,
@@ -230,8 +347,10 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
             collected[index] = result
             on_result(result)
     else:
-        collected = _run_sharded(spec, pending, jobs, point_timeout_s,
-                                 chunk_size, on_result)
+        with WorkerPool(min(jobs, len(pending))) as ephemeral:
+            collected = ephemeral.run(
+                spec.name, pending, timeout_s=point_timeout_s,
+                chunk_size=chunk_size, on_result=on_result)
 
     collected.update(done)
     results = [collected[i] for i in range(len(spec.points))]

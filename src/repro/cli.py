@@ -12,6 +12,7 @@ Usage (``python -m repro ...``)::
     python -m repro difftest --programs 50 --seed 7 --jobs 4 --shrink
     python -m repro difftest --self-check
     python -m repro bench --check
+    python -m repro batch commands.txt
     python -m repro list
 
 ``run`` executes one workload under MEEK and reports slowdown and
@@ -22,9 +23,20 @@ campaign engine; ``difftest`` fuzzes every execution model against the
 golden ISA semantics (``--self-check`` injects a known fault and proves
 the harness detects and shrinks it); ``bench`` measures simulation
 throughput per system, writes ``BENCH_perf.json``, and with ``--check``
-fails on regressions against the committed baseline; ``list`` shows the
-available workloads.  Everything grid-shaped accepts ``--jobs N`` to
-shard across worker processes with bit-identical results.
+fails on regressions against the committed baseline; ``batch`` runs a
+file (or stdin) of repro commands in **one** warm interpreter — shared
+stepper caches and one persistent worker pool across all of them;
+``list`` shows the available workloads.  Everything grid-shaped accepts
+``--jobs N`` to shard across worker processes with bit-identical
+results.
+
+Warm path: compiled steppers are memoized on disk under
+``~/.cache/repro`` (``$REPRO_CACHE_DIR`` overrides,
+``REPRO_NO_DISK_CACHE=1`` disables), so every invocation after the
+first starts warm; the grid-shaped commands (``inject``,
+``campaign``, ``difftest``, ``figure``) additionally stream through
+the persistent in-process worker pool of :mod:`repro.perf.service`,
+while ``run`` — one simulation — relies on the disk cache alone.
 """
 
 import argparse
@@ -92,7 +104,8 @@ def _progress(spec, args):
 
 
 def _cmd_inject(args):
-    from repro.campaign import CampaignPoint, CampaignSpec, run_campaign
+    from repro.campaign import CampaignPoint, CampaignSpec
+    from repro.perf.service import get_service
 
     points = [
         CampaignPoint(
@@ -104,8 +117,8 @@ def _cmd_inject(args):
         for trial in range(args.trials)
     ]
     spec = CampaignSpec(name=f"inject-{args.workload}", points=points)
-    result = run_campaign(spec, jobs=args.jobs,
-                          progress=_progress(spec, args))
+    result = get_service().run_campaign(spec, jobs=args.jobs,
+                                        progress=_progress(spec, args))
     for failure in result.failed:
         print(f"trial failed    : {failure.point_id}: "
               f"{(failure.error or '').splitlines()[0]}")
@@ -124,8 +137,8 @@ def _cmd_inject(args):
 
 
 def _cmd_campaign(args):
-    from repro.campaign import (CampaignSpec, ResultStore, format_summary,
-                                run_campaign)
+    from repro.campaign import CampaignSpec, ResultStore, format_summary
+    from repro.perf.service import get_service
 
     if args.spec is not None:
         try:
@@ -162,7 +175,7 @@ def _cmd_campaign(args):
               file=sys.stderr)
         return 2
     with ResultStore(path=args.out) as store:
-        result = run_campaign(
+        result = get_service().run_campaign(
             spec, jobs=args.jobs, store=store, resume_from=resume_from,
             progress=_progress(spec, args),
             point_timeout_s=args.point_timeout)
@@ -207,7 +220,12 @@ def _difftest_self_check(args):
     from repro.campaign import evaluate_point
     from repro.difftest import (diff_program, fuzz_program_for_point,
                                 shrink_fuzz_program, write_artifact)
+    from repro.perf.service import get_service
 
+    # The shrink predicate re-runs the full 5-way harness per ddmin
+    # candidate; warming the service first means every candidate's
+    # executors step through already-compiled makers.
+    get_service().warm()
     point = _difftest_point(args, 0, {"fault_rate": 1.0,
                                       "fault_targets": "pc"})
     metrics = evaluate_point(point)
@@ -241,9 +259,10 @@ def _difftest_self_check(args):
 
 
 def _cmd_difftest(args):
-    from repro.campaign import CampaignSpec, ResultStore, run_campaign
+    from repro.campaign import CampaignSpec, ResultStore
     from repro.difftest import (diff_program, fuzz_program_for_point,
                                 shrink_fuzz_program, write_artifact)
+    from repro.perf.service import get_service
 
     if args.self_check:
         return _difftest_self_check(args)
@@ -252,12 +271,18 @@ def _cmd_difftest(args):
               file=sys.stderr)
         return 2
 
+    service = get_service()
+    if args.shrink:
+        # Shrinking runs in-process after the campaign; start warm so
+        # the ddmin candidates reuse cached steppers from the first.
+        service.warm()
     points = [_difftest_point(args, i) for i in range(args.programs)]
     spec = CampaignSpec(name=f"difftest-seed{args.seed}", points=points)
     with ResultStore(path=args.out) as store:
-        result = run_campaign(spec, jobs=args.jobs, store=store,
-                              resume_from=args.out if args.resume else None,
-                              progress=_progress(spec, args))
+        result = service.run_campaign(
+            spec, jobs=args.jobs, store=store,
+            resume_from=args.out if args.resume else None,
+            progress=_progress(spec, args))
 
     for failure in result.failed:
         print(f"point failed    : {failure.point_id}: "
@@ -304,6 +329,8 @@ def _cmd_bench(args):
         seed=args.seed, cores=args.cores, repeat=args.repeat,
         figures=figures, figure_instructions=args.figure_instructions,
         kernels=not args.skip_kernels,
+        warm_start=not args.skip_warm_start,
+        campaign=not args.skip_campaign, campaign_jobs=args.campaign_jobs,
         log=lambda msg: print(msg, file=sys.stderr))
     print(format_bench(result))
 
@@ -347,6 +374,75 @@ def _cmd_bench(args):
             write_result(result, args.out)
             print(f"bench written : {args.out}")
     return status
+
+
+def _cmd_batch(args):
+    """Run a script of repro commands inside one warm interpreter.
+
+    Amortizes interpreter startup, maker compilation, and worker-pool
+    forking across every command: the service is warmed once, and all
+    grid-shaped commands stream through the same persistent pool.
+    """
+    import shlex
+
+    from repro.perf.service import get_service
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"batch: cannot read {args.file}: {exc}", file=sys.stderr)
+            return 2
+
+    get_service().warm()
+    parser = build_parser()
+    ran = 0
+    failures = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        command = line.strip()
+        if not command or command.startswith("#"):
+            continue
+        try:
+            argv = shlex.split(command)
+        except ValueError as exc:  # e.g. unbalanced quotes
+            print(f"batch: line {lineno}: {exc}", file=sys.stderr)
+            failures += 1
+            if not args.keep_going:
+                break
+            continue
+        if argv and argv[0] == "repro":  # tolerate pasted shell lines
+            argv = argv[1:]
+        if not argv:
+            continue
+        if argv[0] == "batch":
+            print(f"batch: line {lineno}: nested batch is not allowed",
+                  file=sys.stderr)
+            failures += 1
+            if not args.keep_going:
+                break
+            continue
+        ran += 1
+        print(f"batch line {lineno:<4}: {' '.join(argv)}", file=sys.stderr)
+        try:
+            parsed = parser.parse_args(argv)
+            status = _HANDLERS[parsed.command](parsed)
+        except SystemExit as exc:  # argparse rejected the line
+            status = exc.code if isinstance(exc.code, int) else 2
+        except Exception as exc:  # noqa: BLE001 — a failing command
+            # must be this line's failure, never the whole batch's.
+            print(f"batch: line {lineno}: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            status = 1
+        if status:
+            failures += 1
+            print(f"batch: line {lineno} exited {status}", file=sys.stderr)
+            if not args.keep_going:
+                break
+    print(f"batch           : {ran} command(s), {failures} failed")
+    return 1 if failures else 0
 
 
 def _cmd_figure(args):
@@ -454,6 +550,14 @@ def build_parser():
     bench_parser.add_argument("--skip-figures", action="store_true")
     bench_parser.add_argument("--skip-kernels", action="store_true",
                               help="skip the fast-vs-slow kernel A/B")
+    bench_parser.add_argument("--skip-warm-start", action="store_true",
+                              help="skip the cold/warm CLI and batch "
+                                   "subprocess measurements")
+    bench_parser.add_argument("--skip-campaign", action="store_true",
+                              help="skip the ephemeral-vs-persistent "
+                                   "worker-pool measurement")
+    bench_parser.add_argument("--campaign-jobs", type=int, default=2,
+                              help="shards for the campaign-pool bench")
     bench_parser.add_argument("--out", default="BENCH_perf.json",
                               help="write the result JSON here ('' skips)")
     bench_parser.add_argument("--baseline", default="BENCH_perf.json",
@@ -494,21 +598,35 @@ def build_parser():
                                  help="skip points already OK in --out")
     difftest_parser.add_argument("--progress", action="store_true",
                                  help="force the stderr progress line")
+
+    batch_parser = sub.add_parser(
+        "batch",
+        help="run a file of repro commands in one warm process "
+             "(shared stepper cache + persistent worker pool)")
+    batch_parser.add_argument("file",
+                              help="command file, one repro invocation "
+                                   "per line ('-' reads stdin; '#' "
+                                   "comments)")
+    batch_parser.add_argument("--keep-going", action="store_true",
+                              help="continue past failing commands")
     return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "inject": _cmd_inject,
+    "figure": _cmd_figure,
+    "campaign": _cmd_campaign,
+    "difftest": _cmd_difftest,
+    "bench": _cmd_bench,
+    "batch": _cmd_batch,
+}
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    handler = {
-        "list": _cmd_list,
-        "run": _cmd_run,
-        "inject": _cmd_inject,
-        "figure": _cmd_figure,
-        "campaign": _cmd_campaign,
-        "difftest": _cmd_difftest,
-        "bench": _cmd_bench,
-    }[args.command]
-    return handler(args)
+    return _HANDLERS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,10 @@ from repro.fabric.dcbuffer import DcBufferModel
 from repro.fabric.packets import Packet, PacketKind
 from repro.perf.decode import slow_kernel_enabled
 
+#: Inline budget meaning "never consult the controller" (checking
+#: disabled): larger than any possible committed-instruction count.
+_HOT_UNBOUNDED = 1 << 62
+
 
 class StallReason(enum.Enum):
     COLLECTING = "data_collecting"
@@ -75,12 +79,27 @@ class MeekController:
         # close, replaying whole runs of ALU work per call; the slow
         # kernel keeps the naive advance-every-commit loop.
         self._eager_advance = slow_kernel_enabled()
+        # Hook-path elimination (fast kernel): the fused steppers share
+        # this cell — ``[instr_count, close_budget]`` — and absorb
+        # *dormant* commits (nothing to log, cannot trap) by bumping
+        # ``_hot[0]`` inline while it stays below ``_hot[1]``, entering
+        # fast_commit only for log-producing commits and segment
+        # open/close.  fast_commit re-syncs ``seg.instr_count`` from
+        # the cell on entry and republishes the budget on exit; while
+        # no segment is active the budget is 0, so every commit reaches
+        # the controller (which opens the segment — or raises if
+        # initialize() was never called).
+        self._hot = [0, 0]
 
     # -- lifecycle ---------------------------------------------------------
 
     def initialize(self, cycle=0):
         """Take the initial RCP (SRCP of segment 0) and forward it."""
         if not self.deu.enabled:
+            # With checking off the hook is pure overhead; give the
+            # inline path an unbounded budget so no commit ever pays
+            # the controller call.
+            self._hot[1] = _HOT_UNBOUNDED
             self._initialized = True
             return
         snapshot = self.deu.extract_status(self.state, self._rcp_counter,
@@ -128,9 +147,15 @@ class MeekController:
             raise SimulationError("controller used before initialize()")
         if not self.deu.enabled:
             return t
+        hot = self._hot
         if self.active is None:
             t = self._open_segment(t, pc)
-        seg = self.active
+            seg = self.active
+        else:
+            seg = self.active
+            if hot[0] > seg.instr_count:
+                # Commits the inline path absorbed since the last call.
+                seg.instr_count = hot[0]
 
         if rkind is not None:
             entry = self.deu.record_runtime(rkind, addr, data, size)
@@ -165,6 +190,12 @@ class MeekController:
             reason = SegmentEndReason.KERNEL_TRAP
         if reason is not None:
             t = self._close_segment(t, reason, slot)
+        if self.active is None:
+            hot[0] = 0
+            hot[1] = 0
+        else:
+            hot[0] = seg.instr_count
+            hot[1] = self._timeout
         return t
 
     def finalize(self, end_cycle):
@@ -174,6 +205,10 @@ class MeekController:
         """
         if not self.deu.enabled:
             return end_cycle
+        if (self.active is not None
+                and self._hot[0] > self.active.instr_count):
+            # Trailing commits the inline fast path absorbed.
+            self.active.instr_count = self._hot[0]
         if self.active is not None and self.active.instr_count > 0:
             self._close_segment(end_cycle, SegmentEndReason.PROGRAM_END, 0)
         elif self.active is not None:

@@ -38,7 +38,8 @@ def run_grid(name, points, jobs=None, progress=None):
     grids must evaluate completely — a failed point aborts with its
     captured error rather than producing a figure with holes.
     """
-    from repro.campaign import CampaignSpec, run_campaign
+    from repro.campaign import CampaignSpec
+    from repro.perf.service import get_service
 
     points = list(points)
     unique, index_of = [], {}
@@ -48,7 +49,10 @@ def run_grid(name, points, jobs=None, progress=None):
             index_of[pid] = len(unique)
             unique.append(point)
     spec = CampaignSpec(name=name, points=unique)
-    result = run_campaign(spec, jobs=jobs, progress=progress)
+    # Through the warm execution service: drivers that submit several
+    # grids (and figure sweeps run back to back) stream through one
+    # persistent, pre-warmed worker pool instead of forking per grid.
+    result = get_service().run_campaign(spec, jobs=jobs, progress=progress)
     failed = result.failed
     if failed:
         first = failed[0]

@@ -12,9 +12,17 @@ package removes that tax without touching a single timing equation:
   same architectural-state transition as ``execute`` (it reuses the
   same arithmetic helpers), so results are bit-identical while the
   per-instruction dispatch collapses to one function call.
+* :mod:`repro.perf.cache` — the persistent compilation cache: every
+  exec-compiled maker is memoized on disk (``~/.cache/repro``,
+  ``$REPRO_CACHE_DIR``), fingerprinted by the generator sources, so
+  each CLI invocation after the first starts warm.
+* :mod:`repro.perf.service` — the warm-path execution service: one
+  pre-warmed process context plus a persistent campaign worker pool
+  shared by ``repro run``/``difftest``/``figure``/``batch``.
 * :mod:`repro.perf.bench` — the ``repro bench`` suite: instructions
-  per second for every execution system plus wall time per figure
-  driver, written to ``BENCH_perf.json``.
+  per second for every execution system, wall time per figure driver,
+  cold-vs-warm start, batch-mode and campaign-pool speedups, written
+  to ``BENCH_perf.json``.
 * :mod:`repro.perf.regress` — the benchmark-regression harness that
   compares a fresh ``BENCH_perf.json`` against the committed baseline
   with a configurable tolerance, so future PRs cannot silently give
@@ -27,6 +35,7 @@ both kernels and asserts bit-identical cycles, state, and detection
 latencies.
 """
 
+from repro.perf.cache import disk_cache_enabled, stepper_cache
 from repro.perf.decode import (DecodedProgram, compile_instruction,
                                decode_program, slow_kernel_enabled)
 
@@ -34,5 +43,7 @@ __all__ = [
     "DecodedProgram",
     "compile_instruction",
     "decode_program",
+    "disk_cache_enabled",
     "slow_kernel_enabled",
+    "stepper_cache",
 ]

@@ -6,6 +6,19 @@ system, Nzdc baseline, standalone little core), the wall time of one
 figure driver, and the fast-vs-slow kernel speedup measured in-process
 (the machine-independent number the regression harness locks in).
 
+Warm-path metrics (schema 2) cover the execution service:
+
+* **warm_start** — full ``repro run`` CLI wall, cold (empty stepper
+  disk cache) vs warm (cache populated by the cold run), measured in
+  real subprocesses;
+* **batch** — the same commands as individual CLI invocations vs one
+  ``repro batch`` process (shared interpreter, caches, and pool);
+* **campaign** — back-to-back campaigns through per-campaign ephemeral
+  worker pools vs one persistent pre-warmed pool.
+
+The absolute walls are machine-dependent; the speedup *ratios* are the
+regression-stable numbers :mod:`repro.perf.regress` puts floors under.
+
 The result is a plain dict, written to ``BENCH_perf.json`` by the CLI;
 :mod:`repro.perf.regress` compares it against the committed baseline.
 Every measured simulation is deterministic — only the wall clock
@@ -14,9 +27,12 @@ varies between runs, which is why each sample takes the best of
 """
 
 import os
+import subprocess
+import sys
+import tempfile
 import time
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 #: Default workloads: one FP-heavy PARSEC profile, one pointer-chasing
 #: SPECint profile, one streaming profile — the three memory behaviours
@@ -141,6 +157,132 @@ def _bench_kernels(workload, instructions, seed, cores, repeat):
     }
 
 
+def _cli_env(cache_dir):
+    """Environment for a ``python -m repro`` child: importable package
+    plus an isolated stepper disk cache."""
+    import repro
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_dir if not existing
+                         else src_dir + os.pathsep + existing)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.pop("REPRO_NO_DISK_CACHE", None)
+    return env
+
+
+def _timed_cli(argv, env):
+    t0 = time.perf_counter()
+    proc = subprocess.run([sys.executable, "-m", "repro"] + argv, env=env,
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL)
+    wall = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise RuntimeError(f"bench CLI child failed: repro {' '.join(argv)} "
+                           f"-> exit {proc.returncode}")
+    return wall
+
+
+def _bench_warm_start(workload, instructions, repeat):
+    """Cold-vs-warm ``repro run`` wall through real subprocesses.
+
+    Cold = first invocation against an empty stepper disk cache (pays
+    source assembly + compile + cache write); warm = best of ``repeat``
+    further invocations against the cache the cold run left behind.
+    """
+    argv = ["run", workload, "--instructions", str(instructions)]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        env = _cli_env(cache)
+        cold = _timed_cli(argv, env)
+        warm = min(_timed_cli(argv, env) for _ in range(max(1, repeat)))
+    return {
+        "workload": workload,
+        "instructions": instructions,
+        "cold_wall_s": cold,
+        "warm_wall_s": warm,
+        "warm_speedup": cold / warm if warm > 0 else 0.0,
+    }
+
+
+def _bench_batch(workload, instructions, commands=4):
+    """N individual CLI invocations vs one ``repro batch`` process."""
+    lines = [f"run {workload} --instructions {instructions} --seed {seed}"
+             for seed in range(commands)]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-batch-") as work:
+        env = _cli_env(os.path.join(work, "cache"))
+        script = os.path.join(work, "commands.txt")
+        with open(script, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        # One throwaway run warms the disk cache so both sides measure
+        # steady state rather than the one-off compile.
+        _timed_cli(["run", workload, "--instructions", str(instructions)],
+                   env)
+        individual = sum(_timed_cli(line.split(), env) for line in lines)
+        batch = _timed_cli(["batch", script], env)
+    return {
+        "workload": workload,
+        "instructions": instructions,
+        "commands": commands,
+        "individual_wall_s": individual,
+        "batch_wall_s": batch,
+        "batch_speedup": individual / batch if batch > 0 else 0.0,
+    }
+
+
+def _bench_campaign(workload, instructions, seed, jobs=2, campaigns=4,
+                    points=6):
+    """Back-to-back campaigns: ephemeral pools vs one persistent pool.
+
+    The ephemeral side forks and tears down a worker pool per campaign
+    (the classic behaviour); the persistent side streams every
+    campaign through one pre-warmed :class:`WorkerPool` — the
+    execution-service architecture.  Identical points on both sides.
+    """
+    from repro.campaign.executor import WorkerPool, run_campaign
+    from repro.campaign.spec import CampaignPoint, CampaignSpec
+
+    def specs():
+        return [
+            CampaignSpec(
+                name=f"bench-pool-{campaign}",
+                points=[
+                    CampaignPoint(task="meek", workload=workload,
+                                  instructions=instructions, seed=seed,
+                                  params={"trial": trial,
+                                          "campaign": campaign})
+                    for trial in range(points)])
+            for campaign in range(campaigns)]
+
+    t0 = time.perf_counter()
+    for spec in specs():
+        run_campaign(spec, jobs=jobs)  # forks an ephemeral pool each time
+    ephemeral = time.perf_counter() - t0
+
+    with WorkerPool(jobs, warm=True) as pool:
+        # One sacrificial campaign absorbs the pool's own startup, so
+        # the timed region measures the steady reuse the service sees.
+        run_campaign(specs()[0], pool=pool)
+        t0 = time.perf_counter()
+        for spec in specs():
+            run_campaign(spec, pool=pool)
+        persistent = time.perf_counter() - t0
+
+    total_points = campaigns * points
+    return {
+        "workload": workload,
+        "instructions": instructions,
+        "jobs": jobs,
+        "campaigns": campaigns,
+        "points": total_points,
+        "ephemeral_wall_s": ephemeral,
+        "persistent_wall_s": persistent,
+        "pool_speedup": ephemeral / persistent if persistent > 0 else 0.0,
+        "points_per_s": (total_points / persistent if persistent > 0
+                         else 0.0),
+    }
+
+
 def _bench_figures(figures, instructions):
     """Wall time of each requested figure driver (single-job)."""
     from repro.experiments import (ablations, fig6_performance, fig7_latency,
@@ -170,7 +312,8 @@ def _bench_figures(figures, instructions):
 
 def run_bench(workloads=DEFAULT_WORKLOADS, instructions=20_000, seed=0,
               cores=4, repeat=3, figures=DEFAULT_FIGURES,
-              figure_instructions=2_000, kernels=True, log=None):
+              figure_instructions=2_000, kernels=True, warm_start=True,
+              campaign=True, campaign_jobs=2, log=None):
     """Run the benchmark suite; returns the BENCH_perf dict."""
     from repro.perf.decode import slow_kernel_enabled
 
@@ -190,6 +333,9 @@ def run_bench(workloads=DEFAULT_WORKLOADS, instructions=20_000, seed=0,
         "workloads": {},
         "figures": {},
         "kernels": None,
+        "warm_start": None,
+        "batch": None,
+        "campaign": None,
     }
     for name in workloads:
         say(f"bench {name} ({instructions} instrs x{repeat})")
@@ -199,6 +345,19 @@ def run_bench(workloads=DEFAULT_WORKLOADS, instructions=20_000, seed=0,
         say("bench kernels (fast vs REPRO_SLOW_KERNEL=1)")
         result["kernels"] = _bench_kernels(
             workloads[0], instructions, seed, cores, repeat)
+    if warm_start and workloads:
+        say("bench warm start (cold vs warm CLI, subprocesses)")
+        result["warm_start"] = _bench_warm_start(
+            workloads[0], instructions, repeat)
+        say("bench batch mode (individual CLIs vs repro batch)")
+        result["batch"] = _bench_batch(
+            workloads[0], max(1_000, instructions // 4))
+    if campaign and workloads:
+        say(f"bench campaign pool (ephemeral vs persistent, "
+            f"jobs={campaign_jobs})")
+        result["campaign"] = _bench_campaign(
+            workloads[0], max(1_000, instructions // 10), seed,
+            jobs=campaign_jobs)
     if figures:
         say(f"bench figure drivers {', '.join(figures)}")
         result["figures"] = _bench_figures(figures, figure_instructions)
@@ -226,6 +385,30 @@ def format_bench(result):
             f"meek {kernels['meek_speedup']:.2f}x, "
             f"vanilla {kernels['vanilla_speedup']:.2f}x "
             "(fast vs REPRO_SLOW_KERNEL=1)")
+    warm = result.get("warm_start")
+    if warm:
+        out.append(
+            f"warm start ({warm['workload']}): cold "
+            f"{warm['cold_wall_s']:.2f}s -> warm "
+            f"{warm['warm_wall_s']:.2f}s ({warm['warm_speedup']:.2f}x, "
+            "full `repro run` subprocess)")
+    batch = result.get("batch")
+    if batch:
+        out.append(
+            f"batch mode ({batch['commands']} commands): individual "
+            f"{batch['individual_wall_s']:.2f}s -> batch "
+            f"{batch['batch_wall_s']:.2f}s "
+            f"({batch['batch_speedup']:.2f}x)")
+    campaign = result.get("campaign")
+    if campaign:
+        out.append(
+            f"campaign pool ({campaign['campaigns']} campaigns x "
+            f"{campaign['points'] // campaign['campaigns']} points, "
+            f"jobs={campaign['jobs']}): ephemeral "
+            f"{campaign['ephemeral_wall_s']:.2f}s -> persistent "
+            f"{campaign['persistent_wall_s']:.2f}s "
+            f"({campaign['pool_speedup']:.2f}x, "
+            f"{campaign['points_per_s']:.1f} points/s)")
     for name, metrics in result.get("figures", {}).items():
         out.append(f"figure {name}: {metrics['wall_s']:.2f}s wall")
     return "\n".join(out)

@@ -13,9 +13,15 @@ closure ``fn(state, mem_port, meek_handler) -> ExecResult`` that is
 observably identical to ``execute(instr, state, mem_port,
 meek_handler)``: same state mutations in the same order, same
 :class:`~repro.isa.semantics.ExecResult` fields, same exceptions.  The
-closures reuse the semantics module's own arithmetic helpers
-(``_div_signed``, ``_fp_div``, ...) so edge-case behavior is shared by
-construction, not duplicated.
+closures are ``exec``-generated from the per-op source fragments in
+:mod:`repro.perf.ops` — the same single expression table the
+specialized steppers in :mod:`repro.perf.jit` are assembled from —
+plus a per-class ExecResult-assembly template, so the arithmetic
+exists exactly once in the repository; the fragments reuse the
+semantics module's own arithmetic helpers (``_div_signed``,
+``_fp_div``, ...) so edge-case behavior is shared by construction,
+not duplicated.  Compiled maker code objects are memoized on disk
+through :mod:`repro.perf.cache`, so a fresh process starts warm.
 
 :func:`decode_program` caches one closure table per
 :class:`~repro.isa.program.Program`, keyed weakly by program identity,
@@ -32,10 +38,11 @@ import os
 import weakref
 
 from repro.common.errors import PrivilegeError, SimulationError
-from repro.isa.instructions import InstrClass
-from repro.isa.semantics import (ExecResult, _LOAD_SIZES, _STORE_SIZES,
-                                 _div_signed, _fcvt_l, _fp_div, _fp_sqrt,
-                                 _rem_signed)
+from repro.isa.instructions import SPECS, InstrClass
+from repro.isa.semantics import (ExecResult, _div_signed, _fcvt_l, _fp_div,
+                                 _fp_sqrt, _rem_signed)
+from repro.perf.cache import cached_compile
+from repro.perf.ops import (exec_fragment, indent, mem_consts, trap_expr)
 # One float codec for the whole repository: the pre-bound Structs live
 # in isa.state, so the bit patterns here cannot drift from the
 # interpreter's.
@@ -57,103 +64,129 @@ def _signed(value):
     return value - _TWO64 if value & _SIGN else value
 
 
-# -- per-op value closures ---------------------------------------------------
+# -- the exec-generating compiler --------------------------------------------
 #
-# Each maker captures the decoded register indices / immediate and
-# returns ``fn(regs, pc) -> value`` mirroring one branch of
-# ``semantics._int_alu`` exactly (including which results are masked).
+# One maker per op, source-assembled from ops.exec_fragment plus the
+# per-class ExecResult-assembly template below, compiled once per
+# process (and memoized on disk across processes).  Calling the maker
+# with an instruction's decoded fields binds the constants and returns
+# the drop-in ``fn`` closure.
 
-def _alu_value_maker(op, rs1, rs2, imm):
-    if op == "add":
-        return lambda regs, pc: (regs[rs1] + regs[rs2]) & _WORD
-    if op == "addi":
-        return lambda regs, pc: (regs[rs1] + imm) & _WORD
-    if op == "sub":
-        return lambda regs, pc: (regs[rs1] - regs[rs2]) & _WORD
-    if op == "and":
-        return lambda regs, pc: regs[rs1] & regs[rs2]
-    if op == "andi":
-        uimm = imm & _WORD
-        return lambda regs, pc: regs[rs1] & uimm
-    if op == "or":
-        return lambda regs, pc: regs[rs1] | regs[rs2]
-    if op == "ori":
-        uimm = imm & _WORD
-        return lambda regs, pc: regs[rs1] | uimm
-    if op == "xor":
-        return lambda regs, pc: regs[rs1] ^ regs[rs2]
-    if op == "xori":
-        uimm = imm & _WORD
-        return lambda regs, pc: regs[rs1] ^ uimm
-    if op == "sll":
-        return lambda regs, pc: (regs[rs1] << (regs[rs2] & 0x3F)) & _WORD
-    if op == "slli":
-        return lambda regs, pc: (regs[rs1] << imm) & _WORD
-    if op == "srl":
-        return lambda regs, pc: regs[rs1] >> (regs[rs2] & 0x3F)
-    if op == "srli":
-        return lambda regs, pc: regs[rs1] >> imm
-    if op == "sra":
-        return lambda regs, pc: (
-            _signed(regs[rs1]) >> (regs[rs2] & 0x3F)) & _WORD
-    if op == "srai":
-        return lambda regs, pc: (_signed(regs[rs1]) >> imm) & _WORD
-    if op == "slt":
-        return lambda regs, pc: (
-            1 if _signed(regs[rs1]) < _signed(regs[rs2]) else 0)
-    if op == "slti":
-        return lambda regs, pc: 1 if _signed(regs[rs1]) < imm else 0
-    if op == "sltu":
-        return lambda regs, pc: 1 if regs[rs1] < regs[rs2] else 0
-    if op == "sltiu":
-        uimm = imm & _WORD
-        return lambda regs, pc: 1 if regs[rs1] < uimm else 0
-    if op == "lui":
-        value = (imm << 12) & _WORD
-        return lambda regs, pc: value
-    if op == "auipc":
-        imm12 = imm << 12
-        return lambda regs, pc: (pc + imm12) & _WORD
-    if op == "mul":
-        return lambda regs, pc: (regs[rs1] * regs[rs2]) & _WORD
-    if op == "mulh":
-        return lambda regs, pc: (
-            (_signed(regs[rs1]) * _signed(regs[rs2])) >> 64) & _WORD
-    raise SimulationError(f"no ALU semantics for {op!r}")
+_DECODE_GLOBALS = {
+    "WORD": _WORD,
+    "SGN": _signed,
+    "B2F": _b2f,
+    "F2B": _f2b,
+    "DIVS": _div_signed,
+    "REMS": _rem_signed,
+    "FPDIV": _fp_div,
+    "FPSQRT": _fp_sqrt,
+    "FCVTL": _fcvt_l,
+    "ExecResult": ExecResult,
+    "PrivilegeError": PrivilegeError,
+    "SimulationError": SimulationError,
+}
 
 
-def _div_value_maker(op, rs1, rs2):
-    if op == "div":
-        return lambda regs: _div_signed(_signed(regs[rs1]),
-                                        _signed(regs[rs2])) & _WORD
-    if op == "divu":
-        return lambda regs: (regs[rs1] // regs[rs2]) if regs[rs2] else _WORD
-    if op == "rem":
-        return lambda regs: _rem_signed(_signed(regs[rs1]),
-                                        _signed(regs[rs2])) & _WORD
-    if op == "remu":
-        return lambda regs: (regs[rs1] % regs[rs2]) if regs[rs2] \
-            else regs[rs1]
-    raise SimulationError(f"no divide semantics for {op!r}")
+def _result_src(op):
+    """ExecResult-assembly source for ``op`` (runs after the fragment,
+    which left ``next_pc`` and its class's locals defined)."""
+    spec = SPECS[op]
+    iclass = spec.iclass
+    if iclass is InstrClass.LOAD:
+        wrote = ("res.wrote_fp_rd = True" if spec.writes_fp_rd
+                 else "res.wrote_int_rd = True")
+        return ("res = ExecResult(next_pc)\n"
+                "res.is_load = True\n"
+                "res.mem_addr = addr\n"
+                "res.mem_size = MEM_SIZE\n"
+                "unsigned = value & WORD\n"
+                "res.mem_value = unsigned\n"
+                f"{wrote}\n"
+                "res.rd_value = unsigned")
+    if iclass is InstrClass.STORE:
+        return ("res = ExecResult(next_pc)\n"
+                "res.is_store = True\n"
+                "res.mem_addr = addr\n"
+                "res.mem_size = MEM_SIZE\n"
+                "res.mem_value = value & MEM_MASK")
+    if iclass is InstrClass.BRANCH:
+        return ("res = ExecResult(next_pc)\n"
+                "res.taken = taken")
+    if iclass is InstrClass.JUMP:
+        return ("res = ExecResult(next_pc)\n"
+                "res.taken = True\n"
+                "res.wrote_int_rd = WROTE\n"
+                "res.rd_value = link")
+    if iclass is InstrClass.CSR:
+        return ("res = ExecResult(next_pc)\n"
+                "res.csr_addr = IMM\n"
+                "res.csr_value = new\n"
+                "res.wrote_int_rd = WROTE\n"
+                "res.rd_value = old")
+    if iclass is InstrClass.SYSTEM:
+        return ("res = ExecResult(next_pc)\n"
+                f"res.trap = {trap_expr(op)}")
+    if iclass is InstrClass.MEEK:
+        return ("res = ExecResult(next_pc)\n"
+                f"res.meek_op = {op!r}\n"
+                "res.taken = taken")
+    if spec.writes_fp_rd:
+        # FP arithmetic writing an FP destination.
+        return ("res = ExecResult(next_pc)\n"
+                "res.wrote_fp_rd = True\n"
+                "res.rd_value = value")
+    # Integer-writing ops: ALU/MUL/DIV and the FP compares/moves.
+    return ("res = ExecResult(next_pc)\n"
+            "res.wrote_int_rd = True\n"
+            "res.rd_value = value")
 
 
-def _branch_taken_maker(op, rs1, rs2):
-    if op == "beq":
-        return lambda regs: regs[rs1] == regs[rs2]
-    if op == "bne":
-        return lambda regs: regs[rs1] != regs[rs2]
-    if op == "blt":
-        return lambda regs: _signed(regs[rs1]) < _signed(regs[rs2])
-    if op == "bge":
-        return lambda regs: _signed(regs[rs1]) >= _signed(regs[rs2])
-    if op == "bltu":
-        return lambda regs: regs[rs1] < regs[rs2]
-    if op == "bgeu":
-        return lambda regs: regs[rs1] >= regs[rs2]
-    raise SimulationError(f"no branch semantics for {op!r}")
+def _build_decode_source(op):
+    iclass = SPECS[op].iclass
+    port_lines = ""
+    if iclass is InstrClass.LOAD:
+        port_lines = ("        port = mem if mem is not None "
+                      "else state.memory\n"
+                      "        LOADFN = port.load\n")
+    elif iclass is InstrClass.STORE:
+        port_lines = ("        port = mem if mem is not None "
+                      "else state.memory\n"
+                      "        STOREFN = port.store\n")
+    return f"""\
+def maker(RD, RS1, RS2, IMM, OP_INSTR):
+    UIMM = IMM & WORD
+    IMM12 = IMM << 12
+    LUI_VALUE = (IMM << 12) & WORD
+    WROTE = RD != 0
+{mem_consts(op)}\
+    def fn(state, mem, MH):
+        regs = state.int_regs
+        fregs = state.fp_regs
+        pc = state.pc
+{port_lines}{indent(exec_fragment(op, mem_mode="direct"), 8)}
+{indent(_result_src(op), 8)}
+        state.pc = next_pc
+        return res
+    return fn
+"""
 
 
-# -- the compiler ------------------------------------------------------------
+_decode_makers = {}
+
+
+def _decode_maker(op):
+    maker = _decode_makers.get(op)
+    if maker is None:
+        code = cached_compile(f"decode:{op}",
+                              lambda: _build_decode_source(op),
+                              f"<repro.perf.decode:{op}>")
+        namespace = dict(_DECODE_GLOBALS)
+        exec(code, namespace)
+        maker = namespace["maker"]
+        _decode_makers[op] = maker
+    return maker
+
 
 def compile_instruction(instr):
     """Compile ``instr`` into ``fn(state, mem_port, meek_handler)``.
@@ -161,293 +194,8 @@ def compile_instruction(instr):
     The closure is a drop-in replacement for
     ``execute(instr, state, mem_port, meek_handler)``.
     """
-    op = instr.op
-    spec = instr.spec
-    iclass = spec.iclass
-    rd = instr.rd
-    rs1 = instr.rs1
-    rs2 = instr.rs2
-    imm = instr.imm
-
-    if iclass is InstrClass.ALU or iclass is InstrClass.MUL:
-        value_of = _alu_value_maker(op, rs1, rs2, imm)
-
-        def fn(state, mem, mh):
-            pc = state.pc
-            value = value_of(state.int_regs, pc)
-            res = ExecResult(pc + 4)
-            if rd:
-                state.int_regs[rd] = value & _WORD
-            res.rd_value = value
-            res.wrote_int_rd = True
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    if iclass is InstrClass.DIV:
-        value_of = _div_value_maker(op, rs1, rs2)
-
-        def fn(state, mem, mh):
-            value = value_of(state.int_regs)
-            res = ExecResult(state.pc + 4)
-            if rd:
-                state.int_regs[rd] = value & _WORD
-            res.rd_value = value
-            res.wrote_int_rd = True
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    if iclass is InstrClass.LOAD:
-        size, load_signed = _LOAD_SIZES[op]
-        writes_fp = spec.writes_fp_rd
-
-        def fn(state, mem, mh):
-            regs = state.int_regs
-            addr = (regs[rs1] + imm) & _WORD
-            port = mem if mem is not None else state.memory
-            value = port.load(addr, size, signed=load_signed)
-            res = ExecResult(state.pc + 4)
-            res.is_load = True
-            res.mem_addr = addr
-            res.mem_size = size
-            unsigned = value & _WORD
-            res.mem_value = unsigned
-            if writes_fp:
-                state.fp_regs[rd] = unsigned
-                res.wrote_fp_rd = True
-            else:
-                if rd:
-                    regs[rd] = unsigned
-                res.wrote_int_rd = True
-            res.rd_value = unsigned
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    if iclass is InstrClass.STORE:
-        size = _STORE_SIZES[op]
-        reads_fp = spec.reads_fp_rs2
-        size_mask = (1 << (size * 8)) - 1
-
-        def fn(state, mem, mh):
-            regs = state.int_regs
-            addr = (regs[rs1] + imm) & _WORD
-            value = state.fp_regs[rs2] if reads_fp else regs[rs2]
-            port = mem if mem is not None else state.memory
-            port.store(addr, value, size)
-            res = ExecResult(state.pc + 4)
-            res.is_store = True
-            res.mem_addr = addr
-            res.mem_size = size
-            res.mem_value = value & size_mask
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    if iclass is InstrClass.BRANCH:
-        taken_of = _branch_taken_maker(op, rs1, rs2)
-
-        def fn(state, mem, mh):
-            pc = state.pc
-            res = ExecResult(pc + 4)
-            if taken_of(state.int_regs):
-                res.taken = True
-                res.next_pc = (pc + imm) & _WORD
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    if iclass is InstrClass.JUMP:
-        wrote = rd != 0
-        if op == "jal":
-            def fn(state, mem, mh):
-                pc = state.pc
-                link = (pc + 4) & _WORD
-                if rd:
-                    state.int_regs[rd] = link
-                res = ExecResult((pc + imm) & _WORD)
-                res.taken = True
-                res.wrote_int_rd = wrote
-                res.rd_value = link
-                state.pc = res.next_pc
-                return res
-        else:  # jalr
-            def fn(state, mem, mh):
-                pc = state.pc
-                regs = state.int_regs
-                target = (regs[rs1] + imm) & ~1 & _WORD
-                link = (pc + 4) & _WORD
-                if rd:
-                    regs[rd] = link
-                res = ExecResult(target)
-                res.taken = True
-                res.wrote_int_rd = wrote
-                res.rd_value = link
-                state.pc = res.next_pc
-                return res
-        return fn
-
-    if iclass is InstrClass.CSR:
-        wrote = rd != 0
-
-        def fn(state, mem, mh):
-            res = ExecResult(state.pc + 4)
-            res.csr_addr = imm
-            csrs = state.csrs
-            old = csrs.get(imm, 0)
-            if op == "csrrw":
-                new = state.int_regs[rs1]
-            elif op == "csrrs":
-                new = old | state.int_regs[rs1]
-            else:  # csrrwi: rs1 field is the zero-extended immediate
-                new = rs1
-            csrs[imm] = new & _WORD
-            res.csr_value = new
-            if rd:
-                state.int_regs[rd] = old & _WORD
-            res.wrote_int_rd = wrote
-            res.rd_value = old
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    if iclass is InstrClass.FP or iclass is InstrClass.FPDIV:
-        return _compile_fp(op, rd, rs1, rs2)
-
-    if iclass is InstrClass.SYSTEM:
-        trap = op if op in ("ecall", "ebreak") else None
-
-        def fn(state, mem, mh):
-            res = ExecResult(state.pc + 4)
-            res.trap = trap
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    if iclass is InstrClass.MEEK:
-        privileged = spec.privileged
-
-        def fn(state, mem, mh):
-            if privileged and not state.priv_kernel:
-                raise PrivilegeError(
-                    f"{op} is a kernel-mode instruction (Table I, Priv 1)")
-            res = ExecResult(state.pc + 4)
-            res.meek_op = op
-            if mh is not None:
-                override = mh(instr, state)
-                if override is not None:
-                    res.next_pc = override & _WORD
-                    res.taken = True
-            state.pc = res.next_pc
-            return res
-        return fn
-
-    raise SimulationError(f"no semantics for class {iclass}")
-
-
-def _fp_result(state, rd, value):
-    """Shared tail of an FP-register-writing op (mirrors the fallthrough
-    at the bottom of ``semantics._exec_fp``)."""
-    res = ExecResult(state.pc + 4)
-    state.fp_regs[rd] = value & _WORD
-    res.wrote_fp_rd = True
-    res.rd_value = value
-    state.pc = res.next_pc
-    return res
-
-
-def _int_result(state, rd, value):
-    """Shared tail of the FP ops that write an integer register."""
-    res = ExecResult(state.pc + 4)
-    if rd:
-        state.int_regs[rd] = value & _WORD
-    res.wrote_int_rd = True
-    res.rd_value = value
-    state.pc = res.next_pc
-    return res
-
-
-def _compile_fp(op, rd, rs1, rs2):
-    if op == "fadd.d":
-        def fn(state, mem, mh):
-            fp = state.fp_regs
-            return _fp_result(state, rd, _f2b(_b2f(fp[rs1]) + _b2f(fp[rs2])))
-        return fn
-    if op == "fsub.d":
-        def fn(state, mem, mh):
-            fp = state.fp_regs
-            return _fp_result(state, rd, _f2b(_b2f(fp[rs1]) - _b2f(fp[rs2])))
-        return fn
-    if op == "fmul.d":
-        def fn(state, mem, mh):
-            fp = state.fp_regs
-            f1 = _b2f(fp[rs1])
-            f2 = _b2f(fp[rs2])
-            try:
-                value = _f2b(f1 * f2)
-            except OverflowError:
-                value = _f2b(float("inf") if (f1 > 0) == (f2 > 0)
-                             else float("-inf"))
-            return _fp_result(state, rd, value)
-        return fn
-    if op == "fdiv.d":
-        def fn(state, mem, mh):
-            fp = state.fp_regs
-            return _fp_result(
-                state, rd, _f2b(_fp_div(_b2f(fp[rs1]), _b2f(fp[rs2]))))
-        return fn
-    if op == "fsqrt.d":
-        def fn(state, mem, mh):
-            return _fp_result(
-                state, rd, _f2b(_fp_sqrt(_b2f(state.fp_regs[rs1]))))
-        return fn
-    if op == "fmin.d":
-        def fn(state, mem, mh):
-            fp = state.fp_regs
-            return _fp_result(
-                state, rd, _f2b(min(_b2f(fp[rs1]), _b2f(fp[rs2]))))
-        return fn
-    if op == "fmax.d":
-        def fn(state, mem, mh):
-            fp = state.fp_regs
-            return _fp_result(
-                state, rd, _f2b(max(_b2f(fp[rs1]), _b2f(fp[rs2]))))
-        return fn
-    if op == "fmv.d.x":
-        def fn(state, mem, mh):
-            return _fp_result(state, rd, state.int_regs[rs1])
-        return fn
-    if op == "fcvt.d.l":
-        def fn(state, mem, mh):
-            return _fp_result(
-                state, rd, _f2b(float(_signed(state.int_regs[rs1]))))
-        return fn
-    if op in ("feq.d", "flt.d", "fle.d"):
-        def fn(state, mem, mh):
-            fp = state.fp_regs
-            f1 = _b2f(fp[rs1])
-            f2 = _b2f(fp[rs2])
-            if f1 != f1 or f2 != f2:
-                result = 0
-            elif op == "feq.d":
-                result = 1 if f1 == f2 else 0
-            elif op == "flt.d":
-                result = 1 if f1 < f2 else 0
-            else:
-                result = 1 if f1 <= f2 else 0
-            return _int_result(state, rd, result)
-        return fn
-    if op == "fmv.x.d":
-        def fn(state, mem, mh):
-            return _int_result(state, rd, state.fp_regs[rs1])
-        return fn
-    if op == "fcvt.l.d":
-        def fn(state, mem, mh):
-            return _int_result(
-                state, rd, _fcvt_l(_b2f(state.fp_regs[rs1])) & _WORD)
-        return fn
-    raise SimulationError(f"no FP semantics for {op!r}")
+    return _decode_maker(instr.op)(instr.rd, instr.rs1, instr.rs2,
+                                   instr.imm, instr)
 
 
 # -- decoded programs --------------------------------------------------------

@@ -29,10 +29,13 @@ from collections import deque
 from repro.common.errors import PrivilegeError, SimulationError
 from repro.fabric.packets import RuntimeKind
 from repro.isa.instructions import SPECS, InstrClass
-from repro.isa.semantics import (_LOAD_SIZES, _STORE_SIZES, _div_signed,
-                                 _fcvt_l, _fp_div, _fp_sqrt, _rem_signed)
+from repro.isa.semantics import (_div_signed, _fcvt_l, _fp_div, _fp_sqrt,
+                                 _rem_signed)
+from repro.perf.cache import cached_compile
 from repro.perf.decode import _WORD, _b2f, _f2b, _signed
 from repro.perf.ops import exec_fragment, trap_expr
+from repro.perf.ops import indent as _indent
+from repro.perf.ops import mem_consts as _mem_consts
 
 #: Shared globals namespace for every exec-compiled maker.
 _GLOBALS = {
@@ -52,30 +55,14 @@ _GLOBALS = {
     "RK_CSR": RuntimeKind.CSR,
 }
 
-def _indent(src, spaces):
-    pad = " " * spaces
-    return "\n".join(pad + line if line.strip() else line
-                     for line in src.splitlines())
-
-
-def _compile_maker(source, name):
+def _compile_maker(build_source, name):
+    """Compile one maker through the persistent disk cache: a warm
+    start unmarshals the code object and skips both the source
+    assembly and the ``compile()``."""
+    code = cached_compile(name, build_source, f"<repro.perf.jit:{name}>")
     namespace = dict(_GLOBALS)
-    exec(compile(source, f"<repro.perf.jit:{name}>", "exec"), namespace)
+    exec(code, namespace)
     return namespace["maker"]
-
-
-def _mem_consts(op):
-    """Source lines binding the op's memory constants, or ''."""
-    if op in _LOAD_SIZES:
-        size, signed = _LOAD_SIZES[op]
-        return (f"    MEM_SIZE = {size}\n"
-                f"    MEM_SIGNED = {signed}\n"
-                f"    MEM_MASK = {(1 << (size * 8)) - 1}\n")
-    if op in _STORE_SIZES:
-        size = _STORE_SIZES[op]
-        return (f"    MEM_SIZE = {size}\n"
-                f"    MEM_MASK = {(1 << (size * 8)) - 1}\n")
-    return ""
 
 
 # ---------------------------------------------------------------------------
@@ -94,7 +81,8 @@ _BIG_SHARED_FIELDS = (
     "int_writers, fp_writers, access, pau, p_call, p_ind, p_ret, "
     "ROB_N, IQ_N, LDQ_N, STQ_N, IPRF_N, FPRF_N, FETCH_W, COMMIT_W, "
     "L1I_HIT, REDIRECT_EXTRA, BTB_BUBBLE, FRONT_DEPTH, "
-    "IFETCH, LOADK, STOREK, LOADFN, STOREFN, HOOK, FHOOK, CommitEvent")
+    "IFETCH, LOADK, STOREK, LOADFN, STOREFN, HOOK, FHOOK, CommitEvent, "
+    "HOT")
 
 _FETCH_SRC = """\
         line = pc >> 6
@@ -259,6 +247,16 @@ def _fast_hook_src(op, iclass):
     The record classification here is the source-level image of
     ``DataExtractionUnit.classify`` — keep the two in sync (the
     equivalence suite compares the kernels end to end).
+
+    Hook-path elimination: an op that logs nothing and cannot trap is
+    a *dormant* hook — the only thing ``fast_commit`` would do for it
+    is bump the segment's instruction count and test the checkpoint
+    timeout.  Those two operations are inlined here against the
+    controller's shared ``HOT`` cell (``[instr_count, close_budget]``,
+    see :attr:`~repro.core.controller.MeekController._hot`), so the
+    per-commit controller call disappears by construction; the
+    controller is only entered when a segment must open or close, or
+    when the commit produces a run-time log record.
     """
     trap = trap_expr(op)
     if iclass is InstrClass.LOAD:
@@ -271,6 +269,18 @@ def _fast_hook_src(op, iclass):
         args = "None, 0, 0, 0"
     # state.pc must be architecturally up to date before the controller
     # observes the commit (status snapshots read it as the next PC).
+    if args == "None, 0, 0, 0" and trap == "None":
+        return (
+            "        state.pc = next_pc\n"
+            "        n = HOT[0] + 1\n"
+            "        if n < HOT[1]:\n"
+            "            HOT[0] = n\n"
+            "        else:\n"
+            "            newc = FHOOK(index, pc, commit, ctc, None,"
+            " None, 0, 0, 0)\n"
+            "            if newc > commit:\n"
+            "                ctc = 0\n"
+            "                commit = newc")
     return ("        state.pc = next_pc\n"
             f"        newc = FHOOK(index, pc, commit, ctc, {trap}, {args})\n"
             "        if newc > commit:\n"
@@ -278,8 +288,8 @@ def _fast_hook_src(op, iclass):
             "            commit = newc")
 
 
-def _build_big_maker(op, mode):
-    """Compile the big-core step maker for ``op``.
+def _build_big_source(op, mode):
+    """Assemble the big-core step maker source for ``op``.
 
     Modes: ``"lean"`` (no hook) fuses the functional fragment into the
     step with no ExecResult; ``"fast"`` does the same but reports each
@@ -345,7 +355,7 @@ def maker(RD, RS1, RS2, IMM, OP_INSTR, MH, FN, POOL, LAT, OCC, SHARED):
         return {trap}
     return step
 """
-    return _compile_maker(source, f"big:{op}:{mode}")
+    return source
 
 
 _big_makers = {}
@@ -355,7 +365,8 @@ def _big_maker(op, mode):
     key = (op, mode)
     maker = _big_makers.get(key)
     if maker is None:
-        maker = _build_big_maker(op, mode)
+        maker = _compile_maker(lambda: _build_big_source(op, mode),
+                               f"big:{op}:{mode}")
         _big_makers[key] = maker
     return maker
 
@@ -379,6 +390,7 @@ def run_big_core(core, program, decoded, state, max_instructions,
     # overriding either method — keeps the classic CommitEvent/
     # ExecResult protocol so its overrides are actually invoked.
     fast_hook = None
+    hot = [0, 0]
     if commit_hook is not None:
         owner = getattr(commit_hook, "__self__", None)
         if owner is not None:
@@ -391,6 +403,10 @@ def run_big_core(core, program, decoded, state, max_instructions,
                     and getattr(commit_hook, "__func__", None)
                     is MeekController.commit_hook):
                 fast_hook = owner.fast_commit
+                # The controller's shared hot cell: dormant commits are
+                # absorbed in the stepper against this list and never
+                # enter the controller (see _fast_hook_src).
+                hot = owner._hot
     if commit_hook is None:
         mode = "lean"
     elif fast_hook is not None:
@@ -421,7 +437,7 @@ def run_big_core(core, program, decoded, state, max_instructions,
         FRONTEND_DEPTH,
         AccessKind.IFETCH, AccessKind.LOAD, AccessKind.STORE,
         state.memory.load, state.memory.store, commit_hook, fast_hook,
-        CommitEvent,
+        CommitEvent, hot,
     )
 
     pools = core._pools
@@ -468,8 +484,8 @@ def run_big_core(core, program, decoded, state, max_instructions,
 # Golden-model steps
 # ---------------------------------------------------------------------------
 
-def _build_golden_maker(op):
-    source = f"""\
+def _build_golden_source(op):
+    return f"""\
 def maker(RD, RS1, RS2, IMM, OP_INSTR, MH, SHARED):
     (state, regs, fregs, LOADFN, STOREFN) = SHARED
     UIMM = IMM & WORD
@@ -482,10 +498,18 @@ def maker(RD, RS1, RS2, IMM, OP_INSTR, MH, SHARED):
         return {trap_expr(op)}
     return step
 """
-    return _compile_maker(source, f"golden:{op}")
 
 
 _golden_makers = {}
+
+
+def _golden_maker(op):
+    maker = _golden_makers.get(op)
+    if maker is None:
+        maker = _compile_maker(lambda: _build_golden_source(op),
+                               f"golden:{op}")
+        _golden_makers[op] = maker
+    return maker
 
 
 def build_golden_steps(decoded, state, meek_handler=None):
@@ -496,12 +520,9 @@ def build_golden_steps(decoded, state, meek_handler=None):
     append = steps.append
     for entry in decoded.entries:
         instr = entry.instr
-        maker = _golden_makers.get(instr.op)
-        if maker is None:
-            maker = _build_golden_maker(instr.op)
-            _golden_makers[instr.op] = maker
-        append(maker(instr.rd, instr.rs1, instr.rs2, instr.imm, instr,
-                     meek_handler, shared))
+        append(_golden_maker(instr.op)(instr.rd, instr.rs1, instr.rs2,
+                                       instr.imm, instr, meek_handler,
+                                       shared))
     return steps
 
 
@@ -575,7 +596,7 @@ def _little_mark_src(spec):
     return "        pass"
 
 
-def _build_replay_maker(op):
+def _build_replay_source(op):
     spec = SPECS[op]
     iclass = spec.iclass
     needs_entry = iclass in (InstrClass.LOAD, InstrClass.STORE,
@@ -602,7 +623,8 @@ def _build_replay_maker(op):
 
     source = f"""\
 def maker(RD, RS1, RS2, IMM, OP_INSTR, SHARED):
-    (pipeline, icache_lookup, icache_fill, int_ready, fp_ready,
+    (pipeline, icache, icache_lookup, icache_fill, IC, IC_SHIFT,
+     int_ready, fp_ready,
      RATIO, MISS_PEN, DIV_BUSY, FDIV_BUSY, FP_LAT, FP_OCC, MUL_LAT,
      LOAD_LAT, BR_PEN) = SHARED
     MH = None  # checker replay never runs a MEEK handler
@@ -614,8 +636,18 @@ def maker(RD, RS1, RS2, IMM, OP_INSTR, SHARED):
         regs = state.int_regs
         fregs = state.fp_regs
         start = pipeline.time
-        if not icache_lookup(pc):
+        # Same-line fetch skip: a line just looked up is resident and
+        # already MRU, so repeating lookup() would only re-count the
+        # hit and touch the LRU list.  Count the hit directly; stats
+        # and LRU state stay bit-identical to the naive lookup.
+        line = pc >> IC_SHIFT
+        if line == IC[0]:
+            icache.hits += 1
+        elif icache_lookup(pc):
+            IC[0] = line
+        else:
             icache_fill(pc)
+            IC[0] = line
             start += MISS_PEN
         issue = start
 {_little_ready_src(spec)}
@@ -629,10 +661,19 @@ def maker(RD, RS1, RS2, IMM, OP_INSTR, SHARED):
         return {ret}
     return replay
 """
-    return _compile_maker(source, f"replay:{op}")
+    return source
 
 
 _replay_makers = {}
+
+
+def _replay_maker(op):
+    maker = _replay_makers.get(op)
+    if maker is None:
+        maker = _compile_maker(lambda: _build_replay_source(op),
+                               f"replay:{op}")
+        _replay_makers[op] = maker
+    return maker
 
 
 def build_replay_steps(decoded, pipeline):
@@ -653,7 +694,16 @@ def build_replay_steps(decoded, pipeline):
     if table is not None:
         return table
 
-    shared = (pipeline, pipeline.icache.lookup, pipeline.icache.fill,
+    ic_cell = getattr(pipeline, "_ic_line", None)
+    if ic_cell is None:
+        # Last fetched I-cache line, shared by every replay table on
+        # this pipeline (the pipeline — and its icache — persist
+        # across segments, so the cell must too).
+        ic_cell = [-1]
+        pipeline._ic_line = ic_cell
+    icache = pipeline.icache
+    shared = (pipeline, icache, icache.lookup, icache.fill,
+              ic_cell, icache._offset_bits,
               pipeline._int_ready, pipeline._fp_ready,
               pipeline.ratio, pipeline._miss_penalty, pipeline._div_busy,
               pipeline._fdiv_busy, pipeline._fp_lat, pipeline._fp_occ,
@@ -663,11 +713,33 @@ def build_replay_steps(decoded, pipeline):
     append = steps.append
     for entry in decoded.entries:
         instr = entry.instr
-        maker = _replay_makers.get(instr.op)
-        if maker is None:
-            maker = _build_replay_maker(instr.op)
-            _replay_makers[instr.op] = maker
-        append(maker(instr.rd, instr.rs1, instr.rs2, instr.imm, instr,
-                     shared))
+        append(_replay_maker(instr.op)(instr.rd, instr.rs1, instr.rs2,
+                                       instr.imm, instr, shared))
     cache[decoded] = steps
     return steps
+
+
+# ---------------------------------------------------------------------------
+# Warm-up
+# ---------------------------------------------------------------------------
+
+def prime_steppers(modes=("lean", "fast")):
+    """Materialize every per-op maker ahead of the first simulation.
+
+    Long-lived processes (batch mode, campaign workers) call this once
+    so no simulation pays a first-touch compile; with a warm disk cache
+    the whole prime is unmarshal-only.  Returns the number of makers
+    primed.
+    """
+    from repro.perf.decode import _decode_maker
+
+    count = 0
+    for op in SPECS:
+        _decode_maker(op)
+        _golden_maker(op)
+        _replay_maker(op)
+        count += 3
+        for mode in modes:
+            _big_maker(op, mode)
+            count += 1
+    return count

@@ -22,16 +22,41 @@ A fragment is Python source with these names in scope:
 
 Every fragment must leave ``next_pc`` defined and mirror
 :func:`repro.isa.semantics.execute` bit for bit — including *which*
-results are masked and the order of register reads vs. writes.  The
-fragments are deliberately line-by-line transcriptions of the closure
-compiler in :mod:`repro.perf.decode`, which the equivalence suite
-proves identical to the interpreted executor.
+results are masked and the order of register reads vs. writes.  This
+table is the **single** per-op expression source in the repository:
+:mod:`repro.perf.decode` exec-generates its ExecResult-returning
+closures from the same fragments (plus a result-assembly template),
+so the arithmetic cannot drift between the two compilers, and the
+equivalence suite proves both identical to the interpreted executor.
 
 Mem-op fragments additionally define ``addr`` (and stores ``value``)
 for the timing model; branch fragments define ``taken``.
 """
 
 from repro.isa.instructions import SPECS, InstrClass
+from repro.isa.semantics import _LOAD_SIZES, _STORE_SIZES
+
+
+def indent(src, spaces):
+    """Indent a fragment for splicing into a generated function."""
+    pad = " " * spaces
+    return "\n".join(pad + line if line.strip() else line
+                     for line in src.splitlines())
+
+
+def mem_consts(op, pad=4):
+    """Source lines binding the op's memory constants, or ``''``."""
+    prefix = " " * pad
+    if op in _LOAD_SIZES:
+        size, signed = _LOAD_SIZES[op]
+        return (f"{prefix}MEM_SIZE = {size}\n"
+                f"{prefix}MEM_SIGNED = {signed}\n"
+                f"{prefix}MEM_MASK = {(1 << (size * 8)) - 1}\n")
+    if op in _STORE_SIZES:
+        size = _STORE_SIZES[op]
+        return (f"{prefix}MEM_SIZE = {size}\n"
+                f"{prefix}MEM_MASK = {(1 << (size * 8)) - 1}\n")
+    return ""
 
 #: Ops whose fragment writes an integer destination computed into
 #: ``value`` (the shared "write rd" tail is appended by the template).

@@ -10,6 +10,13 @@ fast-kernel speedup:
 * **Kernel-speedup floor** — the fast-vs-slow kernel ratio is measured
   in-process and is therefore (nearly) machine-independent; losing it
   means the decoded kernel itself regressed, not the hardware.
+* **Warm-path ratio floors** — cold-vs-warm CLI start, batch-vs-
+  individual invocation, and persistent-vs-ephemeral campaign pool are
+  recorded as speedup *ratios* measured on one machine in one run, so
+  they survive slow shared runners; each gets a floor of
+  ``baseline * (1 - kernel_tolerance)`` (no clamp to 1.0 — these
+  ratios can legitimately sit near parity on some machines, and a
+  clamped floor would flake there).
 
 ``repro bench --check`` drives :func:`check_regression` and exits
 non-zero on any violation.
@@ -18,6 +25,13 @@ non-zero on any violation.
 import json
 
 from repro.perf.bench import BENCH_SCHEMA
+
+#: Warm-path sections whose speedup ratios get regression floors.
+_RATIO_METRICS = (
+    ("warm_start", "warm_speedup"),
+    ("batch", "batch_speedup"),
+    ("campaign", "pool_speedup"),
+)
 
 
 class Violation:
@@ -87,6 +101,21 @@ def check_regression(current, baseline, tolerance=0.5,
             if got < floor:
                 violations.append(Violation(
                     f"kernels/{ratio}", base_ratio, got, floor))
+
+    for section, key in _RATIO_METRICS:
+        base_ratio = (baseline.get(section) or {}).get(key)
+        if not base_ratio:
+            continue
+        cur_section = current.get(section)
+        if not cur_section:
+            # Section not measured this run (--skip-warm-start /
+            # --skip-campaign): nothing to compare, not a regression.
+            continue
+        floor = base_ratio * (1.0 - kernel_tolerance)
+        got = cur_section.get(key, 0.0)
+        if got < floor:
+            violations.append(Violation(
+                f"{section}/{key}", base_ratio, got, floor))
     return violations
 
 

@@ -55,6 +55,14 @@ def _sleep_task(point, campaign_name=""):
     return {"value": 1}
 
 
+@task("test_die")
+def _die_task(point, campaign_name=""):
+    if point.params.get("die"):
+        import os
+        os._exit(3)  # hard shard death: no exception, no result row
+    return {"value": 1}
+
+
 def small_spec(workloads=("dedup", "hmmer"), seeds=(0, 1)):
     return CampaignSpec.grid("t", workloads=workloads, seeds=seeds,
                              instructions=SMALL,
@@ -135,6 +143,73 @@ class TestExecutor:
         assert serial.metrics() == sharded.metrics()
         assert [r.point_id for r in serial.results] == \
             [r.point_id for r in sharded.results]
+
+    def test_persistent_pool_reused_across_campaigns(self):
+        """Contract (a) extended to the warm path: one pool, many
+        campaigns, still bit-identical to serial — and the pool stays
+        open between them (the executor must not close what it does
+        not own)."""
+        from repro.campaign.executor import WorkerPool
+
+        specs = [small_spec(workloads=("dedup",), seeds=(s, s + 1))
+                 for s in range(3)]
+        serial = [run_campaign(spec, jobs=1).metrics() for spec in specs]
+        with WorkerPool(2) as pool:
+            for spec, expect in zip(specs, serial):
+                result = run_campaign(spec, pool=pool, chunk_size=1)
+                assert result.all_ok
+                assert result.metrics() == expect
+                assert pool.healthy  # still alive for the next campaign
+
+    def test_pool_single_pending_point_stays_serial(self):
+        """A one-point campaign never pays pool streaming even when a
+        pool is supplied (matches the jobs>1 serial short-circuit)."""
+        from repro.campaign.executor import WorkerPool
+
+        spec = CampaignSpec(name="one", points=[
+            CampaignPoint(task="test_echo", params={"value": 3})])
+        CALLS.clear()
+        with WorkerPool(2) as pool:
+            result = run_campaign(spec, pool=pool)
+        assert result.all_ok and result.metrics()[0]["value"] == 6
+        assert CALLS  # evaluated in-process, not in a shard
+
+    def test_closed_pool_rejects_runs(self):
+        from repro.campaign.executor import WorkerPool
+
+        pool = WorkerPool(2)
+        pool.close()
+        assert not pool.healthy
+        with pytest.raises(RuntimeError):
+            pool.run("x", [(0, CampaignPoint(task="test_echo"))])
+
+    def test_partial_shard_death_terminates_not_hangs(self):
+        """One shard hard-exiting (os._exit, no traceback, no result)
+        must not wedge the run: survivors drain the queued chunks,
+        only the lost chunk's point becomes WorkerDied, and the pool
+        reports unhealthy so its owner rebuilds it."""
+        points = [CampaignPoint(task="test_die", workload=f"w{i}",
+                                params={"die": i == 1})
+                  for i in range(6)]
+        spec = CampaignSpec(name="die", points=points)
+        result = run_campaign(spec, jobs=2, chunk_size=1)
+        assert len(result.results) == 6
+        dead = [r for r in result.results if not r.ok]
+        assert dead and all("WorkerDied" in r.error for r in dead)
+        assert result.results[1] in dead
+
+    def test_pool_factory_not_invoked_when_nothing_pending(self, tmp_path):
+        """The service hands run_campaign a pool *factory*; a campaign
+        with at most one pending point must never invoke it (no
+        workers forked for a fully-resumed run)."""
+        points = [CampaignPoint(task="test_echo", params={"value": 1})]
+        spec = CampaignSpec(name="lazy", points=points)
+
+        def factory():
+            raise AssertionError("pool factory invoked for 1 point")
+
+        result = run_campaign(spec, jobs=4, pool=factory)
+        assert result.all_ok
 
     def test_resume_skips_completed_points(self, tmp_path):
         """Contract (b): points recorded OK are not re-evaluated."""

@@ -59,3 +59,71 @@ class TestCommands:
     def test_figure_tab3(self, capsys):
         assert main(["figure", "tab3"]) == 0
         assert "25.8%" in capsys.readouterr().out
+
+
+class TestBatch:
+    def test_batch_parses(self):
+        args = build_parser().parse_args(["batch", "-", "--keep-going"])
+        assert args.command == "batch" and args.keep_going
+
+    def test_batch_runs_commands_in_one_process(self, tmp_path, capsys):
+        script = tmp_path / "cmds.txt"
+        script.write_text(
+            "# comment lines and blanks are skipped\n"
+            "\n"
+            "list\n"
+            "repro run hmmer --instructions 2000\n")
+        assert main(["batch", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "swaptions" in out          # from `list`
+        assert "slowdown" in out           # from `run`
+        assert "2 command(s), 0 failed" in out
+
+    def test_batch_stops_on_failure_without_keep_going(self, tmp_path,
+                                                       capsys):
+        script = tmp_path / "cmds.txt"
+        script.write_text("definitely-not-a-command\nlist\n")
+        assert main(["batch", str(script)]) == 1
+        out = capsys.readouterr().out
+        assert "swaptions" not in out      # second line never ran
+
+    def test_batch_keep_going_runs_rest(self, tmp_path, capsys):
+        script = tmp_path / "cmds.txt"
+        script.write_text("definitely-not-a-command\nlist\n")
+        assert main(["batch", str(script), "--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert "swaptions" in out
+        assert "1 failed" in out
+
+    def test_batch_malformed_line_is_counted_failure(self, tmp_path,
+                                                     capsys):
+        """An unbalanced quote must be a per-line failure (honouring
+        --keep-going), never an uncaught shlex traceback."""
+        script = tmp_path / "cmds.txt"
+        script.write_text('run swaptions --note "oops\nlist\n')
+        assert main(["batch", str(script), "--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert "swaptions" in out  # the good line still ran
+        assert "1 failed" in out
+
+    def test_batch_handler_exception_is_counted_failure(self, tmp_path,
+                                                        capsys):
+        """A command whose handler raises (e.g. unknown workload ->
+        ConfigError) fails that line only; --keep-going proceeds."""
+        script = tmp_path / "cmds.txt"
+        script.write_text("run nosuchworkload --instructions 100\nlist\n")
+        assert main(["batch", str(script), "--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert "swaptions" in out  # `list` still ran
+        assert "2 command(s), 1 failed" in out
+
+    def test_batch_rejects_nesting(self, tmp_path):
+        inner = tmp_path / "inner.txt"
+        inner.write_text("list\n")
+        outer = tmp_path / "outer.txt"
+        outer.write_text(f"batch {inner}\n")
+        assert main(["batch", str(outer)]) == 1
+
+    def test_batch_missing_file(self, capsys):
+        assert main(["batch", "/no/such/command/file"]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -221,6 +221,40 @@ class TestShrinker:
         assert result.instructions <= 10
         assert predicate(small.build())
 
+    def test_shrink_identical_through_warm_service(self, monkeypatch):
+        """Routing ddmin through the pre-warmed execution service (the
+        CLI's path: cached steppers reused across every candidate
+        program) must select exactly the candidates the naive
+        slow-kernel shrink selects — the reducer's decisions are a
+        pure function of the harness verdicts, so the line sequences
+        must match."""
+        from repro.perf.service import ExecutionService
+
+        config = FuzzConfig(body_instructions=40,
+                            weights={"alu": 3, "load": 1, "store": 1})
+
+        def fresh_fuzz():
+            return generate_fuzz_program(
+                DeterministicRng("warm-shrink", name="g"), config)
+
+        def predicate(program):
+            report = diff_program(program, fault_rate=1.0,
+                                  fault_key="warm-shrink/fault",
+                                  fault_targets="pc")
+            return any(m.startswith("meek-replay")
+                       for m in report.mismatches)
+
+        ExecutionService().warm()  # the warm path under test
+        monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+        warm_result, warm_small = shrink_fuzz_program(fresh_fuzz(),
+                                                      predicate)
+        monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+        slow_result, slow_small = shrink_fuzz_program(fresh_fuzz(),
+                                                      predicate)
+        assert warm_result.lines == slow_result.lines
+        assert warm_result.instructions == slow_result.instructions
+        assert warm_small.lines == slow_small.lines
+
     def test_artifact_roundtrip(self, tmp_path):
         path = write_artifact(str(tmp_path), "task/a/b",
                               {"source": ["    ecall"], "n": 1})

@@ -68,8 +68,9 @@ def test_perf_floor_vanilla_big_core(swaptions_program):
 # -- regression-harness logic ------------------------------------------------
 
 def _fake_result(rate=100_000.0, speedup=2.0):
+    from repro.perf.bench import BENCH_SCHEMA
     return {
-        "schema": 1,
+        "schema": BENCH_SCHEMA,
         "config": {"instructions": 1000},
         "workloads": {
             "swaptions": {
@@ -124,6 +125,25 @@ class TestCheckRegression:
         violation = Violation("m", 100.0, 10.0, 50.0)
         assert "below floor" in str(violation)
 
+    def test_warm_path_ratio_drop_flagged(self):
+        base = _fake_result()
+        base["warm_start"] = {"warm_speedup": 2.0}
+        current = _fake_result()
+        current["warm_start"] = {"warm_speedup": 0.8}
+        violations = check_regression(current, base, kernel_tolerance=0.5)
+        assert "warm_start/warm_speedup" in [v.metric for v in violations]
+
+    def test_skipped_warm_sections_not_flagged(self):
+        """--skip-warm-start/--skip-campaign runs leave the sections
+        None; --check must treat that as unmeasured, not regressed."""
+        base = _fake_result()
+        base["warm_start"] = {"warm_speedup": 2.0}
+        base["batch"] = {"batch_speedup": 2.0}
+        base["campaign"] = {"pool_speedup": 1.5}
+        current = _fake_result()  # sections absent entirely
+        current["warm_start"] = None
+        assert check_regression(current, base) == []
+
 
 class TestBaselineIo:
     def test_round_trip(self, tmp_path):
@@ -150,7 +170,8 @@ class TestBaselineIo:
 # -- CLI acceptance ----------------------------------------------------------
 
 _BENCH_ARGS = ["bench", "--workloads", "mcf", "--instructions", "1500",
-               "--repeat", "1", "--skip-figures", "--skip-kernels"]
+               "--repeat", "1", "--skip-figures", "--skip-kernels",
+               "--skip-warm-start", "--skip-campaign"]
 
 
 @pytest.mark.bench

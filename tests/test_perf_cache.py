@@ -1,0 +1,272 @@
+"""Persistent compilation cache + warm execution service.
+
+Satellite coverage for the warm path: stale-key invalidation when the
+generator sources change, corrupted/truncated cache-file fallback,
+concurrent-writer safety across processes, the disable switch, and the
+service/pool lifecycle on top.
+"""
+
+import marshal
+import multiprocessing
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.perf import cache as cache_mod
+from repro.perf.cache import (CodeCache, cached_compile,
+                              disk_cache_enabled, source_fingerprint,
+                              stepper_cache)
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """A private cache dir + fresh singleton, restored afterwards."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    cache_mod.reset_stepper_cache()
+    yield tmp_path
+    cache_mod.reset_stepper_cache()
+
+
+def _make_code(value):
+    return compile(f"def fn():\n    return {value}\n", "<test>", "exec")
+
+
+def _run_code(code):
+    namespace = {}
+    exec(code, namespace)
+    return namespace["fn"]()
+
+
+class TestCodeCache:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = str(tmp_path / "steppers.marshal")
+        cache = CodeCache(path)
+        cache.put("k", _make_code(42))
+        assert cache.flush()
+        fresh = CodeCache(path)  # a new process's view
+        assert _run_code(fresh.get("k")) == 42
+
+    def test_missing_file_is_cold(self, tmp_path):
+        cache = CodeCache(str(tmp_path / "absent.marshal"))
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    @pytest.mark.parametrize("payload", [
+        b"garbage that is not a cache",
+        b"RPRC\x01truncated-marshal",
+        marshal.dumps({"no": "magic"}),
+        b"RPRC\x01" + marshal.dumps([1, 2, 3]),       # not a dict
+        b"RPRC\x01" + marshal.dumps({"k": "notcode"}),  # wrong value type
+        b"",
+    ])
+    def test_corrupt_file_falls_back_to_cold(self, tmp_path, payload):
+        path = tmp_path / "steppers.marshal"
+        path.write_bytes(payload)
+        cache = CodeCache(str(path))
+        assert cache.get("k") is None  # no exception, just a miss
+        cache.put("k", _make_code(7))
+        assert cache.flush()  # overwrites the bad file with a healthy one
+        assert _run_code(CodeCache(str(path)).get("k")) == 7
+
+    def test_truncated_after_valid_write(self, tmp_path):
+        path = tmp_path / "steppers.marshal"
+        cache = CodeCache(str(path))
+        cache.put("k", _make_code(1))
+        cache.flush()
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        assert CodeCache(str(path)).get("k") is None
+
+    def test_flush_merges_with_existing_entries(self, tmp_path):
+        path = str(tmp_path / "steppers.marshal")
+        first = CodeCache(path)
+        first.put("a", _make_code(1))
+        first.flush()
+        second = CodeCache(path)
+        second.put("b", _make_code(2))
+        second.flush()
+        merged = CodeCache(path)
+        assert _run_code(merged.get("a")) == 1
+        assert _run_code(merged.get("b")) == 2
+
+    def test_flush_survives_unwritable_directory(self, tmp_path):
+        cache = CodeCache(str(tmp_path / "no" / "such" / "dir" / "c.m"))
+        cache.put("k", _make_code(3))
+        # Point the file somewhere uncreatable on POSIX.
+        cache.path = "/proc/repro-definitely-not-writable/c.m"
+        assert cache.flush() is False  # degraded, not raised
+
+
+def _concurrent_writer(path, worker):
+    cache = CodeCache(path)
+    code = compile(f"def fn():\n    return {worker}\n", "<w>", "exec")
+    for round_ in range(5):
+        cache.put(f"w{worker}-r{round_}", code)
+        cache._dirty = True
+        cache.flush()
+
+
+class TestConcurrentWriters:
+    def test_parallel_flushes_never_corrupt(self, tmp_path):
+        """Campaign workers warm up at once: whatever interleaving the
+        atomic-replace race produces, the file must stay parseable and
+        every surviving entry must be a working code object."""
+        path = str(tmp_path / "steppers.marshal")
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        workers = [ctx.Process(target=_concurrent_writer,
+                               args=(path, worker))
+                   for worker in range(4)]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        final = CodeCache(path)
+        assert len(final) > 0
+        for key in list(final._entries):
+            assert _run_code(final.get(key)) is not None
+
+
+class TestFingerprint:
+    def test_extra_changes_digest(self):
+        assert source_fingerprint() != source_fingerprint(extra=b"v2")
+
+    def test_ops_source_change_invalidates_wholesale(self, isolated_cache,
+                                                     monkeypatch):
+        """Editing the expression table must orphan every cached
+        stepper: the digest keys the *file name*, so a source change
+        leaves the stale entries unreachable."""
+        cache_a = stepper_cache()
+        cache_a.put("big:add:fast", _make_code(1))
+        cache_a.flush()
+        monkeypatch.setattr(cache_mod, "_generator_sources",
+                            lambda: [b"edited ops table", b"", b""])
+        cache_mod.reset_stepper_cache()
+        cache_b = stepper_cache()
+        assert cache_b.path != cache_a.path
+        assert cache_b.get("big:add:fast") is None
+
+    def test_python_version_in_digest(self, monkeypatch):
+        digest_now = source_fingerprint()
+        monkeypatch.setattr(cache_mod.sys, "version_info", (2, 7, 0))
+        assert source_fingerprint() != digest_now
+
+
+class TestStepperCacheSwitch:
+    def test_disable_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        cache_mod.reset_stepper_cache()
+        assert not disk_cache_enabled()
+        cache = stepper_cache()
+        cache.put("k", _make_code(5))
+        assert cache.get("k") is None
+        assert cache.flush() is False
+        assert list(tmp_path.iterdir()) == []
+        cache_mod.reset_stepper_cache()
+
+    def test_cache_dir_env_override(self, isolated_cache):
+        assert cache_mod.cache_dir() == str(isolated_cache)
+
+    def test_cached_compile_skips_build_when_warm(self, isolated_cache):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return "def maker():\n    return 99\n"
+
+        code = cached_compile("test:maker", build, "<t>")
+        assert calls == [1]
+        stepper_cache().flush()
+        cache_mod.reset_stepper_cache()  # simulate a fresh process
+        warm = cached_compile("test:maker", build, "<t>")
+        assert calls == [1]  # never rebuilt
+        assert _run_code_maker(warm) == _run_code_maker(code) == 99
+
+
+def _run_code_maker(code):
+    namespace = {}
+    exec(code, namespace)
+    return namespace["maker"]()
+
+
+class TestWarmStartEquivalence:
+    def test_cold_and_warm_processes_agree(self, tmp_path):
+        """A subprocess with an empty cache and one reading the cache
+        it wrote must produce identical simulation results."""
+        script = (
+            "from repro.workloads import generate_program, get_profile\n"
+            "from repro.difftest.golden import run_golden\n"
+            "from repro.core.system import run_vanilla\n"
+            "p = generate_program(get_profile('dedup'), "
+            "dynamic_instructions=2000, seed=3)\n"
+            "g = run_golden(p); v = run_vanilla(p)\n"
+            "print(g.instructions, g.state.pc, v.cycles, "
+            "sum(v.state.int_regs))\n")
+        env = dict(os.environ, REPRO_CACHE_DIR=str(tmp_path))
+        env.pop("REPRO_NO_DISK_CACHE", None)
+        outputs = []
+        for _ in range(2):
+            proc = subprocess.run([sys.executable, "-c", script], env=env,
+                                  capture_output=True, text=True,
+                                  timeout=120)
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert any(name.startswith("steppers-")
+                   for name in os.listdir(tmp_path))
+
+
+class TestExecutionService:
+    def test_warm_is_idempotent(self):
+        from repro.perf.service import ExecutionService
+        service = ExecutionService()
+        assert service.warm() > 0
+        assert service.warm() == 0
+
+    def test_serial_needs_no_pool(self, monkeypatch):
+        from repro.perf.service import ExecutionService
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        service = ExecutionService()
+        assert service.pool(1) is None
+        assert service.pool(None) is None
+
+    def test_pool_reused_then_rebuilt_on_jobs_change(self):
+        from repro.perf.service import ExecutionService
+        service = ExecutionService()
+        try:
+            pool2 = service.pool(2)
+            assert service.pool(2) is pool2
+            pool3 = service.pool(3)
+            assert pool3 is not pool2
+            assert pool3.jobs == 3
+        finally:
+            service.shutdown()
+
+    def test_service_campaign_matches_serial(self):
+        from repro.campaign import CampaignPoint, CampaignSpec, run_campaign
+        from repro.perf.service import ExecutionService
+
+        def spec():
+            return CampaignSpec(
+                name="svc",
+                points=[CampaignPoint(task="meek", workload="dedup",
+                                      instructions=800, seed=s,
+                                      params={"cores": 2})
+                        for s in range(3)])
+
+        serial = run_campaign(spec(), jobs=1)
+        service = ExecutionService()
+        try:
+            pooled = service.run_campaign(spec(), jobs=2)
+            again = service.run_campaign(spec(), jobs=2)  # pool reuse
+        finally:
+            service.shutdown()
+        assert pooled.all_ok and again.all_ok
+        assert pooled.metrics() == serial.metrics()
+        assert again.metrics() == serial.metrics()

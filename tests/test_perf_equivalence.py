@@ -245,6 +245,55 @@ def test_compiled_closures_match_interpreter_per_op(monkeypatch):
                     == state_b.memory.snapshot()), op
 
 
+@pytest.mark.parametrize("timeout", [1, 2, 3, 7, 64])
+def test_tiny_checkpoint_timeouts_bit_identical(timeout, monkeypatch):
+    """Hook-path elimination edge cases: the inline dormant-commit
+    counter must hand control back to the controller on exactly the
+    commit that reaches the checkpoint timeout, for any timeout —
+    including 1 (every commit closes a segment, the inline path never
+    fires) and values small enough that segments close mid-burst."""
+    from dataclasses import replace
+
+    program = generate_program(get_profile("hmmer"),
+                               dynamic_instructions=1_200, seed=5)
+    config = default_meek_config(num_little_cores=2)
+    little = config.little_core
+    config = replace(config, little_core=replace(
+        little, lsl=replace(little.lsl, instruction_timeout=timeout)))
+
+    def fingerprint():
+        result = MeekSystem(config).run(program)
+        return ([(s.seg_id, s.instr_count, s.end_reason, s.close_cycle)
+                 for s in result.segments],
+                result.cycles, str(result.controller.stats()))
+
+    _set_kernel(monkeypatch, slow=False)
+    fast = fingerprint()
+    _set_kernel(monkeypatch, slow=True)
+    assert fast == fingerprint()
+
+
+def test_checking_disabled_bit_identical(monkeypatch):
+    """With the DEU off the fast kernel absorbs every commit inline
+    (unbounded budget); timing must still match the slow kernel."""
+    from dataclasses import replace
+
+    program = generate_program(get_profile("dedup"),
+                               dynamic_instructions=1_500, seed=2)
+    config = replace(default_meek_config(num_little_cores=2),
+                     checking_enabled=False)
+
+    def run():
+        result = MeekSystem(config).run(program)
+        return (result.cycles, result.instructions, len(result.segments),
+                tuple(result.big.state.int_regs))
+
+    _set_kernel(monkeypatch, slow=False)
+    fast = run()
+    _set_kernel(monkeypatch, slow=True)
+    assert fast == run()
+
+
 def test_jit_makers_compile_for_every_op():
     """Every op in the ISA compiles in all stepper modes."""
     from repro.isa.instructions import SPECS
@@ -253,8 +302,8 @@ def test_jit_makers_compile_for_every_op():
     for op in SPECS:
         for mode in ("lean", "hooked", "fast"):
             assert jit._big_maker(op, mode) is not None
-        assert jit._build_golden_maker(op) is not None
-        assert jit._build_replay_maker(op) is not None
+        assert jit._golden_maker(op) is not None
+        assert jit._replay_maker(op) is not None
 
 
 def test_slow_kernel_env_toggle(monkeypatch):
