@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 from repro.campaign.results import PointResult, ResultStore, aggregate
 from repro.campaign.spec import CampaignPoint
 from repro.campaign.tasks import evaluate_point
+from repro.obs.events import event_log
+from repro.obs.metrics import get_registry
 
 
 class PointTimeout(Exception):
@@ -53,6 +55,9 @@ class CampaignResult:
 
     spec: object
     results: list = field(default_factory=list)
+    #: Corrupt/truncated JSONL rows skipped while loading the resume
+    #: store (surfaced in the end-of-run summary, not just warned).
+    corrupt_rows_skipped: int = 0
 
     @property
     def ok(self):
@@ -111,6 +116,9 @@ def _evaluate_guarded(point, index, campaign_name, timeout_s, worker_id):
                 signal.signal(signal.SIGALRM, previous)
     result.elapsed_s = time.perf_counter() - start
     result.worker = worker_id
+    event_log().emit("point_complete", worker=worker_id,
+                     point_id=result.point_id, index=index, ok=result.ok,
+                     elapsed_s=result.elapsed_s)
     return result
 
 
@@ -141,16 +149,25 @@ def _pool_worker(worker_id, task_queue, result_queue, warm):
             _warm_worker()
         except Exception:  # noqa: BLE001 — warm-up is never fatal
             pass
+    log = event_log()
+    log.emit("shard_ready", worker=worker_id)
     while True:
         item = task_queue.get()
         if item is None:
             break
         epoch, campaign_name, timeout_s, chunk = item
+        log.emit("chunk_lease", worker=worker_id, epoch=epoch,
+                 campaign=campaign_name, points=len(chunk))
         for index, point_dict in chunk:
             point = CampaignPoint.from_dict(point_dict)
             result = _evaluate_guarded(point, index, campaign_name,
                                        timeout_s, worker_id)
             result_queue.put((epoch, result.to_row()))
+        # One heartbeat per drained chunk: liveness at a commit-log
+        # boundary, never per point (the hot path stays event-free).
+        log.emit("worker_heartbeat", worker=worker_id, epoch=epoch,
+                 campaign=campaign_name)
+    log.emit("shard_exit", worker=worker_id)
 
 
 def _chunk(pending, chunk_size, jobs):
@@ -196,6 +213,10 @@ class WorkerPool:
             for worker_id in range(self.jobs)]
         for proc in self._workers:
             proc.start()
+        log = event_log()
+        for worker_id, proc in enumerate(self._workers):
+            log.emit("shard_spawn", worker=worker_id, child_pid=proc.pid,
+                     jobs=self.jobs)
 
     @property
     def healthy(self):
@@ -228,6 +249,12 @@ class WorkerPool:
                 if alive == 0:
                     break  # everyone gone; stragglers marked below
                 if alive < len(self._workers) and not draining_after_death:
+                    for worker_id, proc in enumerate(self._workers):
+                        if not proc.is_alive():
+                            event_log().emit("shard_death",
+                                             worker=worker_id,
+                                             child_pid=proc.pid,
+                                             exitcode=proc.exitcode)
                     # A shard died and its in-flight chunk died with it,
                     # so `remaining` can never reach zero.  Hand the
                     # survivors shutdown sentinels: they drain the
@@ -269,6 +296,7 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
+        event_log().emit("pool_close", jobs=self.jobs)
         for _ in self._workers:
             self._task_queue.put(None)
         for proc in self._workers:
@@ -285,7 +313,7 @@ class WorkerPool:
 
 def run_campaign(spec, jobs=None, store=None, resume_from=None,
                  progress=None, chunk_size=None, point_timeout_s=None,
-                 pool=None):
+                 pool=None, live=None):
     """Execute ``spec`` and return a :class:`CampaignResult`.
 
     ``jobs``
@@ -311,14 +339,22 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
     ``point_timeout_s``
         Per-point wall-clock budget; an overrun becomes a failed
         point, not a stuck campaign.
+    ``live``
+        Optional :class:`repro.obs.live.LiveStatus`: fed every fresh
+        result and finalized when the campaign ends, so other
+        processes can watch the run through its published
+        ``status.json``.
     """
     spec.validate()
     jobs = default_jobs(jobs)
+    log = event_log()
     if point_timeout_s is not None and not hasattr(signal, "SIGALRM"):
         warnings.warn("point_timeout_s needs SIGALRM (unavailable on "
                       "this platform); points run unbounded",
                       RuntimeWarning, stacklevel=2)
     done = {}
+    corrupt_counter = get_registry().counter("store.corrupt_rows_skipped")
+    corrupt_before = corrupt_counter.value
     if resume_from is not None and os.path.exists(resume_from):
         stored = ResultStore.load(resume_from)
         for index, point in enumerate(spec.points):
@@ -326,14 +362,23 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
             if previous is not None and previous.ok:
                 previous.index = index  # realign with this spec's order
                 done[index] = previous
+    corrupt_skipped = corrupt_counter.value - corrupt_before
     pending = [(i, p) for i, p in enumerate(spec.points) if i not in done]
+    log.emit("campaign_start", campaign=spec.name,
+             points=len(spec.points), pending=len(pending),
+             resumed=len(done), jobs=jobs)
+    if live is not None:
+        live.begin(resumed=len(done), corrupt_rows_skipped=corrupt_skipped)
 
     def on_result(result):
         if store is not None:
             store.append(result)
+        if live is not None:
+            live.point(result)
         if progress is not None:
             progress(result)
 
+    start = time.monotonic()
     if pool is not None and len(pending) > 1 and callable(pool):
         pool = pool()
     if pool is not None and not callable(pool) and len(pending) > 1:
@@ -354,4 +399,10 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
 
     collected.update(done)
     results = [collected[i] for i in range(len(spec.points))]
-    return CampaignResult(spec=spec, results=results)
+    failed = sum(1 for r in results if not r.ok)
+    log.emit("campaign_end", campaign=spec.name, points=len(results),
+             failed=failed, dur_s=time.monotonic() - start)
+    if live is not None:
+        live.finish()
+    return CampaignResult(spec=spec, results=results,
+                          corrupt_rows_skipped=corrupt_skipped)

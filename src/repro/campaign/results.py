@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import mean
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -73,7 +74,9 @@ class ResultStore:
                     if raw.read(1) != b"\n":
                         raw.write(b"\n")
         except FileNotFoundError:
-            pass
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
         return open(self.path, "a", encoding="utf-8")
 
     def __enter__(self):
@@ -105,10 +108,15 @@ class ResultStore:
         Later rows win (a re-run of a previously failed point
         supersedes the failure).  A corrupt row — most commonly a
         trailing line truncated when a campaign was killed mid-write —
-        is skipped with a warning rather than aborting the resume: the
-        point it would have recorded simply re-runs.
+        is skipped rather than aborting the resume: the point it would
+        have recorded simply re-runs.  Every skipped row counts into
+        the ``store.corrupt_rows_skipped`` observability counter (the
+        executor surfaces the per-run delta in the end-of-run summary
+        and the live status), so corruption is visible even when the
+        one-time warning scrolled away.
         """
         results = {}
+        corrupt = get_registry().counter("store.corrupt_rows_skipped")
         # errors="replace": an undecodable (half-written) row must land
         # in the per-line JSON guard below, not abort the whole load.
         with open(path, "r", encoding="utf-8",
@@ -120,6 +128,7 @@ class ResultStore:
                 try:
                     result = PointResult.from_row(json.loads(line))
                 except (ValueError, KeyError, TypeError) as exc:
+                    corrupt.inc()
                     warnings.warn(
                         f"{path}:{lineno}: skipping corrupt result row "
                         f"({type(exc).__name__}: {exc}); the point will "
@@ -175,11 +184,14 @@ def _slowdown_denominators(spec, results):
     return baselines
 
 
-def format_summary(spec, results):
+def format_summary(spec, results, corrupt_rows_skipped=0):
     """Render the campaign summary table + aggregate footer.
 
     Rows are emitted in spec order and carry only deterministic
     metrics, so the output is byte-identical for any ``--jobs``.
+    ``corrupt_rows_skipped`` (from
+    :attr:`~repro.campaign.executor.CampaignResult.corrupt_rows_skipped`)
+    adds a footer line when a resume had to skip damaged store rows.
     """
     baselines = _slowdown_denominators(spec, results)
     by_index = {r.index: r for r in results}
@@ -216,4 +228,7 @@ def format_summary(spec, results):
     if "mean_latency_ns" in agg:
         footer += (f"; latency mean {agg['mean_latency_ns']:.0f} ns"
                    f" worst {agg['worst_latency_ns']:.0f} ns")
+    if corrupt_rows_skipped:
+        footer += (f"\ncorrupt store rows skipped on resume: "
+                   f"{corrupt_rows_skipped} (those points re-ran)")
     return table + footer + "\n"

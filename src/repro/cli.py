@@ -12,6 +12,8 @@ Usage (``python -m repro ...``)::
     python -m repro difftest --programs 50 --seed 7 --jobs 4 --shrink
     python -m repro difftest --self-check
     python -m repro bench --check
+    python -m repro bench --trend
+    python -m repro watch results.jsonl
     python -m repro batch commands.txt
     python -m repro list
 
@@ -37,6 +39,16 @@ first starts warm; the grid-shaped commands (``inject``,
 ``campaign``, ``difftest``, ``figure``) additionally stream through
 the persistent in-process worker pool of :mod:`repro.perf.service`,
 while ``run`` — one simulation — relies on the disk cache alone.
+
+Observability: a campaign with ``--out`` publishes an atomically
+updated ``<out>.status.json`` snapshot (``--status`` overrides the
+location) that ``repro watch`` tails live — incremental
+detection-latency percentiles, throughput, per-shard health, ETA;
+``watch --once`` prints a single snapshot for scripts and CI.
+``--events FILE`` (or ``$REPRO_EVENTS``) turns on the structured
+JSONL event log across every process of the run.  ``repro bench``
+appends each run to ``benchmarks/BENCH_history.jsonl``; ``repro
+bench --trend`` renders the per-metric trajectory.
 """
 
 import argparse
@@ -103,10 +115,19 @@ def _progress(spec, args):
     return None
 
 
+def _events(args):
+    """Install the JSONL event log when ``--events`` was given (before
+    any workers fork, so they inherit the sink)."""
+    if getattr(args, "events", None):
+        from repro.obs.events import install_event_log
+        install_event_log(args.events)
+
+
 def _cmd_inject(args):
     from repro.campaign import CampaignPoint, CampaignSpec
     from repro.perf.service import get_service
 
+    _events(args)
     points = [
         CampaignPoint(
             task="inject", workload=args.workload,
@@ -140,6 +161,7 @@ def _cmd_campaign(args):
     from repro.campaign import CampaignSpec, ResultStore, format_summary
     from repro.perf.service import get_service
 
+    _events(args)
     if args.spec is not None:
         try:
             spec = CampaignSpec.from_file(args.spec)
@@ -174,12 +196,17 @@ def _cmd_campaign(args):
         print("campaign: --resume needs --out FILE to resume from",
               file=sys.stderr)
         return 2
+    from repro.campaign import default_jobs
+    from repro.obs.live import attach_live
     with ResultStore(path=args.out) as store:
+        live = attach_live(spec, jobs=default_jobs(args.jobs), store=store,
+                           status_path=args.status)
         result = get_service().run_campaign(
             spec, jobs=args.jobs, store=store, resume_from=resume_from,
             progress=_progress(spec, args),
-            point_timeout_s=args.point_timeout)
-    print(format_summary(spec, result.results))
+            point_timeout_s=args.point_timeout, live=live)
+    print(format_summary(spec, result.results,
+                         corrupt_rows_skipped=result.corrupt_rows_skipped))
     return 0 if result.all_ok else 1
 
 
@@ -264,6 +291,7 @@ def _cmd_difftest(args):
                                 shrink_fuzz_program, write_artifact)
     from repro.perf.service import get_service
 
+    _events(args)
     if args.self_check:
         return _difftest_self_check(args)
     if args.resume and args.out is None:
@@ -278,11 +306,15 @@ def _cmd_difftest(args):
         service.warm()
     points = [_difftest_point(args, i) for i in range(args.programs)]
     spec = CampaignSpec(name=f"difftest-seed{args.seed}", points=points)
+    from repro.campaign import default_jobs
+    from repro.obs.live import attach_live
     with ResultStore(path=args.out) as store:
         result = service.run_campaign(
             spec, jobs=args.jobs, store=store,
             resume_from=args.out if args.resume else None,
-            progress=_progress(spec, args))
+            progress=_progress(spec, args),
+            live=attach_live(spec, jobs=default_jobs(args.jobs),
+                             store=store))
 
     for failure in result.failed:
         print(f"point failed    : {failure.point_id}: "
@@ -322,6 +354,12 @@ def _cmd_bench(args):
     from repro.perf.bench import format_bench, run_bench
     from repro.perf.regress import (check_regression, format_check,
                                     load_baseline, write_result)
+
+    if args.trend:
+        from repro.perf.history import format_trend, load_history
+        print(format_trend(load_history(args.history),
+                           last=args.trend_last))
+        return 0
 
     figures = () if args.skip_figures else tuple(args.figures)
     result = run_bench(
@@ -373,7 +411,21 @@ def _cmd_bench(args):
         else:
             write_result(result, args.out)
             print(f"bench written : {args.out}")
+    if args.history:
+        from repro.perf.history import append_history
+        record = append_history(result, path=args.history)
+        if record is not None:
+            print(f"bench history : {args.history} "
+                  f"(sha {record['git_sha'] or 'unknown'}, "
+                  f"{len(record['metrics'])} metrics)")
     return status
+
+
+def _cmd_watch(args):
+    from repro.obs.watch import watch
+
+    return watch(args.path, interval_s=args.interval, once=args.once,
+                 max_wait_s=args.wait)
 
 
 def _cmd_batch(args):
@@ -496,6 +548,9 @@ def build_parser():
                                help="worker shards (default $REPRO_JOBS or 1)")
     inject_parser.add_argument("--progress", action="store_true",
                                help="force the stderr progress line")
+    inject_parser.add_argument("--events", default=None,
+                               help="append structured JSONL events here "
+                                    "(sets $REPRO_EVENTS for all workers)")
 
     figure_parser = sub.add_parser("figure",
                                    help="regenerate a paper table/figure")
@@ -532,6 +587,13 @@ def build_parser():
                                  help="per-point wall-clock budget (s)")
     campaign_parser.add_argument("--progress", action="store_true",
                                  help="force the stderr progress line")
+    campaign_parser.add_argument("--status", default=None,
+                                 help="publish the live status snapshot "
+                                      "here (default: <out>.status.json "
+                                      "when --out is given)")
+    campaign_parser.add_argument("--events", default=None,
+                                 help="append structured JSONL events here "
+                                      "(sets $REPRO_EVENTS for all workers)")
 
     bench_parser = sub.add_parser(
         "bench",
@@ -569,6 +631,16 @@ def build_parser():
                               help="allowed fractional throughput drop")
     bench_parser.add_argument("--kernel-tolerance", type=float, default=0.5,
                               help="allowed fractional kernel-speedup drop")
+    bench_parser.add_argument("--history",
+                              default="benchmarks/BENCH_history.jsonl",
+                              help="append each run (with git SHA) to this "
+                                   "JSONL trend history ('' skips)")
+    bench_parser.add_argument("--trend", action="store_true",
+                              help="render the recorded per-metric "
+                                   "trajectory and exit (no benchmark run)")
+    bench_parser.add_argument("--trend-last", type=int, default=20,
+                              help="history entries shown per metric "
+                                   "with --trend")
 
     difftest_parser = sub.add_parser(
         "difftest",
@@ -598,6 +670,27 @@ def build_parser():
                                  help="skip points already OK in --out")
     difftest_parser.add_argument("--progress", action="store_true",
                                  help="force the stderr progress line")
+    difftest_parser.add_argument("--events", default=None,
+                                 help="append structured JSONL events here "
+                                      "(sets $REPRO_EVENTS for all "
+                                      "workers)")
+
+    watch_parser = sub.add_parser(
+        "watch",
+        help="tail a running campaign's live status (or summarize a "
+             "finished result store)")
+    watch_parser.add_argument("path",
+                              help="status snapshot (*.status.json), "
+                                   "result store (results.jsonl), or a "
+                                   "directory containing snapshots")
+    watch_parser.add_argument("--interval", type=float, default=1.0,
+                              help="refresh interval in seconds")
+    watch_parser.add_argument("--once", action="store_true",
+                              help="print a single snapshot and exit "
+                                   "(scripting/CI mode)")
+    watch_parser.add_argument("--wait", type=float, default=10.0,
+                              help="seconds to wait for the snapshot to "
+                                   "appear before giving up")
 
     batch_parser = sub.add_parser(
         "batch",
@@ -621,6 +714,7 @@ _HANDLERS = {
     "difftest": _cmd_difftest,
     "bench": _cmd_bench,
     "batch": _cmd_batch,
+    "watch": _cmd_watch,
 }
 
 

@@ -29,7 +29,7 @@ def build_workload(name, dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
                             seed=seed)
 
 
-def run_grid(name, points, jobs=None, progress=None):
+def run_grid(name, points, jobs=None, progress=None, live=None):
     """Execute experiment ``points`` through the campaign engine.
 
     Returns the per-point metrics dicts in point order.  Identical
@@ -37,8 +37,12 @@ def run_grid(name, points, jobs=None, progress=None):
     submitted once and their metrics fanned back out.  Experiment
     grids must evaluate completely — a failed point aborts with its
     captured error rather than producing a figure with holes.
+    ``live`` threads a :class:`repro.obs.live.LiveStatus` through to
+    the executor so long figure sweeps are watchable like any other
+    campaign.
     """
     from repro.campaign import CampaignSpec
+    from repro.obs.events import event_log
     from repro.perf.service import get_service
 
     points = list(points)
@@ -52,7 +56,10 @@ def run_grid(name, points, jobs=None, progress=None):
     # Through the warm execution service: drivers that submit several
     # grids (and figure sweeps run back to back) stream through one
     # persistent, pre-warmed worker pool instead of forking per grid.
-    result = get_service().run_campaign(spec, jobs=jobs, progress=progress)
+    with event_log().span("grid", name=name, points=len(points),
+                          unique=len(unique)):
+        result = get_service().run_campaign(spec, jobs=jobs,
+                                            progress=progress, live=live)
     failed = result.failed
     if failed:
         first = failed[0]

@@ -1,0 +1,191 @@
+"""Structured JSONL event log for the execution stack.
+
+When enabled, every layer of a campaign narrates itself as one JSON
+line per event — campaign start/end, shard spawn/death, chunk lease,
+point completion, cache hit/miss, worker heartbeat, service warm-up —
+so a long run can be reconstructed (and its stalls diagnosed) after
+the fact, across every process that took part.
+
+Design constraints:
+
+* **Off by default, free when off.**  The log is enabled only when
+  ``$REPRO_EVENTS`` names a file (or :func:`install_event_log` is
+  called); disabled, every emit site costs one attribute check on a
+  null object.  Nothing in the per-instruction hot path ever emits —
+  events fire at campaign/chunk/compile boundaries only.
+* **Multi-process safe.**  Campaign shards inherit ``$REPRO_EVENTS``
+  and append to the same file.  Each event is written as a single
+  ``O_APPEND`` write well under ``PIPE_BUF``, so concurrent writers
+  interleave whole lines, never bytes.
+* **Monotonic-clocked.**  Every event carries ``t`` from
+  :func:`time.monotonic` (for intra-process span arithmetic) plus a
+  ``wall`` unix timestamp (for cross-process alignment and humans).
+* **Never fatal.**  A full disk or revoked permission degrades to
+  dropped events; the simulation result is never at risk.
+
+Event schema (one JSON object per line)::
+
+    {"event": "point_complete", "t": 12.345, "wall": 1754650000.1,
+     "pid": 4242, "worker": 3, "point_id": "...", "ok": true, ...}
+
+``event`` and the clocks are always present; everything else is
+event-specific payload.
+"""
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "EventLog",
+    "event_log",
+    "events_enabled",
+    "install_event_log",
+    "reset_event_log",
+]
+
+#: Environment variable naming the event-log file (inherited by
+#: campaign shards, so one campaign's processes share one log).
+EVENTS_ENV = "REPRO_EVENTS"
+
+
+class EventLog:
+    """Append-only JSONL event sink (one per process, lazily opened)."""
+
+    enabled = True
+
+    def __init__(self, path):
+        self.path = path
+        self._fd = None
+        self._pid = None
+
+    def _ensure_open(self):
+        # (Re)open after fork: children must not share the parent's
+        # file-descriptor offset bookkeeping or close it behind them.
+        pid = os.getpid()
+        if self._fd is None or self._pid != pid:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fd = os.open(self.path,
+                               os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                               0o644)
+            self._pid = pid
+        return self._fd
+
+    def emit(self, event, **fields):
+        """Write one event line; silently drops on any OS failure."""
+        record = {"event": event, "t": time.monotonic(),
+                  "wall": time.time(), "pid": os.getpid()}
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True,
+                              default=str) + "\n"
+            os.write(self._ensure_open(), line.encode("utf-8"))
+        except (OSError, ValueError, TypeError):
+            pass
+
+    @contextmanager
+    def span(self, event, **fields):
+        """Emit ``<event>_start``/``<event>_end`` around a block, the
+        end event carrying ``dur_s``."""
+        start = time.monotonic()
+        self.emit(f"{event}_start", **fields)
+        try:
+            yield self
+        finally:
+            self.emit(f"{event}_end", dur_s=time.monotonic() - start,
+                      **fields)
+
+    def close(self):
+        if self._fd is not None and self._pid == os.getpid():
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+        self._fd = None
+        self._pid = None
+
+
+class _NullEventLog:
+    """The disabled log: every emit is a no-op."""
+
+    enabled = False
+    path = None
+
+    def emit(self, event, **fields):
+        pass
+
+    @contextmanager
+    def span(self, event, **fields):
+        yield self
+
+    def close(self):
+        pass
+
+
+_NULL = _NullEventLog()
+_log = None
+_log_source = None  # the env value (or explicit path) _log was built from
+
+
+def events_enabled():
+    """Whether an event sink is active for this process."""
+    return event_log().enabled
+
+
+def event_log():
+    """The process-wide event log (the null log unless enabled).
+
+    Re-resolves when ``$REPRO_EVENTS`` changes, so a CLI flag that
+    sets the variable before forking workers takes effect in the
+    parent too.
+    """
+    global _log, _log_source
+    source = os.environ.get(EVENTS_ENV) or None
+    if _log is None or source != _log_source:
+        if _log is not None:
+            _log.close()
+        _log = EventLog(source) if source else _NULL
+        _log_source = source
+    return _log
+
+
+def install_event_log(path):
+    """Enable event logging to ``path`` for this process *and* every
+    worker it forks or spawns (via the environment)."""
+    if path:
+        os.environ[EVENTS_ENV] = path
+    else:
+        os.environ.pop(EVENTS_ENV, None)
+    return event_log()
+
+
+def reset_event_log():
+    """Close and drop the process-wide log handle (tests)."""
+    global _log, _log_source
+    if _log is not None:
+        _log.close()
+    _log = None
+    _log_source = None
+
+
+def read_events(path):
+    """Parse an event-log file tolerantly (corrupt lines skipped)."""
+    events = []
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "event" in record:
+                    events.append(record)
+    except OSError:
+        pass
+    return events

@@ -1,0 +1,274 @@
+"""Live campaign status: streaming aggregation + ``status.json``.
+
+A :class:`LiveStatus` rides the campaign executor's progress hook: it
+sees every :class:`~repro.campaign.results.PointResult` the moment it
+lands and folds it into streaming aggregates — completed/failed
+counts, sliding-window throughput (points/s and instrs/s), streaming
+detection-latency percentiles (P² — no population kept), coverage and
+detection-rate gauges, per-shard health (points, failures, seconds
+since last result) and an ETA.
+
+Every ``publish_interval_s`` (and always at begin/finish) the current
+snapshot is **atomically** published as JSON next to the result store
+— temp file + :func:`os.replace` — so any other process can observe a
+running campaign by re-reading one small file that is always complete,
+never half-written.  ``repro watch`` is exactly such a reader.
+
+The snapshot schema (``schema`` 1)::
+
+    {"schema": 1, "campaign": name, "state": "running"|"finished",
+     "updated_unix": ..., "elapsed_s": ...,
+     "points": {"total": N, "completed": n, "failed": f, "resumed": r,
+                "corrupt_rows_skipped": c},
+     "throughput": {"points_per_s": ..., "instrs_per_s": ...,
+                    "eta_s": ...},
+     "latency_ns": {"count":, "min":, "max":, "mean":, "p50":, "p95":,
+                    "p99":},
+     "detection": {"injections":, "detected":, "rate":},
+     "totals": {"instructions":, "cycles":},
+     "shards": {"0": {"points":, "failed":, "last_seen_s":}, ...},
+     "jobs": J}
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.obs.events import event_log
+from repro.obs.metrics import Quantile, RateWindow
+
+STATUS_SCHEMA = 1
+
+#: Suffix appended to a result-store path to name its status snapshot.
+STATUS_SUFFIX = ".status.json"
+
+
+def status_path_for(store_path):
+    """Where a campaign writing ``store_path`` publishes its status."""
+    return store_path + STATUS_SUFFIX
+
+
+class LiveStatus:
+    """Streaming campaign aggregator + atomic status publisher.
+
+    ``path=None`` keeps the aggregation in memory only (snapshots are
+    still available to in-process callers — the tests, the final
+    summary); with a path every refresh atomically rewrites the
+    ``status.json`` snapshot.
+    """
+
+    def __init__(self, name, total, path=None, jobs=1,
+                 publish_interval_s=0.5, rate_window_s=15.0,
+                 clock=time.monotonic):
+        self.name = name
+        self.total = total
+        self.path = path
+        self.jobs = jobs
+        self.publish_interval_s = publish_interval_s
+        self._clock = clock
+        self._start = clock()
+        self._last_publish = None
+        self.state = "running"
+        self.completed = 0
+        self.failed = 0
+        self.resumed = 0
+        self.corrupt_rows_skipped = 0
+        self.instructions = 0
+        self.cycles = 0
+        self.injections = 0
+        self.detected = 0
+        self.latency_ns = Quantile()
+        self._point_rate = RateWindow(rate_window_s, clock=clock)
+        self._instr_rate = RateWindow(rate_window_s, clock=clock)
+        self._shards = {}
+
+    # -- ingestion ---------------------------------------------------------
+
+    def begin(self, resumed=0, corrupt_rows_skipped=0):
+        """Mark the campaign started (publishes the first snapshot, so
+        watchers see the run the moment it exists)."""
+        self.resumed = resumed
+        self.corrupt_rows_skipped = corrupt_rows_skipped
+        self.publish(force=True)
+
+    def point(self, result):
+        """Fold one completed :class:`PointResult` into the stream."""
+        now = self._clock()
+        self.completed += 1
+        if not result.ok:
+            self.failed += 1
+        shard = self._shards.setdefault(
+            result.worker, {"points": 0, "failed": 0, "last_seen": now})
+        shard["points"] += 1
+        shard["last_seen"] = now
+        if not result.ok:
+            shard["failed"] += 1
+        metrics = result.metrics or {}
+        instrs = metrics.get("instructions") or 0
+        self.instructions += instrs
+        self.cycles += metrics.get("cycles") or 0
+        self.injections += metrics.get("injections") or 0
+        self.detected += metrics.get("detected") or 0
+        self.latency_ns.observe_many(metrics.get("latencies_ns") or ())
+        self._point_rate.tick(1, now=now)
+        if instrs:
+            self._instr_rate.tick(instrs, now=now)
+        self.publish()
+
+    def heartbeat(self, worker, now=None):
+        """Record shard liveness outside point completion."""
+        now = self._clock() if now is None else now
+        shard = self._shards.setdefault(
+            worker, {"points": 0, "failed": 0, "last_seen": now})
+        shard["last_seen"] = now
+
+    def finish(self):
+        """Mark the campaign done and publish the final snapshot."""
+        self.state = "finished"
+        self.publish(force=True)
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self):
+        now = self._clock()
+        elapsed = now - self._start
+        points_per_s = self._point_rate.rate(now=now)
+        remaining = max(0, self.total - self.resumed - self.completed)
+        snap = {
+            "schema": STATUS_SCHEMA,
+            "campaign": self.name,
+            "state": self.state,
+            "updated_unix": time.time(),
+            "elapsed_s": elapsed,
+            "jobs": self.jobs,
+            "points": {
+                "total": self.total,
+                "completed": self.completed,
+                "failed": self.failed,
+                "resumed": self.resumed,
+                "corrupt_rows_skipped": self.corrupt_rows_skipped,
+            },
+            "throughput": {
+                "points_per_s": points_per_s,
+                "instrs_per_s": self._instr_rate.rate(now=now),
+                "eta_s": (remaining / points_per_s
+                          if points_per_s > 0 else None),
+            },
+            "latency_ns": self.latency_ns.snapshot(),
+            "detection": {
+                "injections": self.injections,
+                "detected": self.detected,
+                "rate": (self.detected / self.injections
+                         if self.injections else None),
+            },
+            "totals": {
+                "instructions": self.instructions,
+                "cycles": self.cycles,
+            },
+            "shards": {
+                str(worker): {
+                    "points": shard["points"],
+                    "failed": shard["failed"],
+                    "last_seen_s": now - shard["last_seen"],
+                }
+                for worker, shard in sorted(self._shards.items())
+            },
+        }
+        return snap
+
+    def publish(self, force=False):
+        """Atomically rewrite ``status.json`` (throttled unless forced).
+
+        Publication failures are swallowed — observability must never
+        take a campaign down.
+        """
+        if self.path is None:
+            return False
+        now = self._clock()
+        if (not force and self._last_publish is not None
+                and now - self._last_publish < self.publish_interval_s):
+            return False
+        self._last_publish = now
+        payload = json.dumps(self.snapshot(), sort_keys=True) + "\n"
+        try:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory,
+                                             prefix=".status-",
+                                             suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+
+def load_status(path):
+    """Read one published snapshot; ``None`` if absent or unreadable.
+
+    The writer only ever :func:`os.replace`-publishes complete files,
+    so a successful read is always a complete snapshot — but a reader
+    racing the very first publication (or pointed at garbage) gets
+    ``None``, never an exception.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(snapshot, dict) or "campaign" not in snapshot:
+        return None
+    return snapshot
+
+
+def snapshot_from_store(store_path, name=None):
+    """Synthesize a status snapshot from a (finished) result store.
+
+    ``repro watch`` falls back to this when a campaign never published
+    live status (or the run predates the observability layer): the
+    JSONL rows are replayed through a :class:`LiveStatus`, producing
+    the same schema with state ``"store"`` — percentiles and totals
+    are real, rates are meaningless (no live clock) and left zero.
+    """
+    from repro.campaign.results import ResultStore
+
+    results = ResultStore.load(store_path)
+    live = LiveStatus(name or os.path.basename(store_path),
+                      total=len(results), path=None)
+    for result in sorted(results.values(), key=lambda r: r.index):
+        live.point(result)
+    live.state = "store"
+    snap = live.snapshot()
+    # A replay has no live clock: scrub the misleading instant rates.
+    snap["elapsed_s"] = None
+    snap["throughput"] = {"points_per_s": None, "instrs_per_s": None,
+                          "eta_s": None}
+    for shard in snap["shards"].values():
+        shard["last_seen_s"] = None
+    return snap
+
+
+def attach_live(spec, jobs, store=None, status_path=None):
+    """Build the :class:`LiveStatus` for one campaign run (or ``None``).
+
+    Status is published when the campaign has somewhere to put it:
+    an explicit ``status_path`` wins, otherwise a file-backed result
+    store implies ``<store>.status.json`` right next to it.
+    """
+    if status_path is None and store is not None and store.path:
+        status_path = status_path_for(store.path)
+    if status_path is None:
+        return None
+    event_log().emit("status_attached", campaign=spec.name,
+                     path=status_path)
+    return LiveStatus(spec.name, total=len(spec.points), path=status_path,
+                      jobs=jobs)

@@ -1,0 +1,169 @@
+"""The ``repro watch`` terminal view.
+
+Tails a campaign's published ``status.json`` (see
+:mod:`repro.obs.live`) and renders the live table — percentiles,
+throughput, shard health, ETA — refreshing in place until the run
+finishes.  ``--once`` renders a single snapshot and exits, which is
+the scripting/CI entry point.
+
+``PATH`` resolution is forgiving about what the operator has in hand:
+
+* a ``*.status.json`` snapshot — read directly;
+* a result store (``results.jsonl``) — its sibling
+  ``results.jsonl.status.json`` is preferred; if no snapshot was ever
+  published the store rows themselves are replayed into one
+  (state ``"store"``, exact percentiles, no live rates);
+* a directory — the most recently modified ``*.status.json`` in it.
+"""
+
+import os
+import sys
+import time
+
+from repro.obs.live import (STATUS_SUFFIX, load_status, snapshot_from_store,
+                            status_path_for)
+
+__all__ = ["render_snapshot", "resolve_status_source", "watch"]
+
+
+def resolve_status_source(path):
+    """Map an operator-supplied path to ``(kind, path)``.
+
+    ``kind`` is ``"status"`` (a snapshot file to re-read) or
+    ``"store"`` (a JSONL store to replay).  Raises ``FileNotFoundError``
+    when nothing observable lives at ``path``.
+    """
+    if os.path.isdir(path):
+        candidates = [os.path.join(path, name)
+                      for name in os.listdir(path)
+                      if name.endswith(STATUS_SUFFIX)
+                      or name == "status.json"]
+        if not candidates:
+            raise FileNotFoundError(
+                f"{path}: no *{STATUS_SUFFIX} snapshot in directory")
+        return "status", max(candidates, key=os.path.getmtime)
+    if path.endswith(".json") and os.path.exists(path):
+        return "status", path
+    sibling = status_path_for(path)
+    if os.path.exists(sibling):
+        return "status", sibling
+    if os.path.exists(path):
+        return "store", path
+    raise FileNotFoundError(f"{path}: no status snapshot or result store")
+
+
+def _fmt(value, spec="{:,.0f}", missing="-"):
+    if value is None:
+        return missing
+    return spec.format(value)
+
+
+def render_snapshot(snap, now_unix=None):
+    """One snapshot as the multi-line terminal view."""
+    from repro.analysis.report import format_table
+
+    now_unix = time.time() if now_unix is None else now_unix
+    points = snap.get("points", {})
+    throughput = snap.get("throughput", {})
+    latency = snap.get("latency_ns", {})
+    detection = snap.get("detection", {})
+    totals = snap.get("totals", {})
+    state = snap.get("state", "?")
+    lines = []
+    header = f"campaign {snap.get('campaign', '?')} — {state}"
+    age = now_unix - snap["updated_unix"] if "updated_unix" in snap else None
+    if age is not None and state == "running":
+        header += f" (updated {age:.1f}s ago)"
+        if age > 30.0:
+            header += " [STALE]"
+    lines.append(header)
+    done = points.get("completed", 0) + points.get("resumed", 0)
+    progress = f"points    : {done}/{points.get('total', '?')}"
+    extras = []
+    if points.get("failed"):
+        extras.append(f"{points['failed']} failed")
+    if points.get("resumed"):
+        extras.append(f"{points['resumed']} resumed")
+    if points.get("corrupt_rows_skipped"):
+        extras.append(f"{points['corrupt_rows_skipped']} corrupt rows "
+                      "skipped")
+    if extras:
+        progress += f" ({', '.join(extras)})"
+    lines.append(progress)
+    lines.append(
+        f"rate      : {_fmt(throughput.get('points_per_s'), '{:,.2f}')} "
+        f"points/s, {_fmt(throughput.get('instrs_per_s'))} instrs/s"
+        + (f", eta {throughput['eta_s']:.0f}s"
+           if throughput.get("eta_s") is not None else ""))
+    if snap.get("elapsed_s") is not None:
+        lines.append(f"elapsed   : {snap['elapsed_s']:.1f}s "
+                     f"(jobs={snap.get('jobs', '?')})")
+    lines.append(
+        f"totals    : {_fmt(totals.get('instructions'))} instrs, "
+        f"{_fmt(totals.get('cycles'))} cycles")
+    if detection.get("injections"):
+        rate = detection.get("rate")
+        lines.append(
+            f"faults    : {detection['detected']}/"
+            f"{detection['injections']} detected"
+            + (f" ({rate:.1%})" if rate is not None else ""))
+    if latency.get("count"):
+        lines.append(
+            f"latency   : p50 {_fmt(latency.get('p50'))} ns, "
+            f"p95 {_fmt(latency.get('p95'))} ns, "
+            f"p99 {_fmt(latency.get('p99'))} ns "
+            f"(mean {_fmt(latency.get('mean'))}, "
+            f"max {_fmt(latency.get('max'))}, n={latency['count']})")
+    shards = snap.get("shards") or {}
+    if shards:
+        rows = [[worker, shard.get("points", 0), shard.get("failed", 0),
+                 (f"{shard['last_seen_s']:.1f}s"
+                  if shard.get("last_seen_s") is not None else "-")]
+                for worker, shard in sorted(shards.items(),
+                                            key=lambda kv: int(kv[0]))]
+        lines.append(format_table(["shard", "points", "failed", "last seen"],
+                                  rows))
+    return "\n".join(lines)
+
+
+def _read(kind, path):
+    if kind == "store":
+        return snapshot_from_store(path)
+    return load_status(path)
+
+
+def watch(path, interval_s=1.0, once=False, stream=None, clock=None,
+          max_wait_s=10.0):
+    """Render ``path`` until the campaign finishes; 0 on success.
+
+    ``once`` renders a single snapshot and returns.  A snapshot that
+    has not appeared yet is waited for (up to ``max_wait_s``) so
+    ``repro watch`` can be started a moment before the campaign.
+    """
+    stream = sys.stdout if stream is None else stream
+    clock = time.monotonic if clock is None else clock
+    deadline = clock() + max_wait_s
+    while True:
+        try:
+            kind, source = resolve_status_source(path)
+        except FileNotFoundError as exc:
+            if clock() < deadline:
+                time.sleep(min(0.2, interval_s))
+                continue
+            print(f"watch: {exc}", file=sys.stderr)
+            return 2
+        snap = _read(kind, source)
+        if snap is None:
+            if clock() < deadline:
+                time.sleep(min(0.2, interval_s))
+                continue
+            print(f"watch: {source}: unreadable snapshot", file=sys.stderr)
+            return 2
+        interactive = (not once) and stream.isatty()
+        if interactive:
+            stream.write("\x1b[H\x1b[2J")  # home + clear: redraw in place
+        stream.write(render_snapshot(snap) + "\n")
+        stream.flush()
+        if once or snap.get("state") in ("finished", "store"):
+            return 0
+        time.sleep(interval_s)

@@ -1,0 +1,167 @@
+"""Benchmark trend history: BENCH runs as a time series.
+
+``repro bench --check`` guards against *floor violations* — a binary
+gate with a generous tolerance.  A slow bleed (each PR giving back 5%)
+passes every individual check and still loses the speedup over a
+quarter.  This module makes the trajectory itself visible:
+
+* :func:`append_history` — after every bench run, one compact JSONL
+  record (git SHA, timestamp, the regression-stable metrics) is
+  appended to ``benchmarks/BENCH_history.jsonl``;
+* :func:`format_trend` — ``repro bench --trend`` renders each
+  metric's recorded trajectory as a sparkline plus first/last/delta,
+  so a drift reads as a sagging line instead of a sequence of
+  individually-acceptable checks.
+
+Only ratio/throughput metrics are recorded — the same ones
+:mod:`repro.perf.regress` floors — because they are what trends
+meaningfully across commits.
+"""
+
+import json
+import os
+import subprocess
+
+HISTORY_SCHEMA = 1
+
+#: Default history file, colocated with the benchmark drivers.
+DEFAULT_HISTORY_PATH = os.path.join("benchmarks", "BENCH_history.jsonl")
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def git_sha(cwd=None):
+    """The current short commit SHA, or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=cwd,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            timeout=10.0)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.decode("ascii", "replace").strip() or None
+
+
+def history_record(result, sha=None, unix=None):
+    """Reduce one ``run_bench`` result to its trend-worthy metrics."""
+    import time
+
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "unix": time.time() if unix is None else unix,
+        "git_sha": sha,
+        "config": {
+            "instructions": result.get("config", {}).get("instructions"),
+            "cores": result.get("config", {}).get("cores"),
+        },
+        "metrics": {},
+    }
+    metrics = record["metrics"]
+    for workload, systems in (result.get("workloads") or {}).items():
+        for system, values in systems.items():
+            rate = values.get("instrs_per_s")
+            if rate:
+                metrics[f"{workload}/{system}/instrs_per_s"] = rate
+    kernels = result.get("kernels") or {}
+    for key in ("meek_speedup", "vanilla_speedup"):
+        if kernels.get(key):
+            metrics[f"kernels/{key}"] = kernels[key]
+    for section, key in (("warm_start", "warm_speedup"),
+                         ("batch", "batch_speedup"),
+                         ("campaign", "pool_speedup")):
+        value = (result.get(section) or {}).get(key)
+        if value:
+            metrics[f"{section}/{key}"] = value
+    for figure, values in (result.get("figures") or {}).items():
+        if values.get("wall_s"):
+            metrics[f"figures/{figure}/wall_s"] = values["wall_s"]
+    return record
+
+
+def append_history(result, path=DEFAULT_HISTORY_PATH, sha=None):
+    """Append one bench run to the history file; returns the record.
+
+    Failures (read-only checkout, missing directory that cannot be
+    created) are swallowed — history is observability, not a gate.
+    """
+    if sha is None:
+        sha = git_sha()
+    record = history_record(result, sha=sha)
+    try:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError:
+        return None
+    return record
+
+
+def load_history(path=DEFAULT_HISTORY_PATH):
+    """All parseable history records, in file (= chronological) order."""
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "metrics" in record:
+                    records.append(record)
+    except OSError:
+        pass
+    return records
+
+
+def sparkline(values):
+    """``values`` as a block-character sparkline (min→max scaled)."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high <= low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((value - low) / span * top)]
+        for value in values)
+
+
+def format_trend(records, last=20):
+    """Render per-metric trajectories across the recorded runs.
+
+    Shows the trailing ``last`` runs per metric: sparkline,
+    first/latest value, and the relative change across the shown
+    window.  Metrics are ordered as first seen so related series stay
+    adjacent.
+    """
+    from repro.analysis.report import format_table
+
+    if not records:
+        return ("bench trend   : no history recorded yet "
+                "(run `repro bench` to start one)")
+    series = {}
+    for record in records:
+        for metric, value in (record.get("metrics") or {}).items():
+            series.setdefault(metric, []).append(value)
+    rows = []
+    for metric, values in series.items():
+        values = values[-last:]
+        first, latest = values[0], values[-1]
+        change = (latest - first) / first if first else 0.0
+        rows.append([metric, len(values), sparkline(values),
+                     f"{first:,.2f}", f"{latest:,.2f}", f"{change:+.1%}"])
+    shas = [r.get("git_sha") or "?" for r in records[-last:]]
+    title = (f"Bench trend — {len(records)} run(s) recorded, "
+             f"showing last {min(last, len(records))} "
+             f"({shas[0]}..{shas[-1]})")
+    return format_table(
+        ["metric", "runs", "trend", "first", "latest", "change"],
+        rows, title=title)

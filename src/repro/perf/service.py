@@ -48,15 +48,17 @@ class ExecutionService:
         if self._warmed:
             return 0
         self._warmed = True
-        import repro.campaign.tasks  # noqa: F401 — registers tasks
-        import repro.core.system    # noqa: F401
-        import repro.difftest.harness  # noqa: F401
-        from repro.perf.cache import stepper_cache
-        from repro.perf.jit import prime_steppers
-        primed = prime_steppers()
-        # Persist immediately: concurrent workers forked a moment later
-        # should find a warm file rather than each re-compiling.
-        stepper_cache().flush()
+        from repro.obs.events import event_log
+        with event_log().span("service_warm"):
+            import repro.campaign.tasks  # noqa: F401 — registers tasks
+            import repro.core.system    # noqa: F401
+            import repro.difftest.harness  # noqa: F401
+            from repro.perf.cache import stepper_cache
+            from repro.perf.jit import prime_steppers
+            primed = prime_steppers()
+            # Persist immediately: concurrent workers forked a moment
+            # later should find a warm file rather than re-compiling.
+            stepper_cache().flush()
         return primed
 
     # -- the persistent pool -----------------------------------------------
@@ -78,8 +80,10 @@ class ExecutionService:
             self._pool.close()
             self._pool = None
         if self._pool is None:
+            from repro.obs.events import event_log
             self.warm()  # fork from a warm parent: shards inherit it
-            self._pool = WorkerPool(jobs, warm=True)
+            with event_log().span("pool_build", jobs=jobs):
+                self._pool = WorkerPool(jobs, warm=True)
             if not self._atexit_registered:
                 self._atexit_registered = True
                 atexit.register(self.shutdown)

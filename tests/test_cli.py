@@ -127,3 +127,102 @@ class TestBatch:
     def test_batch_missing_file(self, capsys):
         assert main(["batch", "/no/such/command/file"]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    def test_watch_parses(self):
+        args = build_parser().parse_args(
+            ["watch", "r.jsonl", "--once", "--interval", "0.5"])
+        assert args.command == "watch"
+        assert args.once and args.interval == 0.5
+
+    def test_watch_once_on_finished_campaign(self, tmp_path, capsys):
+        """campaign --out publishes status.json; watch --once reads it."""
+        out = tmp_path / "results.jsonl"
+        assert main(["campaign", "--workloads", "hmmer", "--seeds", "0",
+                     "--instructions", "2000", "--out", str(out)]) == 0
+        assert (tmp_path / "results.jsonl.status.json").exists()
+        capsys.readouterr()
+        assert main(["watch", "--once", str(out)]) == 0
+        view = capsys.readouterr().out
+        assert "finished" in view
+        assert "points    : 2/2" in view
+        assert "instrs" in view
+
+    def test_watch_once_in_flight_sharded_campaign(self, tmp_path):
+        """The acceptance path: a sharded campaign is *running* in
+        another process while `repro watch --once` renders its live
+        percentiles/throughput/shard table from status.json."""
+        import os
+        import subprocess
+        import sys
+        import time
+
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (src_dir + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src_dir)
+        out = tmp_path / "inflight.jsonl"
+        status = tmp_path / "inflight.jsonl.status.json"
+        argv = [sys.executable, "-m", "repro", "campaign",
+                "--workloads", "hmmer,dedup", "--seeds", "0,1",
+                "--task", "inject", "--trials", "4",
+                "--instructions", "4000", "--jobs", "2",
+                "--out", str(out)]
+        proc = subprocess.Popen(argv, env=env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 60.0
+            while not status.exists() and time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert status.exists(), "campaign never published status.json"
+            watched = subprocess.run(
+                [sys.executable, "-m", "repro", "watch", "--once",
+                 str(out)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                timeout=60.0)
+            assert watched.returncode == 0, watched.stderr.decode()
+            view = watched.stdout.decode()
+            assert "campaign cli —" in view
+            assert "points    :" in view
+            assert "rate      :" in view
+        finally:
+            assert proc.wait(timeout=120.0) == 0
+
+    def test_watch_missing_path_fails(self, tmp_path, capsys):
+        assert main(["watch", "--once", "--wait", "0",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        assert "watch:" in capsys.readouterr().err
+
+
+class TestBenchTrend:
+    def test_trend_flags_parse(self):
+        args = build_parser().parse_args(["bench", "--trend"])
+        assert args.trend and args.history.endswith("BENCH_history.jsonl")
+
+    def test_trend_empty_history(self, tmp_path, capsys):
+        assert main(["bench", "--trend", "--history",
+                     str(tmp_path / "none.jsonl")]) == 0
+        assert "no history" in capsys.readouterr().out
+
+    def test_trend_renders_recorded_runs(self, tmp_path, capsys):
+        from repro.perf.history import append_history
+
+        history = tmp_path / "hist.jsonl"
+        for meek in (2.0, 2.2, 1.9):
+            result = {"workloads": {"hmmer": {"meek": {
+                          "instrs_per_s": 100_000.0 * meek}}},
+                      "kernels": {"meek_speedup": meek,
+                                  "vanilla_speedup": 2.4},
+                      "config": {"instructions": 20_000, "cores": 4}}
+            append_history(result, path=str(history), sha="abc1234")
+        assert main(["bench", "--trend", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "kernels/meek_speedup" in out
+        assert "hmmer/meek/instrs_per_s" in out
+        assert "+" in out or "-" in out  # the change column rendered
