@@ -23,8 +23,9 @@ Quick start::
         print(point.point_id, metrics["cycles"])
 """
 
-from repro.campaign.executor import (CampaignResult, PointTimeout,
-                                     default_jobs, run_campaign)
+from repro.campaign.executor import (CampaignAborted, CampaignResult,
+                                     PointTimeout, default_jobs,
+                                     run_campaign)
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.results import (PointResult, ResultStore, aggregate,
                                     format_summary)
@@ -32,6 +33,7 @@ from repro.campaign.spec import CampaignPoint, CampaignSpec
 from repro.campaign.tasks import TASKS, evaluate_point, task
 
 __all__ = [
+    "CampaignAborted",
     "CampaignPoint",
     "CampaignResult",
     "CampaignSpec",

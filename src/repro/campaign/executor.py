@@ -49,6 +49,21 @@ class PointTimeout(Exception):
     """A point exceeded the per-point wall-clock budget."""
 
 
+class CampaignAborted(Exception):
+    """The campaign's owner asked it to stop between points.
+
+    Raised out of :func:`run_campaign` when its ``abort`` callback
+    returns true; everything completed so far has already been
+    appended to the store, so a later run with ``resume_from`` picks
+    up exactly where the abort landed.  ``completed`` counts the
+    points that finished before the stop.
+    """
+
+    def __init__(self, message, completed=0):
+        super().__init__(message)
+        self.completed = completed
+
+
 @dataclass
 class CampaignResult:
     """A finished campaign: spec + per-point results in spec order."""
@@ -225,11 +240,23 @@ class WorkerPool:
         return (not self._closed
                 and all(proc.is_alive() for proc in self._workers))
 
+    @property
+    def pids(self):
+        """The shard process ids (for health displays and tests)."""
+        return [proc.pid for proc in self._workers]
+
     def run(self, campaign_name, pending, timeout_s=None, chunk_size=None,
-            on_result=None):
+            on_result=None, abort=None):
         """Stream ``pending`` ``(index, point)`` pairs through the
         shards; returns ``{index: PointResult}`` with every pending
-        index present (worker death becomes a failed point)."""
+        index present (worker death becomes a failed point).
+
+        ``abort`` is an optional zero-argument callable polled while
+        results are collected; when it turns true the call raises
+        :class:`CampaignAborted`.  The pool itself stays healthy — the
+        abandoned chunks drain through the epoch filter, so the next
+        ``run`` on the same pool is unaffected.
+        """
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
         self._epoch += 1
@@ -241,7 +268,13 @@ class WorkerPool:
         collected = {}
         remaining = len(pending)
         draining_after_death = False
+        drain_deadline = None
         while remaining > 0:
+            if abort is not None and abort():
+                raise CampaignAborted(
+                    f"campaign {campaign_name!r} aborted with "
+                    f"{len(collected)} of {len(pending)} pending points "
+                    f"done", completed=len(collected))
             try:
                 got_epoch, row = self._result_queue.get(timeout=0.2)
             except queue_module.Empty:
@@ -266,9 +299,25 @@ class WorkerPool:
                     for _ in range(alive):
                         self._task_queue.put(None)
                     draining_after_death = True
+                    drain_deadline = time.monotonic() + 10.0
+                elif (draining_after_death
+                        and time.monotonic() > drain_deadline):
+                    # The survivors made no progress for the whole
+                    # grace period: a SIGKILL can land while the dying
+                    # shard holds the result queue's pipe lock, wedging
+                    # every other shard's put() forever.  Reap them —
+                    # the unreported points become WorkerDied below.
+                    event_log().emit("pool_drain_wedged",
+                                     remaining=remaining)
+                    for proc in self._workers:
+                        if proc.is_alive():
+                            proc.terminate()
+                    break
                 continue
             if got_epoch != epoch:
                 continue  # abandoned-run leftover
+            if draining_after_death:
+                drain_deadline = time.monotonic() + 10.0
             result = PointResult.from_row(row)
             collected[result.index] = result
             if on_result is not None:
@@ -313,7 +362,7 @@ class WorkerPool:
 
 def run_campaign(spec, jobs=None, store=None, resume_from=None,
                  progress=None, chunk_size=None, point_timeout_s=None,
-                 pool=None, live=None):
+                 pool=None, live=None, abort=None):
     """Execute ``spec`` and return a :class:`CampaignResult`.
 
     ``jobs``
@@ -344,6 +393,13 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
         result and finalized when the campaign ends, so other
         processes can watch the run through its published
         ``status.json``.
+    ``abort``
+        Optional zero-argument callable polled between points; when it
+        turns true the campaign stops dispatching and raises
+        :class:`CampaignAborted`.  Results completed before the abort
+        are already in the store, so re-running with ``resume_from``
+        finishes only the remainder — this is how ``repro serve``
+        implements cancel, pause, and graceful shutdown.
     """
     spec.validate()
     jobs = default_jobs(jobs)
@@ -379,23 +435,39 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
             progress(result)
 
     start = time.monotonic()
-    if pool is not None and len(pending) > 1 and callable(pool):
-        pool = pool()
-    if pool is not None and not callable(pool) and len(pending) > 1:
-        collected = pool.run(spec.name, pending, timeout_s=point_timeout_s,
-                             chunk_size=chunk_size, on_result=on_result)
-    elif jobs <= 1 or len(pending) <= 1:
-        collected = {}
-        for index, point in pending:
-            result = _evaluate_guarded(point, index, spec.name,
-                                       point_timeout_s, worker_id=0)
-            collected[index] = result
-            on_result(result)
-    else:
-        with WorkerPool(min(jobs, len(pending))) as ephemeral:
-            collected = ephemeral.run(
-                spec.name, pending, timeout_s=point_timeout_s,
-                chunk_size=chunk_size, on_result=on_result)
+    try:
+        if pool is not None and len(pending) > 1 and callable(pool):
+            pool = pool()
+        if pool is not None and not callable(pool) and len(pending) > 1:
+            collected = pool.run(spec.name, pending,
+                                 timeout_s=point_timeout_s,
+                                 chunk_size=chunk_size, on_result=on_result,
+                                 abort=abort)
+        elif jobs <= 1 or len(pending) <= 1:
+            collected = {}
+            for index, point in pending:
+                if abort is not None and abort():
+                    raise CampaignAborted(
+                        f"campaign {spec.name!r} aborted with "
+                        f"{len(collected)} of {len(pending)} pending "
+                        f"points done", completed=len(collected))
+                result = _evaluate_guarded(point, index, spec.name,
+                                           point_timeout_s, worker_id=0)
+                collected[index] = result
+                on_result(result)
+        else:
+            with WorkerPool(min(jobs, len(pending))) as ephemeral:
+                collected = ephemeral.run(
+                    spec.name, pending, timeout_s=point_timeout_s,
+                    chunk_size=chunk_size, on_result=on_result,
+                    abort=abort)
+    except CampaignAborted as exc:
+        log.emit("campaign_abort", campaign=spec.name,
+                 completed=exc.completed, pending=len(pending),
+                 dur_s=time.monotonic() - start)
+        if live is not None:
+            live.aborted()
+        raise
 
     collected.update(done)
     results = [collected[i] for i in range(len(spec.points))]

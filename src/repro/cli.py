@@ -15,6 +15,10 @@ Usage (``python -m repro ...``)::
     python -m repro bench --trend
     python -m repro watch results.jsonl
     python -m repro batch commands.txt
+    python -m repro serve --jobs 4
+    python -m repro submit --workloads dedup --seeds 0,1 --priority 5
+    python -m repro queue
+    python -m repro cancel 3 --pause
     python -m repro list
 
 ``run`` executes one workload under MEEK and reports slowdown and
@@ -49,6 +53,15 @@ detection-latency percentiles, throughput, per-shard health, ETA;
 JSONL event log across every process of the run.  ``repro bench``
 appends each run to ``benchmarks/BENCH_history.jsonl``; ``repro
 bench --trend`` renders the per-metric trajectory.
+
+Serving: ``repro serve`` starts the long-lived campaign master (see
+:mod:`repro.serve`) — one warm worker pool shared by every submitter.
+``repro submit`` sends a campaign grid over the master's local socket
+(``--priority`` orders the queue, ``--detach`` just enqueues),
+``repro queue`` lists runs, ``repro cancel RID`` cancels (or
+``--pause`` / ``--requeue``) one, and ``repro watch RID`` follows a
+run by id — live over the socket while the master is up, falling back
+to the run's status snapshot / store on disk once it is not.
 """
 
 import argparse
@@ -157,39 +170,49 @@ def _cmd_inject(args):
     return 0 if result.all_ok else 1
 
 
-def _cmd_campaign(args):
-    from repro.campaign import CampaignSpec, ResultStore, format_summary
-    from repro.perf.service import get_service
+def _resolve_campaign_spec(args, prog="campaign"):
+    """Build a :class:`CampaignSpec` from ``--spec`` or the grid flags
+    (shared by ``campaign`` and ``submit``); ``None`` after printing
+    the error."""
+    from repro.campaign import CampaignSpec
 
-    _events(args)
     if args.spec is not None:
         try:
-            spec = CampaignSpec.from_file(args.spec)
+            return CampaignSpec.from_file(args.spec)
         except (OSError, ValueError, ConfigError) as exc:
-            print(f"campaign: bad spec {args.spec}: {exc}", file=sys.stderr)
-            return 2
-    elif args.workloads:
+            print(f"{prog}: bad spec {args.spec}: {exc}", file=sys.stderr)
+            return None
+    if args.workloads:
         for fabric in args.fabric:
             if fabric not in _FABRICS:
-                print(f"campaign: unknown fabric {fabric!r} "
+                print(f"{prog}: unknown fabric {fabric!r} "
                       f"(choose from {', '.join(_FABRICS)})",
                       file=sys.stderr)
-                return 2
+                return None
         configs = [{"cores": cores, "fabric": fabric}
                    for cores in args.cores for fabric in args.fabric]
         injection = {"rate": args.rate} if args.task == "inject" else None
         try:
-            spec = CampaignSpec.grid(
+            return CampaignSpec.grid(
                 args.name, workloads=args.workloads,
                 seeds=tuple(args.seeds), instructions=args.instructions,
                 configs=configs, injection=injection, trials=args.trials,
                 task=args.task)
         except ConfigError as exc:
-            print(f"campaign: bad grid: {exc}", file=sys.stderr)
-            return 2
-    else:
-        print("campaign: provide --spec FILE or --workloads LIST",
-              file=sys.stderr)
+            print(f"{prog}: bad grid: {exc}", file=sys.stderr)
+            return None
+    print(f"{prog}: provide --spec FILE or --workloads LIST",
+          file=sys.stderr)
+    return None
+
+
+def _cmd_campaign(args):
+    from repro.campaign import ResultStore, format_summary
+    from repro.perf.service import get_service
+
+    _events(args)
+    spec = _resolve_campaign_spec(args)
+    if spec is None:
         return 2
     resume_from = args.out if args.resume else None
     if args.resume and args.out is None:
@@ -425,7 +448,166 @@ def _cmd_watch(args):
     from repro.obs.watch import watch
 
     return watch(args.path, interval_s=args.interval, once=args.once,
-                 max_wait_s=args.wait)
+                 max_wait_s=args.wait, socket_path=args.socket,
+                 state_dir=args.state_dir)
+
+
+def _cmd_serve(args):
+    """Run (or stop) the campaign master daemon."""
+    import os
+    import signal
+
+    from repro.serve.client import ServeClient, ServeError, find_socket
+    from repro.serve.master import Master
+
+    if args.stop:
+        sock = find_socket(args.socket, args.state_dir)
+        try:
+            with ServeClient(sock, timeout=10.0) as client:
+                result = client.shutdown()
+        except (OSError, ServeError) as exc:
+            print(f"serve: cannot stop master at {sock}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"serve: shutdown requested (master pid {result['pid']})")
+        return 0
+
+    _events(args)
+    master = Master(state_dir=args.state_dir, socket_path=args.socket,
+                    jobs=args.jobs)
+    try:
+        recovered = master.start()
+    except (OSError, RuntimeError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    for record in recovered:
+        print(f"serve: recovered run {record.rid} ({record.name}) "
+              f"-> requeued", file=sys.stderr)
+    print(f"serve: master pid {os.getpid()} listening on "
+          f"{master.socket_path}")
+    print(f"serve: state dir {master.state_dir}", flush=True)
+
+    def _request_stop(signum, frame):
+        master.request_shutdown()
+
+    for name in ("SIGTERM", "SIGINT"):
+        if hasattr(signal, name):
+            signal.signal(getattr(signal, name), _request_stop)
+    master.serve_forever()
+    print("serve: stopped")
+    return 0
+
+
+def _cmd_submit(args):
+    """Submit a campaign to the master and (unless detached) stream
+    its rows back, finishing with the same summary ``campaign``
+    prints."""
+    import os
+
+    from repro.campaign import PointResult, ResultStore, format_summary
+    from repro.serve.client import ServeClient, ServeError, find_socket
+
+    spec = _resolve_campaign_spec(args, prog="submit")
+    if spec is None:
+        return 2
+    sock = find_socket(args.socket, args.state_dir)
+    out = os.path.abspath(args.out) if args.out else None
+    try:
+        client = ServeClient(sock)
+    except OSError as exc:
+        print(f"submit: no master at {sock} ({exc}); start one with "
+              f"'repro serve'", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            submitted = client.submit(
+                spec.to_dict(), priority=args.priority,
+                stream=not args.detach, jobs=args.jobs,
+                point_timeout_s=args.point_timeout, out=out)
+        except ServeError as exc:
+            print(f"submit: {exc}", file=sys.stderr)
+            return 2
+        rid = submitted["rid"]
+        print(f"submitted run {rid}: {spec.name} "
+              f"({submitted['points']} points, priority "
+              f"{submitted['priority']}) -> {submitted['store']}",
+              flush=True)
+        if args.detach:
+            return 0
+        progress = _progress(spec, args)
+        final = None
+        try:
+            for event in client.events(rid=rid):
+                if event["event"] == "point" and progress is not None:
+                    progress(PointResult.from_row(event["row"]))
+                elif (event["event"] == "state"
+                      and event["state"] != "running"):
+                    final = event
+        except ServeError as exc:
+            print(f"submit: lost the master mid-run ({exc}); the run "
+                  f"continues — 'repro watch {rid}' to reattach",
+                  file=sys.stderr)
+            return 2
+    state = final["state"] if final else "unknown"
+    stored = (ResultStore.load(submitted["store"])
+              if os.path.exists(submitted["store"]) else {})
+    results = [stored[p.point_id] for p in spec.points
+               if p.point_id in stored]
+    print(format_summary(spec, results))
+    if state == "done":
+        return 1 if (final or {}).get("failed") else 0
+    print(f"submit: run {rid} ended {state}", file=sys.stderr)
+    return 2
+
+
+def _cmd_queue(args):
+    """Show the master's run queue and pool health."""
+    from repro.analysis.report import format_table
+    from repro.serve.client import ServeClient, ServeError, find_socket
+
+    sock = find_socket(args.socket, args.state_dir)
+    try:
+        with ServeClient(sock, timeout=10.0) as client:
+            hello = client.hello()
+            runs = client.queue()
+    except (OSError, ServeError) as exc:
+        print(f"queue: no master at {sock} ({exc})", file=sys.stderr)
+        return 2
+    rows = [[run["rid"], run["state"], run["priority"], run["name"],
+             f"{run['completed']}/{run['points_total']}",
+             run["failed"] or ""]
+            for run in runs]
+    print(format_table(
+        ["rid", "state", "pri", "name", "points", "failed"], rows,
+        title=f"serve queue — master pid {hello['pid']}, "
+              f"{len(runs)} run(s)"))
+    pool = hello.get("pool")
+    if pool:
+        print(f"pool      : {pool['jobs']} shard(s), "
+              f"{'healthy' if pool['healthy'] else 'DEGRADED'}")
+    return 0
+
+
+def _cmd_cancel(args):
+    """Cancel (or pause/requeue) a run on the master."""
+    from repro.serve.client import ServeClient, ServeError, find_socket
+
+    method = ("requeue" if args.requeue
+              else "pause" if args.pause else "cancel")
+    sock = find_socket(args.socket, args.state_dir)
+    try:
+        with ServeClient(sock, timeout=10.0) as client:
+            result = client.request(method, rid=args.rid)
+    except (OSError, ServeError) as exc:
+        print(f"{method}: {exc}", file=sys.stderr)
+        return 2
+    if result.get("interrupt"):
+        print(f"run {args.rid}: {result['interrupt']} requested "
+              f"(currently {result['state']}; stops at the next "
+              f"point boundary)")
+    else:
+        print(f"run {args.rid}: {result['state']}")
+    return 0
 
 
 def _cmd_batch(args):
@@ -469,9 +651,11 @@ def _cmd_batch(args):
             argv = argv[1:]
         if not argv:
             continue
-        if argv[0] == "batch":
-            print(f"batch: line {lineno}: nested batch is not allowed",
-                  file=sys.stderr)
+        if argv[0] in ("batch", "serve"):
+            reason = ("nested batch is not allowed" if argv[0] == "batch"
+                      else "serve blocks forever; start the master "
+                           "outside the batch")
+            print(f"batch: line {lineno}: {reason}", file=sys.stderr)
             failures += 1
             if not args.keep_going:
                 break
@@ -519,6 +703,43 @@ def _cmd_figure(args):
     return 0
 
 
+def _add_grid_args(parser):
+    """The campaign-grid flags shared by ``campaign`` and ``submit``
+    (everything :func:`_resolve_campaign_spec` consumes, plus the
+    execution knobs both commands forward)."""
+    parser.add_argument("--spec", default=None,
+                        help="JSON spec file (points or grid shorthand); "
+                             "overrides grid flags")
+    parser.add_argument("--name", default="cli")
+    parser.add_argument("--task", choices=("meek", "inject"),
+                        default="meek")
+    parser.add_argument("--workloads", type=_csv(str), default=[])
+    parser.add_argument("--seeds", type=_csv(int), default=[0])
+    parser.add_argument("--instructions", type=int, default=20_000)
+    parser.add_argument("--cores", type=_csv(int), default=[4])
+    parser.add_argument("--fabric", type=_csv(str), default=["f2"])
+    parser.add_argument("--trials", type=int, default=3,
+                        help="fault-injection trials per cell")
+    parser.add_argument("--rate", type=float, default=0.008)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker shards (default $REPRO_JOBS or 1)")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        help="per-point wall-clock budget (s)")
+    parser.add_argument("--progress", action="store_true",
+                        help="force the stderr progress line")
+
+
+def _add_serve_client_args(parser, what="talking to the master"):
+    """The master-discovery flags every serve thin client takes."""
+    parser.add_argument("--socket", default=None,
+                        help=f"master socket for {what} (default: "
+                             "$REPRO_SERVE_SOCKET, the state dir's "
+                             "contact file, or its serve.sock)")
+    parser.add_argument("--state-dir", default=None,
+                        help="serve state directory (default "
+                             "$REPRO_SERVE_DIR or ~/.cache/repro/serve)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -562,31 +783,11 @@ def build_parser():
     campaign_parser = sub.add_parser(
         "campaign",
         help="run a declarative grid through the sharded campaign engine")
-    campaign_parser.add_argument("--spec", default=None,
-                                 help="JSON spec file (points or grid "
-                                      "shorthand); overrides grid flags")
-    campaign_parser.add_argument("--name", default="cli")
-    campaign_parser.add_argument("--task", choices=("meek", "inject"),
-                                 default="meek")
-    campaign_parser.add_argument("--workloads", type=_csv(str), default=[])
-    campaign_parser.add_argument("--seeds", type=_csv(int), default=[0])
-    campaign_parser.add_argument("--instructions", type=int, default=20_000)
-    campaign_parser.add_argument("--cores", type=_csv(int), default=[4])
-    campaign_parser.add_argument("--fabric", type=_csv(str), default=["f2"])
-    campaign_parser.add_argument("--trials", type=int, default=3,
-                                 help="fault-injection trials per cell")
-    campaign_parser.add_argument("--rate", type=float, default=0.008)
-    campaign_parser.add_argument("--jobs", type=int, default=None,
-                                 help="worker shards (default $REPRO_JOBS "
-                                      "or 1)")
+    _add_grid_args(campaign_parser)
     campaign_parser.add_argument("--out", default=None,
                                  help="append per-point JSONL rows here")
     campaign_parser.add_argument("--resume", action="store_true",
                                  help="skip points already OK in --out")
-    campaign_parser.add_argument("--point-timeout", type=float, default=None,
-                                 help="per-point wall-clock budget (s)")
-    campaign_parser.add_argument("--progress", action="store_true",
-                                 help="force the stderr progress line")
     campaign_parser.add_argument("--status", default=None,
                                  help="publish the live status snapshot "
                                       "here (default: <out>.status.json "
@@ -681,8 +882,9 @@ def build_parser():
              "finished result store)")
     watch_parser.add_argument("path",
                               help="status snapshot (*.status.json), "
-                                   "result store (results.jsonl), or a "
-                                   "directory containing snapshots")
+                                   "result store (results.jsonl), a "
+                                   "directory containing snapshots, or a "
+                                   "serve run id (digits)")
     watch_parser.add_argument("--interval", type=float, default=1.0,
                               help="refresh interval in seconds")
     watch_parser.add_argument("--once", action="store_true",
@@ -691,6 +893,7 @@ def build_parser():
     watch_parser.add_argument("--wait", type=float, default=10.0,
                               help="seconds to wait for the snapshot to "
                                    "appear before giving up")
+    _add_serve_client_args(watch_parser, "watching a run id")
 
     batch_parser = sub.add_parser(
         "batch",
@@ -702,6 +905,54 @@ def build_parser():
                                    "comments)")
     batch_parser.add_argument("--keep-going", action="store_true",
                               help="continue past failing commands")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the campaign master daemon (one warm worker pool "
+             "shared by every submitter)")
+    serve_parser.add_argument("--jobs", type=int, default=None,
+                              help="default worker shards for submitted "
+                                   "runs (default $REPRO_JOBS or 1)")
+    serve_parser.add_argument("--stop", action="store_true",
+                              help="ask a running master to shut down "
+                                   "gracefully and exit")
+    serve_parser.add_argument("--events", default=None,
+                              help="append structured JSONL events here "
+                                   "(sets $REPRO_EVENTS for all workers)")
+    _add_serve_client_args(serve_parser, "this master")
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit a campaign grid to the serve master and stream "
+             "its rows back")
+    _add_grid_args(submit_parser)
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="queue priority (higher runs first; "
+                                    "ties in submission order)")
+    submit_parser.add_argument("--out", default=None,
+                               help="result store path (default: the "
+                                    "master's runs/<rid>.results.jsonl)")
+    submit_parser.add_argument("--detach", action="store_true",
+                               help="just enqueue and print the rid; "
+                                    "don't stream results")
+    _add_serve_client_args(submit_parser)
+
+    queue_parser = sub.add_parser(
+        "queue", help="show the serve master's run queue")
+    _add_serve_client_args(queue_parser)
+
+    cancel_parser = sub.add_parser(
+        "cancel",
+        help="cancel a serve run (or --pause / --requeue it)")
+    cancel_parser.add_argument("rid", type=int, help="run id")
+    group = cancel_parser.add_mutually_exclusive_group()
+    group.add_argument("--pause", action="store_true",
+                       help="stop after the current point but keep the "
+                            "run resumable")
+    group.add_argument("--requeue", action="store_true",
+                       help="put a paused/cancelled/failed run back on "
+                            "the queue (resumes from its store)")
+    _add_serve_client_args(cancel_parser)
     return parser
 
 
@@ -715,6 +966,10 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "batch": _cmd_batch,
     "watch": _cmd_watch,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "queue": _cmd_queue,
+    "cancel": _cmd_cancel,
 }
 
 

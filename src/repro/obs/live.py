@@ -33,6 +33,7 @@ The snapshot schema (``schema`` 1)::
 import json
 import os
 import tempfile
+import threading
 import time
 
 from repro.obs.events import event_log
@@ -60,12 +61,20 @@ class LiveStatus:
 
     def __init__(self, name, total, path=None, jobs=1,
                  publish_interval_s=0.5, rate_window_s=15.0,
-                 clock=time.monotonic):
+                 clock=time.monotonic, extra=None):
         self.name = name
         self.total = total
         self.path = path
         self.jobs = jobs
         self.publish_interval_s = publish_interval_s
+        #: Caller-supplied fields merged into every snapshot (e.g. the
+        #: serve master stamps its run id here).
+        self.extra = dict(extra or {})
+        # Ingestion and snapshotting may come from different threads
+        # (the serve master folds points in its executor thread while
+        # answering status RPCs from client threads); reentrant
+        # because point() -> publish() -> snapshot() nests.
+        self._lock = threading.RLock()
         self._clock = clock
         self._start = clock()
         self._last_publish = None
@@ -94,6 +103,10 @@ class LiveStatus:
 
     def point(self, result):
         """Fold one completed :class:`PointResult` into the stream."""
+        with self._lock:
+            self._point_locked(result)
+
+    def _point_locked(self, result):
         now = self._clock()
         self.completed += 1
         if not result.ok:
@@ -118,19 +131,31 @@ class LiveStatus:
 
     def heartbeat(self, worker, now=None):
         """Record shard liveness outside point completion."""
-        now = self._clock() if now is None else now
-        shard = self._shards.setdefault(
-            worker, {"points": 0, "failed": 0, "last_seen": now})
-        shard["last_seen"] = now
+        with self._lock:
+            now = self._clock() if now is None else now
+            shard = self._shards.setdefault(
+                worker, {"points": 0, "failed": 0, "last_seen": now})
+            shard["last_seen"] = now
 
     def finish(self):
         """Mark the campaign done and publish the final snapshot."""
         self.state = "finished"
         self.publish(force=True)
 
+    def aborted(self):
+        """Mark the campaign aborted (cancel/pause/shutdown) and
+        publish, so watchers see a terminal state instead of a run
+        that went silently stale."""
+        self.state = "aborted"
+        self.publish(force=True)
+
     # -- output ------------------------------------------------------------
 
     def snapshot(self):
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self):
         now = self._clock()
         elapsed = now - self._start
         points_per_s = self._point_rate.rate(now=now)
@@ -175,6 +200,7 @@ class LiveStatus:
                 for worker, shard in sorted(self._shards.items())
             },
         }
+        snap.update(self.extra)
         return snap
 
     def publish(self, force=False):
@@ -185,12 +211,14 @@ class LiveStatus:
         """
         if self.path is None:
             return False
-        now = self._clock()
-        if (not force and self._last_publish is not None
-                and now - self._last_publish < self.publish_interval_s):
-            return False
-        self._last_publish = now
-        payload = json.dumps(self.snapshot(), sort_keys=True) + "\n"
+        with self._lock:
+            now = self._clock()
+            if (not force and self._last_publish is not None
+                    and now - self._last_publish < self.publish_interval_s):
+                return False
+            self._last_publish = now
+            payload = json.dumps(self._snapshot_locked(),
+                                 sort_keys=True) + "\n"
         try:
             directory = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(directory, exist_ok=True)

@@ -13,7 +13,13 @@ the scripting/CI entry point.
   ``results.jsonl.status.json`` is preferred; if no snapshot was ever
   published the store rows themselves are replayed into one
   (state ``"store"``, exact percentiles, no live rates);
-* a directory — the most recently modified ``*.status.json`` in it.
+* a directory — the most recently modified ``*.status.json`` in it;
+* a bare run id (all digits) — a ``repro serve`` run: while a master
+  is reachable (``--socket``, ``$REPRO_SERVE_SOCKET``, or the state
+  directory's contact file) each refresh asks it for the run's live
+  snapshot over the socket; once no master answers, watching falls
+  back to polling the run's store in the serve state directory, so a
+  watch started against a live master survives the master's death.
 """
 
 import os
@@ -71,6 +77,8 @@ def render_snapshot(snap, now_unix=None):
     state = snap.get("state", "?")
     lines = []
     header = f"campaign {snap.get('campaign', '?')} — {state}"
+    if snap.get("rid") is not None:
+        header = f"run {snap['rid']} · " + header
     age = now_unix - snap["updated_unix"] if "updated_unix" in snap else None
     if age is not None and state == "running":
         header += f" (updated {age:.1f}s ago)"
@@ -132,16 +140,93 @@ def _read(kind, path):
     return load_status(path)
 
 
+def _serve_status(socket_path, rid):
+    """One status round-trip to the serve master.
+
+    ``None`` when no master answers (the caller falls back to disk);
+    a :class:`~repro.serve.client.ServeError` when a live master
+    rejected the rid; otherwise the ``{"run", "status"}`` payload.
+    """
+    from repro.serve.client import ServeClient, ServeError, server_available
+
+    if not server_available(socket_path):
+        return None
+    try:
+        with ServeClient(socket_path, timeout=5.0) as client:
+            return client.status(rid)
+    except ServeError as exc:
+        return exc
+    except OSError:
+        return None
+
+
+def _record_snapshot(record):
+    """A renderable snapshot for a run the master is not executing
+    (queued, paused, or already finished with no live status)."""
+    return {
+        "campaign": record["name"], "state": record["state"],
+        "rid": record["rid"],
+        # the record's ``completed`` already counts resumed rows, and
+        # the renderer sums completed+resumed — subtract so a resumed
+        # run shows 24/24, not 26/24
+        "points": {"total": record["points_total"],
+                   "completed": max(0, record["completed"]
+                                    - record["resumed"]),
+                   "failed": record["failed"],
+                   "resumed": record["resumed"]},
+    }
+
+
+def _watch_rid(rid, interval_s, once, stream, clock, max_wait_s,
+               socket_path, state_dir):
+    """Follow a serve run by id: live over the master's socket, then
+    the on-disk store in the serve state directory as the fallback."""
+    from repro.serve import scheduler as sched
+    from repro.serve.client import ServeError, find_socket
+
+    state_dir = state_dir or sched.default_state_dir()
+    socket_path = find_socket(socket_path, state_dir)
+    deadline = clock() + max_wait_s
+    while True:
+        info = _serve_status(socket_path, rid)
+        if info is None:
+            # No master answering: the run's record and store are
+            # still on disk — poll those instead.
+            store = os.path.join(state_dir, "runs",
+                                 f"{rid}.results.jsonl")
+            return watch(store, interval_s=interval_s, once=once,
+                         stream=stream, clock=clock,
+                         max_wait_s=max(0.0, deadline - clock()))
+        if isinstance(info, ServeError):
+            print(f"watch: run {rid}: {info}", file=sys.stderr)
+            return 2
+        record = info["run"]
+        snap = info["status"] or _record_snapshot(record)
+        interactive = (not once) and stream.isatty()
+        if interactive:
+            stream.write("\x1b[H\x1b[2J")
+        stream.write(render_snapshot(snap) + "\n")
+        stream.flush()
+        if once or record["state"] in sched.TERMINAL:
+            return 0
+        time.sleep(interval_s)
+
+
 def watch(path, interval_s=1.0, once=False, stream=None, clock=None,
-          max_wait_s=10.0):
+          max_wait_s=10.0, socket_path=None, state_dir=None):
     """Render ``path`` until the campaign finishes; 0 on success.
 
     ``once`` renders a single snapshot and returns.  A snapshot that
     has not appeared yet is waited for (up to ``max_wait_s``) so
     ``repro watch`` can be started a moment before the campaign.
+    A ``path`` of bare digits names a ``repro serve`` run id (see
+    :func:`_watch_rid`).
     """
     stream = sys.stdout if stream is None else stream
     clock = time.monotonic if clock is None else clock
+    if str(path).isdigit():
+        return _watch_rid(int(path), interval_s, once, stream, clock,
+                          max_wait_s, socket_path, state_dir)
     deadline = clock() + max_wait_s
     while True:
         try:
@@ -164,6 +249,6 @@ def watch(path, interval_s=1.0, once=False, stream=None, clock=None,
             stream.write("\x1b[H\x1b[2J")  # home + clear: redraw in place
         stream.write(render_snapshot(snap) + "\n")
         stream.flush()
-        if once or snap.get("state") in ("finished", "store"):
+        if once or snap.get("state") in ("finished", "store", "aborted"):
             return 0
         time.sleep(interval_s)

@@ -89,6 +89,16 @@ class ExecutionService:
                 atexit.register(self.shutdown)
         return self._pool
 
+    def pool_info(self):
+        """A snapshot of the persistent pool (``None`` when no pool is
+        up): shard count, child pids, and health — what ``repro
+        serve`` reports to clients (and what the fault-injection tests
+        aim their SIGKILLs at)."""
+        if self._pool is None:
+            return None
+        return {"jobs": self._pool.jobs, "pids": self._pool.pids,
+                "healthy": self._pool.healthy}
+
     def run_campaign(self, spec, jobs=None, **kwargs):
         """:func:`repro.campaign.run_campaign` through the warm pool.
 

@@ -1,0 +1,201 @@
+"""Thin client for the ``repro serve`` master.
+
+One connection, one in-flight request at a time — which is all the
+CLI ever needs — plus a generator over the stream events the master
+pushes for subscribed runs.  Stream events that arrive while a
+response is awaited are buffered, so request/response and streaming
+can share the socket without a demultiplexer.
+
+Socket discovery (:func:`find_socket`): an explicit path wins, then
+``$REPRO_SERVE_SOCKET``, then the contact file a live master writes
+into the state directory, then the state directory's default socket
+name.  :func:`server_available` answers whether anything is actually
+listening there — ``repro watch`` uses it to decide between the live
+socket and ``status.json`` polling.
+"""
+
+import os
+import socket
+
+from repro.serve import protocol
+from repro.serve.master import SOCKET_NAME, read_contact
+from repro.serve.scheduler import default_state_dir
+
+__all__ = ["ServeClient", "ServeError", "find_socket",
+           "server_available"]
+
+#: Environment variable naming the master socket for thin clients.
+SOCKET_ENV = "REPRO_SERVE_SOCKET"
+
+
+class ServeError(Exception):
+    """An error response from the master (or a broken conversation)."""
+
+    def __init__(self, code, message):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def find_socket(explicit=None, state_dir=None):
+    """Resolve the master socket path (without touching the network)."""
+    if explicit:
+        return explicit
+    env = os.environ.get(SOCKET_ENV)
+    if env:
+        return env
+    state_dir = state_dir or default_state_dir()
+    contact = read_contact(state_dir)
+    if contact is not None:
+        return contact["socket"]
+    return os.path.join(state_dir, SOCKET_NAME)
+
+
+def server_available(socket_path, timeout=1.0):
+    """Whether a master is actually accepting on ``socket_path``."""
+    if not socket_path or not hasattr(socket, "AF_UNIX"):
+        return False
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(timeout)
+    try:
+        probe.connect(socket_path)
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
+class ServeClient:
+    """One conversation with the master (use as a context manager)."""
+
+    def __init__(self, socket_path, timeout=60.0):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._reader = protocol.LineReader()
+        self._lines = []
+        self._stream_buffer = []
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    def _read_message(self):
+        while True:
+            if self._lines:
+                line = self._lines.pop(0)
+                if isinstance(line, protocol.Oversized):
+                    raise ServeError(
+                        protocol.E_OVERSIZED,
+                        f"master sent an oversized line ({line.size} "
+                        f"bytes)")
+                return protocol.decode(line)
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                raise ServeError(
+                    "timeout", f"no reply from {self.socket_path} "
+                               f"within the socket timeout") from None
+            if not data:
+                raise ServeError("disconnected",
+                                 "master closed the connection")
+            self._lines.extend(self._reader.feed(data))
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self, method, **params):
+        """One RPC round-trip; returns the result dict or raises
+        :class:`ServeError`.  Stream events that arrive first are
+        buffered for :meth:`events`."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(protocol.encode(
+            protocol.request(method, params, request_id=request_id)))
+        while True:
+            message = self._read_message()
+            if "stream" in message:
+                self._stream_buffer.append(message)
+                continue
+            if message.get("id") != request_id:
+                continue  # a stale reply; not ours
+            if message.get("ok"):
+                return message.get("result")
+            error = message.get("error") or {}
+            raise ServeError(error.get("code", "unknown"),
+                             error.get("message", "(no message)"))
+
+    # -- streaming ---------------------------------------------------------
+
+    def events(self, rid=None):
+        """Yield stream events (optionally only for ``rid``) until the
+        run reports a state event; the state event is yielded last."""
+        from repro.serve import scheduler as sched
+        while True:
+            if self._stream_buffer:
+                message = self._stream_buffer.pop(0)
+            else:
+                message = self._read_message()
+                if "stream" not in message:
+                    continue  # unsolicited response; drop
+            if rid is not None and message.get("stream") != rid:
+                continue
+            yield message
+            if (message.get("event") == "state"
+                    and message.get("state") != sched.RUNNING):
+                return
+
+    # -- conveniences ------------------------------------------------------
+
+    def hello(self):
+        return self.request("hello")
+
+    def submit(self, spec, priority=0, stream=False, jobs=None,
+               point_timeout_s=None, chunk_size=None, out=None):
+        """Submit a campaign spec (a dict, explicit points or grid
+        shorthand); returns ``{rid, state, store, points, priority}``."""
+        params = {"spec": spec, "priority": priority, "stream": stream}
+        if jobs is not None:
+            params["jobs"] = jobs
+        if point_timeout_s is not None:
+            params["point_timeout_s"] = point_timeout_s
+        if chunk_size is not None:
+            params["chunk_size"] = chunk_size
+        if out is not None:
+            params["out"] = out
+        return self.request("submit", **params)
+
+    def queue(self):
+        return self.request("queue")["runs"]
+
+    def status(self, rid=None):
+        if rid is None:
+            return self.request("status")
+        return self.request("status", rid=rid)
+
+    def cancel(self, rid):
+        return self.request("cancel", rid=rid)
+
+    def pause(self, rid):
+        return self.request("pause", rid=rid)
+
+    def requeue(self, rid):
+        return self.request("requeue", rid=rid)
+
+    def subscribe(self, rid):
+        return self.request("subscribe", rid=rid)
+
+    def shutdown(self):
+        return self.request("shutdown")

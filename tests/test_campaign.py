@@ -482,3 +482,72 @@ class TestExperimentsThroughEngine:
                                        core_counts=(2, 4),
                                        workloads=["swaptions"], jobs=2)
         assert serial == sharded
+
+
+class TestAbort:
+    """The ``abort`` hook: stop at a point boundary, keep the partial
+    store, resume to a bit-identical whole."""
+
+    def abort_after(self, store, n):
+        return lambda: len(store.rows) >= n
+
+    def full_rows(self, spec):
+        result = run_campaign(spec)
+        return {r.point_id: (r.ok, r.metrics) for r in result.results}
+
+    def test_serial_abort_keeps_partial_and_raises(self, tmp_path):
+        from repro.campaign import CampaignAborted
+        spec = small_spec()
+        out = str(tmp_path / "aborted.jsonl")
+        with ResultStore(path=out) as store:
+            with pytest.raises(CampaignAborted) as err:
+                run_campaign(spec, store=store,
+                             abort=self.abort_after(store, 2))
+        assert err.value.completed == 2
+        assert len(ResultStore.load(out)) == 2
+
+    def test_resume_after_abort_matches_uninterrupted(self, tmp_path):
+        from repro.campaign import CampaignAborted
+        spec = small_spec()
+        out = str(tmp_path / "aborted.jsonl")
+        with ResultStore(path=out) as store:
+            with pytest.raises(CampaignAborted):
+                run_campaign(spec, store=store,
+                             abort=self.abort_after(store, 1))
+        with ResultStore(path=out) as store:
+            result = run_campaign(spec, store=store, resume_from=out)
+        assert len(result.results) == len(spec.points)
+        got = {r.point_id: (r.ok, r.metrics) for r in result.results}
+        assert got == self.full_rows(spec)
+
+    def test_pool_abort_raises_and_next_campaign_identical(self, tmp_path):
+        from repro.campaign import CampaignAborted
+        spec = small_spec(workloads=("dedup", "hmmer"), seeds=(0, 1, 2))
+        out = str(tmp_path / "pool-aborted.jsonl")
+        with ResultStore(path=out) as store:
+            with pytest.raises(CampaignAborted):
+                run_campaign(spec, jobs=2, store=store, chunk_size=1,
+                             abort=self.abort_after(store, 1))
+        assert 1 <= len(ResultStore.load(out)) < len(spec.points)
+        # a fresh sharded campaign right after is undisturbed
+        result = run_campaign(spec, jobs=2)
+        got = {r.point_id: (r.ok, r.metrics) for r in result.results}
+        assert got == self.full_rows(spec)
+
+    def test_abort_publishes_aborted_live_state(self, tmp_path):
+        from repro.campaign import CampaignAborted
+        from repro.obs.live import LiveStatus, load_status
+        spec = small_spec()
+        status = str(tmp_path / "status.json")
+        live = LiveStatus(spec.name, total=len(spec.points), path=status)
+        with pytest.raises(CampaignAborted):
+            run_campaign(spec, live=live, abort=lambda: True)
+        snap = load_status(status)
+        assert snap["state"] == "aborted"
+
+    def test_no_abort_hook_changes_nothing(self):
+        spec = small_spec()
+        plain = run_campaign(spec)
+        hooked = run_campaign(spec, abort=lambda: False)
+        assert ([r.metrics for r in plain.results]
+                == [r.metrics for r in hooked.results])

@@ -226,3 +226,220 @@ class TestBenchTrend:
         assert "kernels/meek_speedup" in out
         assert "hmmer/meek/instrs_per_s" in out
         assert "+" in out or "-" in out  # the change column rendered
+
+
+# -- the serve family: serve / submit / queue / cancel / watch-by-rid ------
+
+
+class TestServeParser:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--jobs", "4", "--state-dir", "/tmp/sd",
+             "--socket", "/tmp/sd/s.sock", "--events", "ev.jsonl"])
+        assert args.command == "serve"
+        assert args.jobs == 4 and not args.stop
+        assert args.state_dir == "/tmp/sd"
+
+    def test_serve_stop_flag(self):
+        args = build_parser().parse_args(["serve", "--stop"])
+        assert args.stop
+
+    def test_submit_shares_campaign_grid_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "--workloads", "dedup,hmmer", "--seeds", "0,1",
+             "--cores", "2,4", "--priority", "5", "--detach",
+             "--jobs", "2"])
+        assert args.command == "submit"
+        assert args.workloads == ["dedup", "hmmer"]
+        assert args.cores == [2, 4]
+        assert args.priority == 5 and args.detach
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "--spec", "s.json"])
+        assert args.priority == 0
+        assert not args.detach
+        assert args.socket is None and args.state_dir is None
+
+    def test_queue_parses(self):
+        args = build_parser().parse_args(["queue", "--socket", "/tmp/x"])
+        assert args.command == "queue" and args.socket == "/tmp/x"
+
+    def test_cancel_rid_and_modes(self):
+        args = build_parser().parse_args(["cancel", "7", "--pause"])
+        assert args.rid == 7 and args.pause and not args.requeue
+        with pytest.raises(SystemExit):  # mutually exclusive
+            build_parser().parse_args(["cancel", "7", "--pause",
+                                       "--requeue"])
+
+    def test_watch_takes_serve_flags(self):
+        args = build_parser().parse_args(
+            ["watch", "3", "--state-dir", "/tmp/sd", "--once"])
+        assert args.path == "3" and args.state_dir == "/tmp/sd"
+
+    def test_batch_rejects_serve_line(self, tmp_path, capsys):
+        script = tmp_path / "cmds.txt"
+        script.write_text("serve --jobs 2\nlist\n")
+        assert main(["batch", str(script), "--keep-going"]) == 1
+        out = capsys.readouterr()
+        assert "start the master outside the batch" in out.err
+        assert "swaptions" in out.out  # the rest of the batch still ran
+
+
+class TestServeCommands:
+    @pytest.fixture()
+    def serve_env(self, monkeypatch):
+        import tempfile
+
+        from repro.perf.service import ExecutionService
+        from repro.serve.master import Master
+
+        state_dir = tempfile.mkdtemp(prefix="sc", dir="/tmp")
+        monkeypatch.setenv("REPRO_SERVE_DIR", state_dir)
+        monkeypatch.delenv("REPRO_SERVE_SOCKET", raising=False)
+        master = Master(state_dir=state_dir, service=ExecutionService())
+        master.start()
+        yield master
+        master.stop()
+
+    def spec_file(self, tmp_path, n=3):
+        import json
+
+        from repro.campaign import task
+
+        @task("cli_serve_echo")
+        def _cli_serve_echo(point, campaign_name=""):
+            return {"value": point.seed + 1}
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "cli-serve", "points": [
+                {"task": "cli_serve_echo", "workload": "w",
+                 "instructions": 100, "seed": seed}
+                for seed in range(n)]}))
+        return str(path)
+
+    def test_submit_streams_rows_and_summary(self, serve_env, tmp_path,
+                                             capsys):
+        assert main(["submit", "--spec",
+                     self.spec_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "submitted run 1: cli-serve (3 points" in out
+        assert "3/3 ok" in out
+
+    def test_submit_detach_just_prints_rid(self, serve_env, tmp_path,
+                                           capsys):
+        assert main(["submit", "--detach", "--spec",
+                     self.spec_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "submitted run 1" in out
+        assert "ok" not in out  # no summary: we did not wait
+
+    def test_queue_lists_runs_after_submit(self, serve_env, tmp_path,
+                                           capsys):
+        assert main(["submit", "--spec", self.spec_file(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["queue"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-serve" in out and "done" in out
+        assert "master pid" in out
+
+    def test_cancel_finished_run_is_bad_state(self, serve_env, tmp_path,
+                                              capsys):
+        assert main(["submit", "--spec", self.spec_file(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cancel", "1"]) == 2
+        assert "bad_state" in capsys.readouterr().err
+
+    def test_cancel_unknown_rid_not_found(self, serve_env, capsys):
+        assert main(["cancel", "99"]) == 2
+        assert "not_found" in capsys.readouterr().err
+
+    def test_watch_rid_live_over_socket(self, serve_env, tmp_path,
+                                        capsys):
+        assert main(["submit", "--spec", self.spec_file(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["watch", "1", "--once"]) == 0
+        view = capsys.readouterr().out
+        assert "run 1" in view and "cli-serve" in view
+
+    def test_watch_rid_falls_back_to_store_after_master_dies(
+            self, serve_env, tmp_path, capsys):
+        assert main(["submit", "--spec", self.spec_file(tmp_path)]) == 0
+        serve_env.stop()                     # master gone; store remains
+        capsys.readouterr()
+        assert main(["watch", "1", "--once", "--wait", "2"]) == 0
+        view = capsys.readouterr().out
+        assert "cli-serve" in view
+        assert "points    : 3/3" in view
+
+    def test_watch_unknown_rid_fails_cleanly(self, serve_env, capsys):
+        assert main(["watch", "42", "--once", "--wait", "0"]) == 2
+        assert "42" in capsys.readouterr().err
+
+    def test_submit_without_master_fails_cleanly(self, monkeypatch,
+                                                 tmp_path, capsys):
+        import tempfile
+
+        monkeypatch.setenv("REPRO_SERVE_DIR",
+                           tempfile.mkdtemp(prefix="nm", dir="/tmp"))
+        monkeypatch.delenv("REPRO_SERVE_SOCKET", raising=False)
+        assert main(["submit", "--spec",
+                     self.spec_file(tmp_path)]) == 2
+        assert "no master" in capsys.readouterr().err
+
+    def test_serve_stop_without_master_fails_cleanly(self, monkeypatch,
+                                                     capsys):
+        import tempfile
+
+        monkeypatch.setenv("REPRO_SERVE_DIR",
+                           tempfile.mkdtemp(prefix="nm", dir="/tmp"))
+        monkeypatch.delenv("REPRO_SERVE_SOCKET", raising=False)
+        assert main(["serve", "--stop"]) == 2
+        assert "cannot stop" in capsys.readouterr().err
+
+    def test_serve_stop_shuts_down_live_master(self, serve_env, capsys):
+        assert main(["serve", "--stop"]) == 0
+        out = capsys.readouterr().out
+        assert "shutdown requested" in out
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while (not serve_env._shutdown.is_set()
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert serve_env._shutdown.is_set()
+
+    def test_submit_bad_spec_is_rejected_before_rid(self, serve_env,
+                                                    tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert main(["submit", "--spec", str(bad)]) == 2
+        assert "bad spec" in capsys.readouterr().err
+        assert serve_env.scheduler.counter.value == 0
+
+
+class TestWatchAbortedState:
+    def test_watch_treats_aborted_as_terminal(self, tmp_path):
+        import io
+
+        from repro.obs.live import LiveStatus
+        from repro.obs.watch import watch
+
+        status = tmp_path / "status.json"
+        live = LiveStatus("abandoned", total=5, path=str(status))
+        live.publish(force=True)
+        live.aborted()
+        stream = io.StringIO()
+        # not --once: the loop must still return because "aborted"
+        # is terminal (a hang here is the regression)
+        assert watch(str(status), interval_s=0.01, once=False,
+                     stream=stream, max_wait_s=1.0) == 0
+        assert "aborted" in stream.getvalue()
+
+    def test_render_snapshot_shows_rid(self):
+        from repro.obs.watch import render_snapshot
+
+        view = render_snapshot({"campaign": "c", "state": "running",
+                                "rid": 9, "points": {"total": 4},
+                                "updated_unix": 0.0}, now_unix=1.0)
+        assert view.splitlines()[0].startswith("run 9 · campaign c")

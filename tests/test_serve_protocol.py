@@ -1,0 +1,453 @@
+"""Property and fuzz tests for the ``repro serve`` wire protocol.
+
+Three layers, in increasing realism:
+
+* pure round-trips — every method's request, plus responses, errors,
+  and stream events survive ``encode``/``decode``/``parse_request``;
+* adversarial parsing — truncated JSON, non-objects, mistyped and
+  unknown fields, oversized lines, byte-at-a-time framing — each maps
+  to the documented structured error, never an uncaught exception;
+* a live master on a real socket fed garbage: every frame gets exactly
+  one structured error, the connection and the master survive, and a
+  rejected ``submit`` never leaks a run id.
+"""
+
+import json
+import os
+import socket
+import tempfile
+import time
+
+import pytest
+
+from repro.perf.service import ExecutionService
+from repro.serve import protocol
+from repro.serve.master import Master
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    LineReader,
+    Oversized,
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    parse_request,
+    request,
+    response,
+    stream_event,
+)
+
+# Representative valid params per method (used by the round-trip
+# parameterization below).
+VALID_REQUESTS = {
+    "hello": {},
+    "submit": {"spec": {"name": "s", "points": []}, "priority": 3,
+               "jobs": 2, "point_timeout_s": 1.5, "chunk_size": 4,
+               "stream": True, "out": "results.jsonl"},
+    "queue": {},
+    "status": {"rid": 7},
+    "cancel": {"rid": 1},
+    "pause": {"rid": 2},
+    "requeue": {"rid": 3},
+    "subscribe": {"rid": 4},
+    "shutdown": {},
+}
+
+
+@pytest.mark.quick
+class TestRoundTrip:
+    @pytest.mark.parametrize("method", sorted(protocol.METHOD_PARAMS))
+    def test_every_method_round_trips(self, method):
+        params = VALID_REQUESTS[method]
+        wire = encode(request(method, params, request_id=42))
+        assert wire.endswith(b"\n") and wire.count(b"\n") == 1
+        rid, got_method, got_params = parse_request(decode(wire[:-1]))
+        assert rid == 42
+        assert got_method == method
+        assert got_params == params
+
+    def test_methods_table_covers_all_valid_requests(self):
+        assert set(VALID_REQUESTS) == set(protocol.METHOD_PARAMS)
+
+    def test_response_round_trip(self):
+        wire = encode(response(9, {"rid": 1, "state": "queued"}))
+        obj = decode(wire[:-1])
+        assert obj == {"id": 9, "ok": True,
+                       "result": {"rid": 1, "state": "queued"}}
+
+    def test_error_response_round_trip(self):
+        wire = encode(error_response(None, protocol.E_BAD_PARAMS, "nope"))
+        obj = decode(wire[:-1])
+        assert obj["id"] is None and obj["ok"] is False
+        assert obj["error"] == {"code": "bad_params", "message": "nope"}
+
+    def test_stream_event_round_trip(self):
+        wire = encode(stream_event(5, "point", row={"point_id": "x"}))
+        obj = decode(wire[:-1])
+        assert obj == {"stream": 5, "event": "point",
+                       "row": {"point_id": "x"}}
+
+    def test_string_and_null_ids_accepted(self):
+        for request_id in ("abc", None):
+            rid, _, _ = parse_request(
+                decode(encode(request("hello", request_id=request_id))[:-1]))
+            assert rid == request_id
+
+    def test_encode_is_compact_single_line(self):
+        wire = encode({"a": [1, 2], "b": "x\ny"})
+        assert wire.count(b"\n") == 1  # embedded newline is escaped
+        assert b": " not in wire and b", " not in wire
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            encode({"blob": "x" * MAX_LINE_BYTES})
+        assert err.value.code == protocol.E_OVERSIZED
+
+
+def _bad_code(raw):
+    """Parse ``raw`` like the master would; return the error code."""
+    try:
+        parse_request(decode(raw))
+    except ProtocolError as exc:
+        return exc.code
+    raise AssertionError(f"{raw!r} unexpectedly parsed")
+
+
+@pytest.mark.quick
+class TestAdversarialParsing:
+    @pytest.mark.parametrize("raw", [
+        b"{",                           # truncated object
+        b'{"id": 1, "method": "hel',    # truncated mid-string
+        b"not json at all",
+        b'{"a": 1,}',                   # trailing comma
+        b"\xff\xfe\x00",                # invalid UTF-8
+        b"",
+    ])
+    def test_unparseable_lines(self, raw):
+        assert _bad_code(raw) == protocol.E_PARSE
+
+    @pytest.mark.parametrize("raw", [
+        b"[1, 2, 3]",
+        b'"just a string"',
+        b"42",
+        b"null",
+        b"true",
+    ])
+    def test_non_object_frames(self, raw):
+        assert _bad_code(raw) == protocol.E_BAD_REQUEST
+
+    @pytest.mark.parametrize("frame", [
+        {},                                  # no method at all
+        {"id": 1},
+        {"id": 1, "method": 7},              # method wrong type
+        {"id": 1, "method": None},
+        {"id": 1, "method": "hello", "params": [1]},   # params not dict
+        {"id": 1, "method": "hello", "params": "x"},
+        {"id": [1], "method": "hello"},      # id wrong type
+        {"id": {"n": 1}, "method": "hello"},
+        {"id": 1.5, "method": "hello"},
+        {"id": True, "method": "hello"},     # bool is not an int here
+    ])
+    def test_bad_frame_shapes(self, frame):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(frame)
+        assert err.value.code == protocol.E_BAD_REQUEST
+
+    def test_unknown_method(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request({"id": 1, "method": "fire_the_missiles"})
+        assert err.value.code == protocol.E_UNKNOWN_METHOD
+        assert "submit" in err.value.message  # names the known ones
+
+    @pytest.mark.parametrize("params", [
+        {"rid": "1"},            # string where int expected
+        {"rid": 1.0},            # float where int expected
+        {"rid": True},           # bool sneaking in as int
+        {"rid": None},           # not nullable
+        {},                      # missing required
+        {"rid": 1, "extra": 2},  # unknown parameter
+    ])
+    def test_cancel_param_violations(self, params):
+        with pytest.raises(ProtocolError) as err:
+            parse_request({"id": 1, "method": "cancel", "params": params})
+        assert err.value.code == protocol.E_BAD_PARAMS
+
+    @pytest.mark.parametrize("params", [
+        {},                                       # spec is required
+        {"spec": []},                             # spec wrong type
+        {"spec": "name"},
+        {"spec": {}, "priority": "high"},         # priority wrong type
+        {"spec": {}, "priority": True},
+        {"spec": {}, "jobs": 1.5},                # jobs must be int
+        {"spec": {}, "stream": 1},                # stream must be bool
+        {"spec": {}, "stream": None},             # and not nullable
+        {"spec": {}, "out": 7},                   # out must be str
+        {"spec": {}, "point_timeout_s": "3"},
+    ])
+    def test_submit_param_violations(self, params):
+        with pytest.raises(ProtocolError) as err:
+            parse_request({"id": 1, "method": "submit", "params": params})
+        assert err.value.code == protocol.E_BAD_PARAMS
+
+    def test_submit_nullable_params_accept_null(self):
+        _, _, params = parse_request({
+            "id": 1, "method": "submit",
+            "params": {"spec": {}, "jobs": None, "point_timeout_s": None,
+                       "chunk_size": None, "out": None}})
+        assert params["jobs"] is None
+
+    def test_status_rid_is_optional(self):
+        _, _, params = parse_request({"id": 1, "method": "status"})
+        assert params == {}
+
+    def test_point_timeout_accepts_int_and_float(self):
+        for value in (3, 3.5):
+            parse_request({"id": 1, "method": "submit",
+                           "params": {"spec": {},
+                                      "point_timeout_s": value}})
+
+    def test_oversized_decode_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode(b"x" * (MAX_LINE_BYTES + 1))
+        assert err.value.code == protocol.E_OVERSIZED
+
+
+@pytest.mark.quick
+class TestLineReader:
+    def test_single_line(self):
+        reader = LineReader()
+        assert reader.feed(b'{"a":1}\n') == [b'{"a":1}']
+
+    def test_multiple_lines_one_feed(self):
+        reader = LineReader()
+        assert reader.feed(b"one\ntwo\nthree\n") == [b"one", b"two",
+                                                    b"three"]
+
+    def test_partial_line_held_back(self):
+        reader = LineReader()
+        assert reader.feed(b'{"a"') == []
+        assert reader.feed(b":1}\n") == [b'{"a":1}']
+
+    def test_byte_at_a_time(self):
+        reader = LineReader()
+        got = []
+        for byte in b'{"id":1}\n{"id":2}\n':
+            got.extend(reader.feed(bytes([byte])))
+        assert got == [b'{"id":1}', b'{"id":2}']
+
+    def test_blank_lines_skipped(self):
+        reader = LineReader()
+        assert reader.feed(b"\n \n\t\nreal\n") == [b"real"]
+
+    def test_line_at_exact_budget_passes(self):
+        reader = LineReader(max_line=8)
+        assert reader.feed(b"12345678\n") == [b"12345678"]
+
+    def test_line_over_budget_is_one_marker(self):
+        reader = LineReader(max_line=8)
+        items = reader.feed(b"123456789\n")
+        assert len(items) == 1 and isinstance(items[0], Oversized)
+        assert items[0].size == 9
+
+    def test_newline_free_flood_reports_once_and_discards(self):
+        reader = LineReader(max_line=8)
+        items = reader.feed(b"x" * 20)
+        assert len(items) == 1 and isinstance(items[0], Oversized)
+        # keep flooding: already reported, nothing new, nothing kept
+        assert reader.feed(b"y" * 50) == []
+        assert len(reader._buffer) == 0  # memory stays bounded
+
+    def test_recovery_after_oversized(self):
+        reader = LineReader(max_line=8)
+        assert isinstance(reader.feed(b"z" * 9)[0], Oversized)
+        # the poisoned line ends; the next line parses normally
+        assert reader.feed(b"zzz\ngood\n") == [b"good"]
+
+    def test_oversized_then_good_in_one_chunk(self):
+        reader = LineReader(max_line=8)
+        items = reader.feed(b"123456789\nok\n")
+        assert isinstance(items[0], Oversized)
+        assert items[1:] == [b"ok"]
+
+    def test_split_oversized_across_feeds(self):
+        reader = LineReader(max_line=8)
+        assert reader.feed(b"12345") == []
+        items = reader.feed(b"6789a")   # budget breaks here
+        assert len(items) == 1 and isinstance(items[0], Oversized)
+        assert reader.feed(b"bc\nfine\n") == [b"fine"]
+
+
+# -- live fuzz against a real master over a real socket --------------------
+
+
+@pytest.fixture(scope="module")
+def fuzz_master():
+    state_dir = tempfile.mkdtemp(prefix="fz", dir="/tmp")
+    master = Master(state_dir=state_dir, service=ExecutionService())
+    master.start()
+    yield master
+    master.stop()
+
+
+class RawConn:
+    """A raw byte-level client (no protocol help beyond buffering)."""
+
+    def __init__(self, master, timeout=10.0):
+        self.conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.conn.settimeout(timeout)
+        self.conn.connect(master.socket_path)
+        self.buffer = b""
+
+    def sendall(self, raw):
+        self.conn.sendall(raw)
+
+    def read_line(self):
+        while b"\n" not in self.buffer:
+            data = self.conn.recv(65536)
+            assert data, "master closed the connection"
+            self.buffer += data
+        line, _, self.buffer = self.buffer.partition(b"\n")
+        return json.loads(line)
+
+    def close(self):
+        self.conn.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+
+def raw_conn(master, timeout=10.0):
+    return RawConn(master, timeout=timeout)
+
+
+def transact(conn, raw):
+    """Send raw bytes, read one response line back."""
+    conn.sendall(raw)
+    return conn.read_line()
+
+
+def read_line(conn):
+    return conn.read_line()
+
+
+def master_alive(master):
+    """The master still answers a well-formed hello on a new socket."""
+    with raw_conn(master) as conn:
+        reply = transact(conn, encode(request("hello", request_id=1)))
+    return reply["ok"]
+
+
+@pytest.mark.quick
+class TestLiveMasterFuzz:
+    @pytest.mark.parametrize("raw,code", [
+        (b"garbage\n", "parse_error"),
+        (b'{"truncated": \n', "parse_error"),
+        (b"\xff\xfe garbage \xff\n", "parse_error"),
+        (b"[1,2,3]\n", "bad_request"),
+        (b'"string frame"\n', "bad_request"),
+        (b'{"id": 1, "method": "nope"}\n', "unknown_method"),
+        (b'{"id": 1, "method": "cancel", "params": {"rid": true}}\n',
+         "bad_params"),
+        (b'{"id": 1, "method": "submit", "params": {}}\n', "bad_params"),
+        (b'{"id": true, "method": "hello"}\n', "bad_request"),
+    ])
+    def test_malformed_frame_gets_structured_error(self, fuzz_master,
+                                                   raw, code):
+        with raw_conn(fuzz_master) as conn:
+            reply = transact(conn, raw)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == code
+            # same connection still serves a good request afterwards
+            reply = transact(conn, encode(request("hello",
+                                                  request_id=2)))
+            assert reply["ok"] and reply["id"] == 2
+
+    def test_error_echoes_request_id_when_recoverable(self, fuzz_master):
+        with raw_conn(fuzz_master) as conn:
+            reply = transact(
+                conn, b'{"id": 77, "method": "definitely_not"}\n')
+            assert reply["id"] == 77
+            reply = transact(conn, b'{"id": "str-id", "method": "x"}\n')
+            assert reply["id"] == "str-id"
+            # unparseable frames cannot echo an id
+            reply = transact(conn, b"{{{\n")
+            assert reply["id"] is None
+
+    def test_oversized_line_survives_connection(self, fuzz_master):
+        with raw_conn(fuzz_master, timeout=30.0) as conn:
+            flood = b"x" * (MAX_LINE_BYTES + 100) + b"\n"
+            reply = transact(conn, flood)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "oversized"
+            reply = transact(conn, encode(request("queue",
+                                                  request_id=3)))
+            assert reply["ok"] and reply["result"]["runs"] == []
+
+    def test_interleaved_partial_writes(self, fuzz_master):
+        wire = encode(request("hello", request_id=5))
+        with raw_conn(fuzz_master) as conn:
+            for start in range(0, len(wire), 3):
+                conn.sendall(wire[start:start + 3])
+                time.sleep(0.002)
+            reply = read_line(conn)
+            assert reply["ok"] and reply["id"] == 5
+
+    def test_pipelined_requests_answered_in_order(self, fuzz_master):
+        wire = b"".join(encode(request("hello", request_id=i))
+                        for i in range(1, 6))
+        with raw_conn(fuzz_master) as conn:
+            conn.sendall(wire)
+            for expected in range(1, 6):
+                assert read_line(conn)["id"] == expected
+
+    def test_rejected_submit_leaks_no_rid(self, fuzz_master):
+        bad_specs = [
+            {},                                  # no name/points
+            {"name": "x"},                       # no points or grid
+            {"name": "x", "points": [[]]},       # a point is not a dict
+        ]
+        before = fuzz_master.scheduler.counter.value
+        with raw_conn(fuzz_master) as conn:
+            for i, spec in enumerate(bad_specs):
+                reply = transact(conn, encode(request(
+                    "submit", {"spec": spec}, request_id=i)))
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "bad_params"
+        assert fuzz_master.scheduler.counter.value == before
+        assert fuzz_master.scheduler.queue_snapshot() == []
+
+    def test_unknown_rid_everywhere(self, fuzz_master):
+        with raw_conn(fuzz_master) as conn:
+            for method in ("status", "cancel", "pause", "requeue",
+                           "subscribe"):
+                reply = transact(conn, encode(request(
+                    method, {"rid": 999}, request_id=1)))
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "not_found"
+
+    def test_abrupt_disconnect_mid_frame(self, fuzz_master):
+        conn = raw_conn(fuzz_master)
+        conn.sendall(b'{"id": 1, "method": "hel')   # never finished
+        conn.close()                                 # client vanishes
+        time.sleep(0.1)
+        assert master_alive(fuzz_master)
+
+    def test_random_binary_noise(self, fuzz_master):
+        from repro.common.prng import DeterministicRng
+        rng = DeterministicRng("serve-fuzz")
+        with raw_conn(fuzz_master, timeout=30.0) as conn:
+            for trial in range(20):
+                size = rng.randint(1, 200)
+                noise = bytes(rng.randint(0, 255) for _ in range(size))
+                conn.sendall(noise.replace(b"\n", b" ") + b"\n")
+                reply = read_line(conn)
+                assert reply["ok"] is False, noise
+        assert master_alive(fuzz_master)
+
+    def test_master_survived_the_whole_battery(self, fuzz_master):
+        # Runs last in file order within the class; a sanity seal.
+        assert master_alive(fuzz_master)
+        assert fuzz_master.scheduler.queue_snapshot() == []
