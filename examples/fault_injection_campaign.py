@@ -27,14 +27,25 @@ def main():
     parser.add_argument("workload", nargs="?", default="ferret")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker shards (default $REPRO_JOBS or 1)")
+    parser.add_argument("--fault-model", default=None,
+                        help="fault model (single, burst:width=K, "
+                             "correlated:span=N, stuckat[:bit=B,value=V])")
+    parser.add_argument("--fault-targets", default=None,
+                        help="injection targets (runtime, status, dcbuf, "
+                             "fabric, all, or exact structures)")
     args = parser.parse_args()
 
+    fault_params = {}
+    if args.fault_model:
+        fault_params["fault_model"] = args.fault_model
+    if args.fault_targets:
+        fault_params["fault_targets"] = args.fault_targets
     spec = CampaignSpec(
         name=f"example-{args.workload}",
         points=[CampaignPoint(
             task="inject", workload=args.workload,
             instructions=DYNAMIC_INSTRUCTIONS,
-            params={"rate": 0.008, "trial": trial,
+            params={"rate": 0.008, "trial": trial, **fault_params,
                     "rng_key": f"campaign/{args.workload}/{trial}"})
             for trial in range(TRIALS)])
     result = run_campaign(spec, jobs=args.jobs)
@@ -61,6 +72,13 @@ def main():
         print("detection-latency density (ns):")
         print(render_histogram(density_histogram(latencies_ns, 200.0,
                                                  max_value=3000.0)))
+
+    from repro.analysis.coverage import CoverageMap, format_coverage
+    coverage = CoverageMap()
+    for r in result.ok:
+        coverage.merge_cells(r.metrics.get("coverage"))
+    if coverage:
+        print(format_coverage(coverage, title="per-structure coverage"))
 
 
 if __name__ == "__main__":

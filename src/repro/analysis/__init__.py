@@ -10,6 +10,13 @@ from repro.analysis.area import (
     meek_area_report,
     rocket_area_mm2,
 )
+from repro.analysis.coverage import (
+    CoverageMap,
+    coverage_path_for,
+    format_coverage,
+    load_coverage,
+    save_coverage,
+)
 from repro.analysis.stats import (
     density_histogram,
     geomean,
@@ -20,9 +27,14 @@ from repro.analysis.report import format_table, render_histogram
 
 __all__ = [
     "AreaModel",
+    "CoverageMap",
     "DSN18_COMPARISON",
     "boom_area_mm2",
+    "coverage_path_for",
     "density_histogram",
+    "format_coverage",
+    "load_coverage",
+    "save_coverage",
     "format_table",
     "geomean",
     "lockstep_scale_factor",

@@ -425,6 +425,11 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
              resumed=len(done), jobs=jobs)
     if live is not None:
         live.begin(resumed=len(done), corrupt_rows_skipped=corrupt_skipped)
+        for index in sorted(done):
+            # Resumed rows never reach on_result; their coverage cells
+            # must still land in the map so a resumed campaign persists
+            # the same artifact as an uninterrupted one.
+            live.resumed_point(done[index])
 
     def on_result(result):
         if store is not None:

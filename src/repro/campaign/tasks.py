@@ -123,20 +123,32 @@ def run_inject_point(point, campaign_name=""):
     ``rate`` is the per-packet injection probability; the injector's
     stream is seeded from the point identity (or an explicit
     ``rng_key`` param), so trials are independent and reproducible.
+    ``fault_model`` (``single``, ``burst:width=K``,
+    ``correlated:span=N``, ``stuckat[:bit=B,value=V]``) and
+    ``fault_targets`` (``runtime``/``status``/``dcbuf``/``fabric``/
+    ``all`` or exact structures) select the fault model layer; both
+    default to the paper's single-bit mix.
     """
+    from repro.analysis.coverage import CoverageMap
     from repro.common.prng import DeterministicRng
     from repro.core.faults import FaultInjector
     from repro.core.system import MeekSystem
 
     rng = DeterministicRng(point.rng_key(campaign_name), name="faults")
-    injector = FaultInjector(rng, rate=float(point.params.get("rate", 0.008)))
+    injector = FaultInjector(
+        rng, rate=float(point.params.get("rate", 0.008)),
+        model=point.params.get("fault_model"),
+        targets=point.params.get("fault_targets"))
     system = MeekSystem(build_config(point.params), injector=injector)
     result = system.run(build_program(point))
     metrics = _meek_metrics(result)
+    coverage = CoverageMap().observe_records(injector.injections,
+                                             result.cycles_to_ns)
     metrics.update({
         "injections": len(injector.injections),
         "detected": injector.detected_count,
         "latencies_ns": result.detection_latencies_ns(),
+        "coverage": coverage.to_cells(),
     })
     return metrics
 

@@ -14,6 +14,9 @@ Usage (``python -m repro ...``)::
     python -m repro bench --check
     python -m repro bench --trend
     python -m repro watch results.jsonl
+    python -m repro inject ferret --fault-model burst:width=3 \\
+        --fault-targets all --out inj.jsonl
+    python -m repro coverage inj.jsonl
     python -m repro batch commands.txt
     python -m repro serve --jobs 4
     python -m repro submit --workloads dedup --seeds 0,1 --priority 5
@@ -136,23 +139,53 @@ def _events(args):
         install_event_log(args.events)
 
 
+def _fault_params(args, prog):
+    """Validated ``fault_model``/``fault_targets`` point params from the
+    CLI flags — only the flags actually given land in the params, so
+    default invocations keep their historical point ids and RNG keys.
+    ``None`` after printing the error."""
+    from repro.core.faults import parse_fault_model, parse_fault_targets
+
+    params = {}
+    try:
+        if getattr(args, "fault_model", None):
+            params["fault_model"] = parse_fault_model(args.fault_model).spec
+        if getattr(args, "fault_targets", None):
+            parse_fault_targets(args.fault_targets)
+            params["fault_targets"] = args.fault_targets
+    except ConfigError as exc:
+        print(f"{prog}: {exc}", file=sys.stderr)
+        return None
+    return params
+
+
 def _cmd_inject(args):
-    from repro.campaign import CampaignPoint, CampaignSpec
+    from repro.analysis.coverage import CoverageMap, format_coverage
+    from repro.campaign import (CampaignPoint, CampaignSpec, ResultStore,
+                                default_jobs)
+    from repro.obs.live import attach_live
     from repro.perf.service import get_service
 
     _events(args)
+    fault_params = _fault_params(args, "inject")
+    if fault_params is None:
+        return 2
     points = [
         CampaignPoint(
             task="inject", workload=args.workload,
             instructions=args.instructions, seed=args.seed,
             params={"rate": args.rate, "trial": trial,
                     "cores": args.cores, "fabric": args.fabric,
+                    **fault_params,
                     "rng_key": f"cli/{args.workload}/{args.seed}/{trial}"})
         for trial in range(args.trials)
     ]
     spec = CampaignSpec(name=f"inject-{args.workload}", points=points)
-    result = get_service().run_campaign(spec, jobs=args.jobs,
-                                        progress=_progress(spec, args))
+    with ResultStore(path=args.out) as store:
+        live = attach_live(spec, jobs=default_jobs(args.jobs), store=store)
+        result = get_service().run_campaign(spec, jobs=args.jobs,
+                                            store=store, live=live,
+                                            progress=_progress(spec, args))
     for failure in result.failed:
         print(f"trial failed    : {failure.point_id}: "
               f"{(failure.error or '').splitlines()[0]}")
@@ -167,7 +200,53 @@ def _cmd_inject(args):
     if latencies:
         print(f"mean latency    : {sum(latencies) / len(latencies):.0f} ns")
         print(f"worst latency   : {max(latencies):.0f} ns")
+    coverage = CoverageMap()
+    for r in result.ok:
+        coverage.merge_cells((r.metrics or {}).get("coverage"))
+    if coverage:
+        print(format_coverage(coverage, title="detection coverage"))
     return 0 if result.all_ok else 1
+
+
+def _cmd_coverage(args):
+    import os
+
+    from repro.analysis.coverage import (COVERAGE_SUFFIX,
+                                         coverage_from_store,
+                                         coverage_path_for, format_coverage,
+                                         load_coverage)
+
+    path = args.path
+    source = path
+    coverage = None
+    if os.path.isdir(path):
+        candidates = [os.path.join(path, name)
+                      for name in os.listdir(path)
+                      if name.endswith(COVERAGE_SUFFIX)]
+        if not candidates:
+            print(f"coverage: no *{COVERAGE_SUFFIX} in {path}",
+                  file=sys.stderr)
+            return 2
+        source = max(candidates, key=os.path.getmtime)
+        coverage = load_coverage(source)
+    elif path.endswith(".json") and os.path.exists(path):
+        coverage = load_coverage(path)
+    else:
+        sibling = coverage_path_for(path)
+        if os.path.exists(sibling):
+            source = sibling
+            coverage = load_coverage(sibling)
+        elif os.path.exists(path):
+            # A bare result store with no persisted sibling: replay
+            # its rows (same commutative fold, identical output).
+            coverage = coverage_from_store(path)
+    if coverage is None:
+        print(f"coverage: no coverage map at {path}", file=sys.stderr)
+        return 2
+    print(format_coverage(coverage, title=f"coverage — {source}"))
+    # An empty map exits nonzero so CI catches a campaign that
+    # silently injected nothing.
+    return 0 if coverage else 1
 
 
 def _resolve_campaign_spec(args, prog="campaign"):
@@ -191,7 +270,17 @@ def _resolve_campaign_spec(args, prog="campaign"):
                 return None
         configs = [{"cores": cores, "fabric": fabric}
                    for cores in args.cores for fabric in args.fabric]
-        injection = {"rate": args.rate} if args.task == "inject" else None
+        injection = None
+        if args.task == "inject":
+            fault_params = _fault_params(args, prog)
+            if fault_params is None:
+                return None
+            injection = {"rate": args.rate, **fault_params}
+        elif getattr(args, "fault_model", None) \
+                or getattr(args, "fault_targets", None):
+            print(f"{prog}: --fault-model/--fault-targets need "
+                  f"--task inject", file=sys.stderr)
+            return None
         try:
             return CampaignSpec.grid(
                 args.name, workloads=args.workloads,
@@ -305,6 +394,21 @@ def _difftest_self_check(args):
     print(f"shrunk          : {shrunk.original_instructions} -> "
           f"{shrunk.instructions} instructions")
     print(f"artifact        : {path}")
+
+    # Every non-default fault model must also surface as a meek-replay
+    # divergence through the same machinery (no shrink — the flow above
+    # already proved minimization; this proves model breadth).
+    for model_spec in ("burst:width=3", "correlated:span=2",
+                       "stuckat:bit=20,value=1"):
+        point = _difftest_point(args, 0, {"fault_rate": 1.0,
+                                          "fault_targets": "pc",
+                                          "fault_model": model_spec})
+        metrics = evaluate_point(point)
+        verdict = "divergence detected" if metrics["divergent"] else "FAILED"
+        print(f"model check     : {model_spec} -> "
+              f"{metrics['injections']} injection(s), {verdict}")
+        if not metrics["divergent"]:
+            return 1
     return 0
 
 
@@ -721,6 +825,15 @@ def _add_grid_args(parser):
     parser.add_argument("--trials", type=int, default=3,
                         help="fault-injection trials per cell")
     parser.add_argument("--rate", type=float, default=0.008)
+    parser.add_argument("--fault-model", default=None,
+                        help="fault model for --task inject: single, "
+                             "burst:width=K, correlated:span=N, "
+                             "stuckat[:bit=B,value=V]")
+    parser.add_argument("--fault-targets", default=None,
+                        help="injection targets for --task inject: "
+                             "groups (runtime, status, dcbuf, fabric, "
+                             "all) or exact structures "
+                             "(e.g. runtime.addr,fabric.status)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker shards (default $REPRO_JOBS or 1)")
     parser.add_argument("--point-timeout", type=float, default=None,
@@ -765,6 +878,18 @@ def build_parser():
     inject_parser.add_argument("--seed", type=int, default=0)
     inject_parser.add_argument("--cores", type=int, default=4)
     inject_parser.add_argument("--fabric", choices=_FABRICS, default="f2")
+    inject_parser.add_argument("--fault-model", default=None,
+                               help="fault model: single (default), "
+                                    "burst:width=K, correlated:span=N, "
+                                    "stuckat[:bit=B,value=V]")
+    inject_parser.add_argument("--fault-targets", default=None,
+                               help="injection targets: groups (runtime, "
+                                    "status, dcbuf, fabric, all) or exact "
+                                    "structures (runtime.addr, "
+                                    "fabric.status, ...)")
+    inject_parser.add_argument("--out", default=None,
+                               help="append per-trial JSONL rows here "
+                                    "(also persists <out>.coverage.json)")
     inject_parser.add_argument("--jobs", type=int, default=None,
                                help="worker shards (default $REPRO_JOBS or 1)")
     inject_parser.add_argument("--progress", action="store_true",
@@ -895,6 +1020,15 @@ def build_parser():
                                    "appear before giving up")
     _add_serve_client_args(watch_parser, "watching a run id")
 
+    coverage_parser = sub.add_parser(
+        "coverage",
+        help="render a campaign's per-structure detection-coverage map")
+    coverage_parser.add_argument(
+        "path",
+        help="coverage map (*.coverage.json), result store "
+             "(its persisted sibling map, else replayed from rows), "
+             "or a directory containing maps")
+
     batch_parser = sub.add_parser(
         "batch",
         help="run a file of repro commands in one warm process "
@@ -966,6 +1100,7 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "batch": _cmd_batch,
     "watch": _cmd_watch,
+    "coverage": _cmd_coverage,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "queue": _cmd_queue,

@@ -58,6 +58,13 @@ class MeekController:
                           name=f"dcbuf{i}")
             for i in range(width)]
         self._num_buffers = len(self.dc_buffers)
+        # getattr: tests drive the controller with duck-typed injectors
+        # that predate the dcbuf/fabric targets.
+        if getattr(injector, "wants_dcbuf", False):
+            for buffer in self.dc_buffers:
+                buffer.fault_hook = self._dcbuf_fault
+        if getattr(injector, "wants_fabric", False):
+            fabric.fault_hook = self._fabric_fault
         self.segments = []
         self.active = None
         self.checkers = {}          # seg_id -> CheckerRun
@@ -159,7 +166,11 @@ class MeekController:
 
         if rkind is not None:
             entry = self.deu.record_runtime(rkind, addr, data, size)
-            if self.injector is not None and not seg.injected:
+            if self.injector is not None:
+                # Unconditional call: the injector's own segment-gap
+                # check subsumes the old ``not seg.injected`` gate
+                # without extra RNG draws, and permanent (stuck-at)
+                # lines must see every forwarded record.
                 record = self.injector.maybe_inject_runtime(entry, t,
                                                             seg.seg_id)
                 if record is not None:
@@ -167,7 +178,8 @@ class MeekController:
             accept_times, delivery = self.fabric.send_runtime(
                 seg.assigned_core, t)
             buffer = self.dc_buffers[slot % self._num_buffers]
-            stall_until = buffer.push("runtime", accept_times, t)
+            stall_until = buffer.push("runtime", accept_times, t,
+                                      payload=entry)
             if stall_until > t:
                 self.stall_cycles[StallReason.FORWARDING] += stall_until - t
                 t = stall_until
@@ -219,6 +231,20 @@ class MeekController:
 
     # -- internals -------------------------------------------------------------
 
+    def _dcbuf_fault(self, channel, payload, now):
+        """DC-Buffer fault hook: corrupt a buffered run-time record."""
+        if channel == "runtime" and self.active is not None:
+            record = self.injector.maybe_inject_dcbuf(
+                payload, now, self.active.seg_id)
+            if record is not None:
+                self.active.injected = True
+
+    def _fabric_fault(self, packet, now):
+        """Fabric fault hook: corrupt an in-flight status payload."""
+        record = self.injector.maybe_inject_fabric(packet, now)
+        if record is not None and self.active is not None:
+            self.active.injected = True
+
     def _lsl_credit_full(self, seg, now):
         """LSL-full RCP trigger, credit-based: entries sent minus
         entries the checker has consumed by ``now``."""
@@ -264,8 +290,11 @@ class MeekController:
                                            seg_id=seg.seg_id + 1,
                                            next_pc=self.state.pc)
         self._rcp_counter += 1
-        if self.injector is not None and not seg.injected:
-            self.injector.maybe_inject_status(snapshot, t, seg.seg_id)
+        if self.injector is not None:
+            record = self.injector.maybe_inject_status(snapshot, t,
+                                                       seg.seg_id)
+            if record is not None:
+                seg.injected = True
 
         next_core = self._choose_next_core(seg.assigned_core)
         dests = (seg.assigned_core, next_core)

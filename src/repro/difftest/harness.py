@@ -151,7 +151,7 @@ def _fault_targets(kind):
 
 
 def _run_meek(program, cap, fault_rate=None, fault_key="difftest/fault",
-              fault_targets="pc"):
+              fault_targets="pc", fault_model=None):
     from repro.common.config import default_meek_config
     from repro.common.prng import DeterministicRng
     from repro.core.faults import FaultInjector
@@ -161,7 +161,8 @@ def _run_meek(program, cap, fault_rate=None, fault_key="difftest/fault",
     if fault_rate:
         injector = FaultInjector(
             DeterministicRng(fault_key, name="difftest-fault"),
-            rate=float(fault_rate), targets=_fault_targets(fault_targets))
+            rate=float(fault_rate), targets=_fault_targets(fault_targets),
+            model=fault_model)
     config = default_meek_config(num_little_cores=MEEK_FUZZ_CORES)
     system = MeekSystem(config, injector=injector)
     result = system.run(program, max_instructions=cap)
@@ -187,7 +188,7 @@ def _run_nzdc(program, cap):
 
 def diff_program(program, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
                  fault_rate=None, fault_key="difftest/fault",
-                 fault_targets="pc"):
+                 fault_targets="pc", fault_model=None):
     """Run ``program`` through every executor and diff the final states."""
     golden = run_golden(program, max_instructions=max_instructions)
     ref = snapshot(golden.state)
@@ -213,7 +214,8 @@ def diff_program(program, max_instructions=DEFAULT_MAX_INSTRUCTIONS,
     check(_run_littlecore(program, max_instructions))
 
     meek = _run_meek(program, max_instructions, fault_rate=fault_rate,
-                     fault_key=fault_key, fault_targets=fault_targets)
+                     fault_key=fault_key, fault_targets=fault_targets,
+                     fault_model=fault_model)
     check(meek)
     if not meek.verified:
         for seg_id, reason in meek.detections:
@@ -267,7 +269,8 @@ def evaluate_fuzz_point(point, campaign_name=""):
         program, max_instructions=cap,
         fault_rate=point.params.get("fault_rate"),
         fault_key=f"{point.rng_key(campaign_name)}/fault",
-        fault_targets=point.params.get("fault_targets", "pc"))
+        fault_targets=point.params.get("fault_targets", "pc"),
+        fault_model=point.params.get("fault_model"))
     metrics = report.to_metrics()
     metrics["static_instructions"] = len(program)
     return metrics

@@ -52,19 +52,28 @@ class Fig7Row:
 
 def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
         runs_per_workload=3, injection_rate=0.008, seed=0, workloads=None,
-        jobs=None):
+        jobs=None, fault_model=None, fault_targets=None):
     """Run the fault-injection campaign; returns per-workload rows.
 
     Every (workload, trial) cell is an independent campaign point with
     its own injector stream (the historical ``{seed}/{name}/{trial}``
-    key), so the grid shards freely across workers.
+    key), so the grid shards freely across workers.  ``fault_model``/
+    ``fault_targets`` sweep the same figure under a non-default fault
+    model (``burst:width=3``, ``stuckat:value=0``, ...); the defaults
+    keep the paper's single-bit mix and the historical point identity.
     """
     if workloads is None:
         workloads = PARSEC_ORDER
+    fault_params = {}
+    if fault_model is not None:
+        fault_params["fault_model"] = fault_model
+    if fault_targets is not None:
+        fault_params["fault_targets"] = fault_targets
     points = [
         CampaignPoint(task="inject", workload=name,
                       instructions=dynamic_instructions, seed=seed,
                       params={"rate": injection_rate, "trial": trial,
+                              **fault_params,
                               "rng_key": f"{seed}/{name}/{trial}"})
         for name in workloads
         for trial in range(runs_per_workload)

@@ -26,6 +26,7 @@ The snapshot schema (``schema`` 1)::
                     "p99":},
      "detection": {"injections":, "detected":, "rate":},
      "totals": {"instructions":, "cycles":},
+     "coverage": {"runtime.addr": rate, ...},
      "shards": {"0": {"points":, "failed":, "last_seen_s":}, ...},
      "jobs": J}
 """
@@ -36,8 +37,10 @@ import tempfile
 import threading
 import time
 
+from repro.analysis.coverage import (COVERAGE_SUFFIX, CoverageMap,
+                                     save_coverage)
 from repro.obs.events import event_log
-from repro.obs.metrics import Quantile, RateWindow
+from repro.obs.metrics import Quantile, RateWindow, get_registry
 
 STATUS_SCHEMA = 1
 
@@ -88,6 +91,9 @@ class LiveStatus:
         self.injections = 0
         self.detected = 0
         self.latency_ns = Quantile()
+        #: Per-structure × fault-model detection coverage, merged from
+        #: each point's ``metrics["coverage"]`` cells.
+        self.coverage = CoverageMap()
         self._point_rate = RateWindow(rate_window_s, clock=clock)
         self._instr_rate = RateWindow(rate_window_s, clock=clock)
         self._shards = {}
@@ -124,10 +130,33 @@ class LiveStatus:
         self.injections += metrics.get("injections") or 0
         self.detected += metrics.get("detected") or 0
         self.latency_ns.observe_many(metrics.get("latencies_ns") or ())
+        self._fold_coverage(metrics)
         self._point_rate.tick(1, now=now)
         if instrs:
             self._instr_rate.tick(instrs, now=now)
         self.publish()
+
+    def _fold_coverage(self, metrics):
+        cells = metrics.get("coverage")
+        if not cells:
+            return
+        self.coverage.merge_cells(cells)
+        # Per-structure gauges in the process registry, for anything
+        # scraping metrics rather than the status snapshot.
+        registry = get_registry()
+        for structure, rate in self.coverage.structure_rates().items():
+            registry.gauge(f"coverage.{structure}").set(rate)
+
+    def resumed_point(self, result):
+        """Fold a *resumed* row's coverage cells (and nothing else).
+
+        Resumed rows are already counted by :meth:`begin`'s ``resumed``
+        total and never re-run, so completed/throughput/latency stay
+        untouched — but the persisted coverage map must equal an
+        uninterrupted run's, so their cells are merged in.
+        """
+        with self._lock:
+            self._fold_coverage(result.metrics or {})
 
     def heartbeat(self, worker, now=None):
         """Record shard liveness outside point completion."""
@@ -141,6 +170,7 @@ class LiveStatus:
         """Mark the campaign done and publish the final snapshot."""
         self.state = "finished"
         self.publish(force=True)
+        self._persist_coverage()
 
     def aborted(self):
         """Mark the campaign aborted (cancel/pause/shutdown) and
@@ -148,6 +178,37 @@ class LiveStatus:
         that went silently stale."""
         self.state = "aborted"
         self.publish(force=True)
+        self._persist_coverage()
+
+    def coverage_path(self):
+        """Where this campaign persists its coverage map (``None``
+        when status is in-memory only): ``<store>.coverage.json``,
+        derived from the status path so serve-managed runs land next
+        to their store with no extra wiring."""
+        if self.path is None:
+            return None
+        if self.path.endswith(STATUS_SUFFIX):
+            return self.path[:-len(STATUS_SUFFIX)] + COVERAGE_SUFFIX
+        return self.path + COVERAGE_SUFFIX
+
+    def _persist_coverage(self):
+        """Write the merged coverage map at terminal states.
+
+        Written only at finish/abort — never per point — and as
+        sorted-key JSON with no timestamps, so serial, sharded and
+        serve runs of the same point set produce byte-identical
+        artifacts.  Failures are swallowed like :meth:`publish` ones.
+        """
+        path = self.coverage_path()
+        if path is None:
+            return
+        with self._lock:
+            if not self.coverage:
+                return
+            try:
+                save_coverage(self.coverage, path)
+            except OSError:
+                pass
 
     # -- output ------------------------------------------------------------
 
@@ -191,6 +252,7 @@ class LiveStatus:
                 "instructions": self.instructions,
                 "cycles": self.cycles,
             },
+            "coverage": self.coverage.structure_rates(),
             "shards": {
                 str(worker): {
                     "points": shard["points"],

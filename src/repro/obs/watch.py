@@ -122,6 +122,12 @@ def render_snapshot(snap, now_unix=None):
             f"p99 {_fmt(latency.get('p99'))} ns "
             f"(mean {_fmt(latency.get('mean'))}, "
             f"max {_fmt(latency.get('max'))}, n={latency['count']})")
+    coverage = snap.get("coverage") or {}
+    if coverage:
+        parts = [f"{structure} {rate:.0%}" if rate is not None
+                 else f"{structure} -"
+                 for structure, rate in sorted(coverage.items())]
+        lines.append("coverage  : " + ", ".join(parts))
     shards = snap.get("shards") or {}
     if shards:
         rows = [[worker, shard.get("points", 0), shard.get("failed", 0),

@@ -1,0 +1,263 @@
+"""Coverage-map correctness and artifact bit-identity.
+
+Two layers:
+
+* :class:`~repro.analysis.coverage.CoverageMap` as a data structure —
+  bucketing edges, commutative merging, wire-format round trips, the
+  persisted JSON being deterministic;
+* the campaign-level contract ISSUE 8 cares about: the persisted
+  ``<store>.coverage.json`` is **byte-identical** whether the same
+  point set ran serially, sharded across workers, through a ``repro
+  serve`` master, or resumed from a partial store — and the ``repro
+  inject`` / ``repro coverage`` CLI surfaces agree with it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.coverage import (
+    BUCKET_LABELS,
+    CoverageMap,
+    coverage_from_store,
+    coverage_path_for,
+    format_coverage,
+    latency_bucket,
+    load_coverage,
+    save_coverage,
+)
+from repro.campaign import (
+    CampaignPoint,
+    CampaignSpec,
+    ResultStore,
+    run_campaign,
+)
+from repro.obs.live import attach_live, snapshot_from_store
+from repro.obs.watch import render_snapshot
+
+SMALL = 2_500
+
+
+def read_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+# -- the data structure -----------------------------------------------------
+
+
+@pytest.mark.quick
+class TestCoverageMap:
+    def test_bucket_edges(self):
+        assert BUCKET_LABELS[latency_bucket(0.0)] == "<100ns"
+        assert BUCKET_LABELS[latency_bucket(99.9)] == "<100ns"
+        assert BUCKET_LABELS[latency_bucket(100.0)] == "<1us"
+        assert BUCKET_LABELS[latency_bucket(999.9)] == "<1us"
+        assert BUCKET_LABELS[latency_bucket(1_000.0)] == "<10us"
+        assert BUCKET_LABELS[latency_bucket(99_999.9)] == "<100us"
+        assert BUCKET_LABELS[latency_bucket(100_000.0)] == ">=100us"
+        assert BUCKET_LABELS[latency_bucket(1e9)] == ">=100us"
+
+    def test_observe_and_rates(self):
+        coverage = CoverageMap()
+        coverage.observe("runtime.addr", "single", True, 50.0)
+        coverage.observe("runtime.addr", "single", True, 5_000.0)
+        coverage.observe("runtime.addr", "burst:width=3", False)
+        cells = coverage.to_cells()
+        assert cells["runtime.addr"]["single"] == {
+            "detected": 2, "undetected": 0,
+            "latency_buckets": [1, 0, 1, 0, 0]}
+        assert coverage.totals() == (2, 1)
+        rates = coverage.structure_rates()
+        assert rates["runtime.addr"] == pytest.approx(2 / 3)
+
+    def test_merge_is_commutative(self):
+        a = CoverageMap()
+        a.observe("runtime.data", "single", True, 10.0)
+        a.observe("status.pc", "single", False)
+        b = CoverageMap()
+        b.observe("runtime.data", "single", False)
+        b.observe("status.int_reg", "burst:width=2", True, 2_000.0)
+        ab = CoverageMap().merge(a).merge(b)
+        ba = CoverageMap().merge(b).merge(a)
+        assert ab.to_cells() == ba.to_cells()
+
+    def test_wire_round_trip(self):
+        coverage = CoverageMap()
+        coverage.observe("fabric.status", "correlated:span=2", True, 500.0)
+        coverage.observe("dcbuf.runtime", "stuckat:value=0", False)
+        rebuilt = CoverageMap.from_cells(coverage.to_cells())
+        assert rebuilt.to_cells() == coverage.to_cells()
+
+    def test_save_is_deterministic_and_loads_back(self, tmp_path):
+        coverage = CoverageMap()
+        coverage.observe("runtime.addr", "single", True, 42.0)
+        first = str(tmp_path / "a.coverage.json")
+        second = str(tmp_path / "b.coverage.json")
+        save_coverage(coverage, first)
+        save_coverage(coverage, second)
+        assert read_bytes(first) == read_bytes(second)
+        payload = json.loads(read_bytes(first))
+        assert payload["schema"] == 1
+        loaded = load_coverage(first)
+        assert loaded.to_cells() == coverage.to_cells()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        assert load_coverage(str(tmp_path / "missing.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert load_coverage(str(bad)) is None
+        nocells = tmp_path / "nocells.json"
+        nocells.write_text('{"schema": 1}')
+        assert load_coverage(str(nocells)) is None
+
+    def test_format_empty_and_populated(self):
+        empty = format_coverage(CoverageMap(), title="t")
+        assert "no injections recorded" in empty
+        coverage = CoverageMap()
+        coverage.observe("runtime.addr", "single", True, 50.0)
+        report = format_coverage(coverage)
+        assert "runtime.addr" in report
+        assert "overall" in report and "1/1 detected" in report
+
+
+# -- campaign-level bit-identity --------------------------------------------
+
+
+def inject_spec(name="cov", trials=3, model="burst:width=3",
+                targets="all", rate=0.05):
+    return CampaignSpec(name=name, points=[
+        CampaignPoint(
+            task="inject", workload="dedup", instructions=SMALL, seed=0,
+            params={"rate": rate, "trial": trial, "fault_model": model,
+                    "fault_targets": targets,
+                    "rng_key": f"cov/{trial}"})
+        for trial in range(trials)])
+
+
+def run_to_coverage(spec, tmp_path, tag, jobs=None, resume_from=None):
+    """One campaign with a file store + live status; returns the
+    persisted coverage path."""
+    store_path = str(tmp_path / f"{tag}.jsonl")
+    with ResultStore(path=store_path) as store:
+        live = attach_live(spec, jobs or 1, store=store)
+        result = run_campaign(spec, jobs=jobs, store=store, live=live,
+                              resume_from=resume_from)
+    assert result.all_ok
+    path = coverage_path_for(store_path)
+    assert os.path.exists(path), "a campaign that injected persists"
+    return path
+
+
+class TestCampaignBitIdentity:
+    def test_serial_vs_sharded_byte_identical(self, tmp_path):
+        serial = run_to_coverage(inject_spec(), tmp_path, "serial")
+        sharded = run_to_coverage(inject_spec(), tmp_path, "sharded",
+                                  jobs=2)
+        assert read_bytes(serial) == read_bytes(sharded)
+        assert load_coverage(serial).totals()[0] + \
+            load_coverage(serial).totals()[1] > 0
+
+    def test_resume_equals_uninterrupted(self, tmp_path):
+        full = run_to_coverage(inject_spec(), tmp_path, "full")
+        full_store = str(tmp_path / "full.jsonl")
+        # Simulate a campaign killed after one point: a store holding
+        # only the first row, then a resume that finishes the rest.
+        partial_store = str(tmp_path / "partial.jsonl")
+        with open(full_store) as src:
+            first_row = src.readline()
+        with open(partial_store, "w") as dst:
+            dst.write(first_row)
+        resumed = run_to_coverage(inject_spec(), tmp_path, "partial",
+                                  resume_from=partial_store)
+        assert read_bytes(resumed) == read_bytes(full)
+
+    def test_store_replay_matches_persisted_artifact(self, tmp_path):
+        persisted = run_to_coverage(inject_spec(), tmp_path, "replay")
+        replayed = coverage_from_store(str(tmp_path / "replay.jsonl"))
+        assert replayed.to_cells() == load_coverage(persisted).to_cells()
+
+    def test_fault_model_changes_the_map_key(self, tmp_path):
+        path = run_to_coverage(inject_spec(model="stuckat:value=0",
+                                           targets="runtime"),
+                               tmp_path, "stuck")
+        cells = load_coverage(path).to_cells()
+        models = {model for models in cells.values() for model in models}
+        assert models == {"stuckat:value=0"}
+        structures = set(cells)
+        assert structures <= {"runtime.addr", "runtime.data"}
+
+
+@pytest.mark.slow
+class TestServeBitIdentity:
+    def test_serve_submitted_byte_identical_to_serial(self, tmp_path):
+        import time
+
+        from repro.perf.service import ExecutionService
+        from repro.serve.client import ServeClient
+        from repro.serve.master import Master
+
+        def wait_done(client, rid, timeout=60.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                run = client.status(rid)["run"]
+                if run["state"] == "done":
+                    return run
+                assert run["state"] not in ("failed", "cancelled"), run
+                time.sleep(0.02)
+            raise AssertionError(f"run {rid} never reached done")
+
+        serial = run_to_coverage(inject_spec(), tmp_path, "serial")
+        master = Master(state_dir=str(tmp_path / "state"),
+                        service=ExecutionService())
+        master.start()
+        try:
+            with ServeClient(master.socket_path) as client:
+                submitted = client.submit(inject_spec().to_dict())
+                wait_done(client, submitted["rid"])
+                served = coverage_path_for(submitted["store"])
+                assert os.path.exists(served)
+                assert read_bytes(served) == read_bytes(serial)
+        finally:
+            master.stop()
+
+
+# -- observability surfaces -------------------------------------------------
+
+
+class TestCoverageSurfaces:
+    def test_watch_snapshot_carries_coverage(self, tmp_path):
+        run_to_coverage(inject_spec(trials=2), tmp_path, "watch")
+        snap = snapshot_from_store(str(tmp_path / "watch.jsonl"))
+        assert snap["coverage"], "the replayed snapshot has rates"
+        rendered = render_snapshot(snap)
+        assert "coverage  :" in rendered
+
+    def test_cli_inject_then_coverage_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = str(tmp_path / "cli.jsonl")
+        code = main(["inject", "dedup", "--instructions", str(SMALL),
+                     "--rate", "0.05", "--fault-model", "burst:width=3",
+                     "--fault-targets", "all", "--out", out_path])
+        assert code == 0
+        assert os.path.exists(coverage_path_for(out_path))
+        capsys.readouterr()
+        assert main(["coverage", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "overall" in out and "burst:width=3" in out
+
+    @pytest.mark.quick
+    def test_cli_coverage_missing_path_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["coverage", str(tmp_path / "nope.jsonl")]) == 2
+
+    @pytest.mark.quick
+    def test_cli_rejects_bad_fault_model(self, capsys):
+        from repro.cli import main
+
+        code = main(["inject", "dedup", "--instructions", "500",
+                     "--fault-model", "burst:width=0"])
+        assert code == 2

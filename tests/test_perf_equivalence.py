@@ -13,7 +13,7 @@ import pytest
 
 from repro.common.config import default_meek_config
 from repro.common.prng import DeterministicRng
-from repro.core.faults import FaultInjector
+from repro.core.faults import CANONICAL_MODEL_SPECS, FaultInjector
 from repro.core.system import MeekSystem, run_vanilla
 from repro.difftest.golden import run_golden, snapshot
 from repro.difftest.progen import generate_fuzz_program
@@ -97,6 +97,36 @@ def test_fault_injection_latencies_bit_identical(seed, monkeypatch):
     fast = fingerprint()
     assert slow["injections"] == fast["injections"]
     assert slow["latencies_ns"] == fast["latencies_ns"]
+    assert slow == fast
+
+
+@pytest.mark.parametrize("model_spec", CANONICAL_MODEL_SPECS)
+def test_every_fault_model_bit_identical_across_kernels(model_spec,
+                                                        monkeypatch):
+    """Every registered fault model — including the multi-bit, the
+    correlated and the permanent stuck-at — injects, detects and
+    resolves identically on the fast and slow kernels, across all
+    targets (DC-Buffer and fabric hooks included)."""
+    program = generate_program(get_profile("ferret"),
+                               dynamic_instructions=4_000, seed=11)
+
+    def fingerprint():
+        injector = FaultInjector(DeterministicRng(f"equiv/{model_spec}"),
+                                 rate=0.02, targets="all",
+                                 model=model_spec)
+        fp = _meek_fingerprint(program, cores=2, injector=injector)
+        fp["injections"] = [(r.cycle, r.seg_id, r.target.value, r.bits,
+                             r.detail, r.model, r.permanent, r.detected,
+                             r.latency_cycles)
+                            for r in injector.injections]
+        return fp
+
+    _set_kernel(monkeypatch, slow=True)
+    slow = fingerprint()
+    _set_kernel(monkeypatch, slow=False)
+    fast = fingerprint()
+    assert slow["injections"], f"{model_spec}: the campaign must inject"
+    assert slow["injections"] == fast["injections"]
     assert slow == fast
 
 
