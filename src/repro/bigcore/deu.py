@@ -98,6 +98,24 @@ class DataExtractionUnit:
         self.runtime_records += 1
         return entry
 
+    def adopt_runtime(self, entry):
+        """Stamp and account a record built elsewhere.
+
+        The batched kernel constructs one template entry per committed
+        instruction (the record fields are lane-invariant) and hands
+        each lane's DEU a copy: the expensive parity computation
+        happens once instead of per lane, while sequence numbering and
+        record accounting stay per-DEU, exactly as
+        :meth:`record_runtime` would have left them.  The template is
+        freshly built, so its stored parity is its recomputed parity
+        by construction — the double-check is accounted, not repeated.
+        """
+        self._seq += 1
+        entry.seq = self._seq
+        self.parity_checks += 1
+        self.runtime_records += 1
+        return entry
+
     def extract_status(self, state, rcp_id, seg_id, next_pc):
         """Read the architectural register files at an RCP."""
         if not self.enabled:

@@ -40,7 +40,8 @@ from dataclasses import dataclass, field
 
 from repro.campaign.results import PointResult, ResultStore, aggregate
 from repro.campaign.spec import CampaignPoint
-from repro.campaign.tasks import evaluate_point
+from repro.campaign.tasks import (batch_group_key, evaluate_point,
+                                  run_inject_batch)
 from repro.obs.events import event_log
 from repro.obs.metrics import get_registry
 
@@ -104,6 +105,130 @@ def default_jobs(jobs=None):
     return 1
 
 
+def resolve_batch_lanes(batch=None):
+    """Resolve a batch width: explicit > ``$REPRO_BATCH`` > auto.
+
+    ``"auto"`` (or nothing) picks the kernel's default lane count when
+    the batched kernel can run in this process (numpy importable,
+    ``REPRO_NO_BATCH``/``REPRO_SLOW_KERNEL`` unset); ``1`` disables
+    batching.  An explicit width is likewise clamped to 1 when the
+    kernel is unavailable, so ``--batch 64`` under ``REPRO_NO_BATCH=1``
+    degrades to serial evaluation instead of erroring.
+    """
+    from repro.perf.batch import DEFAULT_BATCH_LANES, batch_available
+    if batch is None:
+        batch = os.environ.get("REPRO_BATCH", "").strip() or "auto"
+    if batch == "auto":
+        return DEFAULT_BATCH_LANES if batch_available() else 1
+    lanes = max(1, int(batch))
+    return lanes if lanes == 1 or batch_available() else 1
+
+
+def _batch_units(pairs, lanes):
+    """Cut ``(index, point)`` pairs into evaluation units.
+
+    Batch-compatible points (equal :func:`batch_group_key`) are grouped
+    up to ``lanes`` wide; unbatchable points and singleton groups run
+    scalar.  Units keep first-appearance order — results are reordered
+    by index at collection time, so unit order only affects store
+    append order (which resume already tolerates).
+    """
+    if lanes <= 1:
+        return [[pair] for pair in pairs]
+    units = []
+    open_groups = {}
+    for pair in pairs:
+        key = batch_group_key(pair[1])
+        if key is None:
+            units.append([pair])
+            continue
+        group = open_groups.get(key)
+        if group is None or len(group) >= lanes:
+            group = open_groups[key] = []
+            units.append(group)
+        group.append(pair)
+    return units
+
+
+def _evaluate_batch_guarded(group, campaign_name, timeout_s, worker_id):
+    """Evaluate one batch group; falls back to per-point scalar runs.
+
+    Returns ``(results, batch_stats)``.  The wall-clock budget for the
+    batch is ``timeout_s`` per lane; any failure — timeout, kernel
+    error, a bad point — reruns the whole group through the scalar
+    per-point guard, so error attribution and row content match serial
+    execution exactly.
+    """
+    start = time.perf_counter()
+    budget = None if timeout_s is None else timeout_s * len(group)
+    use_alarm = budget is not None and hasattr(signal, "SIGALRM")
+    previous = None
+    try:
+        if use_alarm:
+            def on_alarm(signum, frame):
+                raise PointTimeout(
+                    f"batch exceeded {budget:.1f}s wall-clock budget")
+            previous = signal.signal(signal.SIGALRM, on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, budget)
+        metrics_list, stats = run_inject_batch(
+            [point for _, point in group], campaign_name=campaign_name)
+    except Exception:
+        return ([_evaluate_guarded(point, index, campaign_name, timeout_s,
+                                   worker_id) for index, point in group],
+                None)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if previous is not None:
+                signal.signal(signal.SIGALRM, previous)
+    elapsed_each = (time.perf_counter() - start) / len(group)
+    log = event_log()
+    if stats is not None:
+        log.emit("batch_complete", worker=worker_id,
+                 campaign=campaign_name, **stats)
+    results = []
+    for (index, point), metrics in zip(group, metrics_list):
+        result = PointResult(point_id=point.point_id, index=index,
+                             ok=True, metrics=metrics)
+        result.elapsed_s = elapsed_each
+        result.worker = worker_id
+        log.emit("point_complete", worker=worker_id,
+                 point_id=result.point_id, index=index, ok=True,
+                 elapsed_s=elapsed_each)
+        results.append(result)
+    return results, stats
+
+
+def _evaluate_units(pairs, batch_lanes, campaign_name, timeout_s,
+                    worker_id, emit, on_batch=None, abort=None):
+    """Shared shard/serial loop: evaluate pairs unit by unit.
+
+    ``emit`` receives each finished :class:`PointResult`; ``on_batch``
+    each batch kernel stats dict.  ``abort`` (serial path only) is
+    polled between units; a true poll raises :class:`CampaignAborted`
+    with the count of points emitted so far.
+    """
+    emitted = 0
+    for unit in _batch_units(pairs, batch_lanes):
+        if abort is not None and abort():
+            raise CampaignAborted(
+                f"campaign {campaign_name!r} aborted with {emitted} "
+                f"points done", completed=emitted)
+        if len(unit) == 1:
+            index, point = unit[0]
+            emit(_evaluate_guarded(point, index, campaign_name,
+                                   timeout_s, worker_id))
+            emitted += 1
+            continue
+        results, stats = _evaluate_batch_guarded(
+            unit, campaign_name, timeout_s, worker_id)
+        if stats is not None and on_batch is not None:
+            on_batch(stats)
+        for result in results:
+            emit(result)
+            emitted += 1
+
+
 def _evaluate_guarded(point, index, campaign_name, timeout_s, worker_id):
     """Evaluate one point, capturing errors and enforcing the timeout."""
     start = time.perf_counter()
@@ -154,10 +279,13 @@ def _warm_worker():
 def _pool_worker(worker_id, task_queue, result_queue, warm):
     """Shard main loop: steal work items until the sentinel arrives.
 
-    An item is ``(epoch, campaign_name, timeout_s, chunk)``; the epoch
-    tags each result row with the :meth:`WorkerPool.run` call that
-    submitted it, so rows from an abandoned run can never be mistaken
-    for a later campaign's.
+    An item is ``(epoch, campaign_name, timeout_s, batch_lanes,
+    chunk)``; the epoch tags each result row with the
+    :meth:`WorkerPool.run` call that submitted it, so rows from an
+    abandoned run can never be mistaken for a later campaign's.
+    Besides result rows the queue carries ``{"__batch__": stats}``
+    control rows — batch kernel occupancy/eviction stats for the
+    parent's live status (they do not count toward point totals).
     """
     if warm:
         try:
@@ -170,14 +298,16 @@ def _pool_worker(worker_id, task_queue, result_queue, warm):
         item = task_queue.get()
         if item is None:
             break
-        epoch, campaign_name, timeout_s, chunk = item
+        epoch, campaign_name, timeout_s, batch_lanes, chunk = item
         log.emit("chunk_lease", worker=worker_id, epoch=epoch,
                  campaign=campaign_name, points=len(chunk))
-        for index, point_dict in chunk:
-            point = CampaignPoint.from_dict(point_dict)
-            result = _evaluate_guarded(point, index, campaign_name,
-                                       timeout_s, worker_id)
-            result_queue.put((epoch, result.to_row()))
+        pairs = [(index, CampaignPoint.from_dict(point_dict))
+                 for index, point_dict in chunk]
+        _evaluate_units(
+            pairs, batch_lanes, campaign_name, timeout_s, worker_id,
+            emit=lambda result: result_queue.put((epoch, result.to_row())),
+            on_batch=lambda stats: result_queue.put(
+                (epoch, {"__batch__": stats})))
         # One heartbeat per drained chunk: liveness at a commit-log
         # boundary, never per point (the hot path stays event-free).
         log.emit("worker_heartbeat", worker=worker_id, epoch=epoch,
@@ -185,14 +315,18 @@ def _pool_worker(worker_id, task_queue, result_queue, warm):
     log.emit("shard_exit", worker=worker_id)
 
 
-def _chunk(pending, chunk_size, jobs):
+def _chunk(pending, chunk_size, jobs, batch_lanes=1):
     """Cut pending (index, point) pairs into work-stealing chunks.
 
     Default size targets ~4 steals per worker: small enough to
     rebalance around stragglers, large enough to amortize queue trips.
+    With batching on, a chunk must hold at least one full batch —
+    otherwise grouping (which never crosses chunk boundaries) could
+    only ever form fragments.
     """
     if chunk_size is None:
         chunk_size = max(1, len(pending) // (jobs * 4))
+    chunk_size = max(chunk_size, batch_lanes)
     return [pending[i:i + chunk_size]
             for i in range(0, len(pending), chunk_size)]
 
@@ -246,7 +380,7 @@ class WorkerPool:
         return [proc.pid for proc in self._workers]
 
     def run(self, campaign_name, pending, timeout_s=None, chunk_size=None,
-            on_result=None, abort=None):
+            on_result=None, abort=None, batch_lanes=1, on_batch=None):
         """Stream ``pending`` ``(index, point)`` pairs through the
         shards; returns ``{index: PointResult}`` with every pending
         index present (worker death becomes a failed point).
@@ -256,14 +390,19 @@ class WorkerPool:
         :class:`CampaignAborted`.  The pool itself stays healthy — the
         abandoned chunks drain through the epoch filter, so the next
         ``run`` on the same pool is unaffected.
+
+        ``batch_lanes > 1`` lets each shard run batch-compatible
+        inject points through the lockstep kernel
+        (:mod:`repro.perf.batch`); ``on_batch`` receives each batch's
+        occupancy/eviction stats dict as it arrives.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
         self._epoch += 1
         epoch = self._epoch
-        for chunk in _chunk(pending, chunk_size, self.jobs):
+        for chunk in _chunk(pending, chunk_size, self.jobs, batch_lanes):
             self._task_queue.put(
-                (epoch, campaign_name, timeout_s,
+                (epoch, campaign_name, timeout_s, batch_lanes,
                  [(index, point.to_dict()) for index, point in chunk]))
         collected = {}
         remaining = len(pending)
@@ -318,6 +457,10 @@ class WorkerPool:
                 continue  # abandoned-run leftover
             if draining_after_death:
                 drain_deadline = time.monotonic() + 10.0
+            if "__batch__" in row:
+                if on_batch is not None:
+                    on_batch(row["__batch__"])
+                continue
             result = PointResult.from_row(row)
             collected[result.index] = result
             if on_result is not None:
@@ -362,7 +505,7 @@ class WorkerPool:
 
 def run_campaign(spec, jobs=None, store=None, resume_from=None,
                  progress=None, chunk_size=None, point_timeout_s=None,
-                 pool=None, live=None, abort=None):
+                 pool=None, live=None, abort=None, batch=None):
     """Execute ``spec`` and return a :class:`CampaignResult`.
 
     ``jobs``
@@ -400,9 +543,15 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
         are already in the store, so re-running with ``resume_from``
         finishes only the remainder — this is how ``repro serve``
         implements cancel, pause, and graceful shutdown.
+    ``batch``
+        Lockstep batch width for compatible inject points: an int,
+        ``"auto"`` (kernel default when available — this is also the
+        default), or ``1`` to force scalar evaluation.  Rows are
+        bit-identical either way; batching only changes throughput.
     """
     spec.validate()
     jobs = default_jobs(jobs)
+    batch_lanes = resolve_batch_lanes(batch)
     log = event_log()
     if point_timeout_s is not None and not hasattr(signal, "SIGALRM"):
         warnings.warn("point_timeout_s needs SIGALRM (unavailable on "
@@ -439,6 +588,10 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
         if progress is not None:
             progress(result)
 
+    def on_batch(stats):
+        if live is not None:
+            live.batch(stats)
+
     start = time.monotonic()
     try:
         if pool is not None and len(pending) > 1 and callable(pool):
@@ -447,25 +600,25 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
             collected = pool.run(spec.name, pending,
                                  timeout_s=point_timeout_s,
                                  chunk_size=chunk_size, on_result=on_result,
-                                 abort=abort)
+                                 abort=abort, batch_lanes=batch_lanes,
+                                 on_batch=on_batch)
         elif jobs <= 1 or len(pending) <= 1:
             collected = {}
-            for index, point in pending:
-                if abort is not None and abort():
-                    raise CampaignAborted(
-                        f"campaign {spec.name!r} aborted with "
-                        f"{len(collected)} of {len(pending)} pending "
-                        f"points done", completed=len(collected))
-                result = _evaluate_guarded(point, index, spec.name,
-                                           point_timeout_s, worker_id=0)
-                collected[index] = result
+
+            def emit(result):
+                collected[result.index] = result
                 on_result(result)
+
+            _evaluate_units(pending, batch_lanes, spec.name,
+                            point_timeout_s, worker_id=0, emit=emit,
+                            on_batch=on_batch, abort=abort)
         else:
             with WorkerPool(min(jobs, len(pending))) as ephemeral:
                 collected = ephemeral.run(
                     spec.name, pending, timeout_s=point_timeout_s,
                     chunk_size=chunk_size, on_result=on_result,
-                    abort=abort)
+                    abort=abort, batch_lanes=batch_lanes,
+                    on_batch=on_batch)
     except CampaignAborted as exc:
         log.emit("campaign_abort", campaign=spec.name,
                  completed=exc.completed, pending=len(pending),

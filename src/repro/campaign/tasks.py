@@ -76,11 +76,29 @@ def build_config(params):
     return config
 
 
+#: (workload, instructions, seed) -> Program.  Campaign trials differ
+#: only in fault parameters, so a worker evaluating a pool chunk keeps
+#: rebuilding the same image; caching it also makes every trial share
+#: one *object*, which is what keys the decode cache and the segment
+#: memo (:mod:`repro.core.segmemo`).  Programs are immutable after
+#: construction, so sharing is safe.
+_PROGRAM_CACHE = {}
+_PROGRAM_CACHE_MAX = 32
+
+
 def build_program(point):
     from repro.workloads import generate_program, get_profile
-    return generate_program(get_profile(point.workload),
-                            dynamic_instructions=point.instructions,
-                            seed=point.seed)
+
+    key = (point.workload, point.instructions, point.seed)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = generate_program(get_profile(point.workload),
+                                   dynamic_instructions=point.instructions,
+                                   seed=point.seed)
+        if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
+            _PROGRAM_CACHE.pop(next(iter(_PROGRAM_CACHE)))
+        _PROGRAM_CACHE[key] = program
+    return program
 
 
 def _meek_metrics(result):
@@ -116,6 +134,35 @@ def run_meek_point(point, campaign_name=""):
     return _meek_metrics(system.run(build_program(point)))
 
 
+def _make_injector(point, campaign_name):
+    """The point's injector, seeded from its (campaign-scoped) identity."""
+    from repro.common.prng import DeterministicRng
+    from repro.core.faults import FaultInjector
+
+    rng = DeterministicRng(point.rng_key(campaign_name), name="faults")
+    return FaultInjector(
+        rng, rate=float(point.params.get("rate", 0.008)),
+        model=point.params.get("fault_model"),
+        targets=point.params.get("fault_targets"))
+
+
+def _inject_metrics(result, injector):
+    """Metrics for one fault-injection run — shared verbatim by the
+    scalar and batched execution paths so their rows cannot drift."""
+    from repro.analysis.coverage import CoverageMap
+
+    metrics = _meek_metrics(result)
+    coverage = CoverageMap().observe_records(injector.injections,
+                                             result.cycles_to_ns)
+    metrics.update({
+        "injections": len(injector.injections),
+        "detected": injector.detected_count,
+        "latencies_ns": result.detection_latencies_ns(),
+        "coverage": coverage.to_cells(),
+    })
+    return metrics
+
+
 @task("inject")
 def run_inject_point(point, campaign_name=""):
     """One fault-injection trial through the genuine checking machinery.
@@ -129,28 +176,71 @@ def run_inject_point(point, campaign_name=""):
     ``all`` or exact structures) select the fault model layer; both
     default to the paper's single-bit mix.
     """
-    from repro.analysis.coverage import CoverageMap
-    from repro.common.prng import DeterministicRng
-    from repro.core.faults import FaultInjector
     from repro.core.system import MeekSystem
 
-    rng = DeterministicRng(point.rng_key(campaign_name), name="faults")
-    injector = FaultInjector(
-        rng, rate=float(point.params.get("rate", 0.008)),
-        model=point.params.get("fault_model"),
-        targets=point.params.get("fault_targets"))
+    injector = _make_injector(point, campaign_name)
     system = MeekSystem(build_config(point.params), injector=injector)
     result = system.run(build_program(point))
-    metrics = _meek_metrics(result)
-    coverage = CoverageMap().observe_records(injector.injections,
-                                             result.cycles_to_ns)
-    metrics.update({
-        "injections": len(injector.injections),
-        "detected": injector.detected_count,
-        "latencies_ns": result.detection_latencies_ns(),
-        "coverage": coverage.to_cells(),
-    })
-    return metrics
+    return _inject_metrics(result, injector)
+
+
+#: Point parameters that may vary between the lanes of one batch: they
+#: configure only the injector (whose stream is per-lane anyway), never
+#: the program image or the system timing configuration.
+_BATCH_LANE_PARAMS = frozenset(
+    {"rate", "trial", "rng_key", "fault_model", "fault_targets"})
+
+
+def batch_group_key(point):
+    """Batch-compatibility key, or ``None`` for unbatchable points.
+
+    Points with equal keys run the same program under the same system
+    configuration, so they may share one lockstep batch
+    (:mod:`repro.perf.batch`); only their injector streams differ.
+    """
+    if point.task != "inject":
+        return None
+    shared = tuple(sorted(
+        (k, v) for k, v in point.params.items()
+        if k not in _BATCH_LANE_PARAMS))
+    return (point.workload, point.instructions, point.seed, shared)
+
+
+def run_inject_batch(points, campaign_name=""):
+    """Evaluate same-program inject points as one lockstep batch.
+
+    Returns ``(metrics, batch_stats)`` with ``metrics`` aligned to
+    ``points``.  Lanes the batch kernel evicted — and every lane, when
+    the whole batch aborts or batching is unavailable — are rerun on
+    the scalar kernel from cycle 0, so the rows are bit-identical to
+    serial execution no matter what the batch engine did.
+    ``batch_stats`` is the kernel's occupancy/eviction dict, or
+    ``None`` when no batch ran.
+    """
+    from repro.perf import batch as batch_kernel
+
+    keys = {batch_group_key(p) for p in points}
+    if len(keys) != 1 or None in keys:
+        raise ConfigError("run_inject_batch: points are not batch-compatible")
+    metrics = [None] * len(points)
+    stats = None
+    if len(points) > 1 and batch_kernel.batch_available():
+        injectors = [_make_injector(p, campaign_name) for p in points]
+        try:
+            outcome = batch_kernel.run_batch(
+                build_config(points[0].params), build_program(points[0]),
+                injectors)
+        except batch_kernel.BatchError:
+            outcome = None
+        if outcome is not None:
+            stats = outcome.stats
+            for i, result in enumerate(outcome.results):
+                if result is not None:
+                    metrics[i] = _inject_metrics(result, injectors[i])
+    for i, point in enumerate(points):
+        if metrics[i] is None:
+            metrics[i] = run_inject_point(point, campaign_name)
+    return metrics, stats
 
 
 @task("lockstep")

@@ -316,7 +316,8 @@ def _cmd_campaign(args):
         result = get_service().run_campaign(
             spec, jobs=args.jobs, store=store, resume_from=resume_from,
             progress=_progress(spec, args),
-            point_timeout_s=args.point_timeout, live=live)
+            point_timeout_s=args.point_timeout, live=live,
+            batch=args.batch)
     print(format_summary(spec, result.results,
                          corrupt_rows_skipped=result.corrupt_rows_skipped))
     return 0 if result.all_ok else 1
@@ -483,10 +484,18 @@ def _cmd_bench(args):
                                     load_baseline, write_result)
 
     if args.trend:
-        from repro.perf.history import format_trend, load_history
-        print(format_trend(load_history(args.history),
-                           last=args.trend_last))
-        return 0
+        from repro.perf.history import (format_trend,
+                                        format_trend_violations,
+                                        load_history, trend_violations)
+        records = load_history(args.history)
+        print(format_trend(records, last=args.trend_last))
+        violations = trend_violations(records,
+                                      window=args.trend_window,
+                                      tolerance=args.trend_tolerance)
+        print(format_trend_violations(violations,
+                                      window=args.trend_window,
+                                      tolerance=args.trend_tolerance))
+        return 1 if violations else 0
 
     figures = () if args.skip_figures else tuple(args.figures)
     result = run_bench(
@@ -496,6 +505,7 @@ def _cmd_bench(args):
         kernels=not args.skip_kernels,
         warm_start=not args.skip_warm_start,
         campaign=not args.skip_campaign, campaign_jobs=args.campaign_jobs,
+        batch_kernel=not args.skip_batch_kernel,
         log=lambda msg: print(msg, file=sys.stderr))
     print(format_bench(result))
 
@@ -920,6 +930,12 @@ def build_parser():
     campaign_parser.add_argument("--events", default=None,
                                  help="append structured JSONL events here "
                                       "(sets $REPRO_EVENTS for all workers)")
+    campaign_parser.add_argument("--batch", default=None,
+                                 help="lockstep batch width for compatible "
+                                      "inject points: N, 'auto' (the "
+                                      "default: kernel-chosen width), or 1 "
+                                      "to force scalar evaluation; rows "
+                                      "are bit-identical either way")
 
     bench_parser = sub.add_parser(
         "bench",
@@ -946,6 +962,9 @@ def build_parser():
                                    "worker-pool measurement")
     bench_parser.add_argument("--campaign-jobs", type=int, default=2,
                               help="shards for the campaign-pool bench")
+    bench_parser.add_argument("--skip-batch-kernel", action="store_true",
+                              help="skip the lockstep-batch vs scalar "
+                                   "campaign measurement")
     bench_parser.add_argument("--out", default="BENCH_perf.json",
                               help="write the result JSON here ('' skips)")
     bench_parser.add_argument("--baseline", default="BENCH_perf.json",
@@ -963,10 +982,20 @@ def build_parser():
                                    "JSONL trend history ('' skips)")
     bench_parser.add_argument("--trend", action="store_true",
                               help="render the recorded per-metric "
-                                   "trajectory and exit (no benchmark run)")
+                                   "trajectory and exit (no benchmark "
+                                   "run); exits 1 when a metric's "
+                                   "fitted slope regressed")
     bench_parser.add_argument("--trend-last", type=int, default=20,
                               help="history entries shown per metric "
                                    "with --trend")
+    bench_parser.add_argument("--trend-window", type=int, default=6,
+                              help="trailing runs the --trend slope "
+                                   "check fits a line over")
+    bench_parser.add_argument("--trend-tolerance", type=float,
+                              default=0.15,
+                              help="allowed fitted fractional decline "
+                                   "over the --trend window before the "
+                                   "slope check fails (exit 1)")
 
     difftest_parser = sub.add_parser(
         "difftest",

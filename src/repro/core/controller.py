@@ -141,7 +141,8 @@ class MeekController:
                                 event.commit_slot, result.trap, rkind,
                                 addr, data, size)
 
-    def fast_commit(self, index, pc, t, slot, trap, rkind, addr, data, size):
+    def fast_commit(self, index, pc, t, slot, trap, rkind, addr, data, size,
+                    prebuilt=None):
         """The commit protocol, on scalar commit facts.
 
         The fused big-core steppers (:mod:`repro.perf.jit`) call this
@@ -165,7 +166,10 @@ class MeekController:
                 seg.instr_count = hot[0]
 
         if rkind is not None:
-            entry = self.deu.record_runtime(rkind, addr, data, size)
+            if prebuilt is not None:
+                entry = self.deu.adopt_runtime(prebuilt)
+            else:
+                entry = self.deu.record_runtime(rkind, addr, data, size)
             if self.injector is not None:
                 # Unconditional call: the injector's own segment-gap
                 # check subsumes the old ``not seg.injected`` gate
@@ -225,6 +229,9 @@ class MeekController:
             self._close_segment(end_cycle, SegmentEndReason.PROGRAM_END, 0)
         elif self.active is not None:
             # An empty segment needs no verification.
+            checker = self.checkers.get(self.active.seg_id)
+            if checker is not None:
+                checker.abandon_recording()
             self.active = None
         drain = max(self.core_free) if self.core_free else end_cycle
         return max(drain, end_cycle)
@@ -268,7 +275,12 @@ class MeekController:
         checker = CheckerRun(
             seg, self.program, self.pipelines[core], lsl,
             clock_ratio=2,
-            one_instruction_behind=self.config.one_instruction_behind)
+            one_instruction_behind=self.config.one_instruction_behind,
+            # Segment boundaries drift once a detection has perturbed
+            # checker timing, so post-detection segments key uniquely
+            # per trial: recording them would only pollute the memo
+            # store.  (Replaying *from* the store stays allowed.)
+            memo_record=not self.detections)
         self.checkers[seg.seg_id] = checker
         return t
 

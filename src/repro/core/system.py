@@ -123,24 +123,40 @@ class MeekSystem:
             msu.hook(big_core_id)
             msu.set_mode(Mode.CHECK)
 
-    def run(self, program, max_instructions=None):
-        """Execute ``program`` under MEEK checking."""
-        state = ArchState(pc=program.entry_pc)
-        program.data.apply(state.memory)
+    def attach(self, program, state, cycle=0):
+        """Hook the little cores and stand up an initialized controller
+        observing ``state``.
+
+        The front half of :meth:`run`, split out so the batched kernel
+        (:mod:`repro.perf.batch`) can assemble per-lane systems around
+        a shared architectural state through the exact same path.
+        """
         self.hook_little_cores()
         self.controller = MeekController(
             self.config, program, state, self.fabric, self.pipelines,
             injector=self.injector)
-        self.controller.initialize(cycle=0)
-        big_result = self.big_core.run(
-            program, max_instructions=max_instructions,
-            commit_hook=self.controller.commit_hook, initial_state=state)
+        self.controller.initialize(cycle=cycle)
+        return self.controller
+
+    def finish(self, big_result):
+        """Drain the controller and package a :class:`MeekRunResult` —
+        the back half of :meth:`run`."""
         drain = self.controller.finalize(big_result.cycles)
         if self.injector is not None:
             self.injector.resolve_detections(self.controller.detections)
         return MeekRunResult(big_result, self.controller, drain,
                              self.injector,
                              self.config.big_core.frequency_hz)
+
+    def run(self, program, max_instructions=None):
+        """Execute ``program`` under MEEK checking."""
+        state = ArchState(pc=program.entry_pc)
+        program.data.apply(state.memory)
+        self.attach(program, state)
+        big_result = self.big_core.run(
+            program, max_instructions=max_instructions,
+            commit_hook=self.controller.commit_hook, initial_state=state)
+        return self.finish(big_result)
 
 
 def run_vanilla(program, big_config=None, max_instructions=None):

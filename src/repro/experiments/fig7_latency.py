@@ -52,7 +52,7 @@ class Fig7Row:
 
 def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
         runs_per_workload=3, injection_rate=0.008, seed=0, workloads=None,
-        jobs=None, fault_model=None, fault_targets=None):
+        jobs=None, fault_model=None, fault_targets=None, batch=None):
     """Run the fault-injection campaign; returns per-workload rows.
 
     Every (workload, trial) cell is an independent campaign point with
@@ -61,6 +61,8 @@ def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
     ``fault_targets`` sweep the same figure under a non-default fault
     model (``burst:width=3``, ``stuckat:value=0``, ...); the defaults
     keep the paper's single-bit mix and the historical point identity.
+    ``batch`` selects the lockstep batch width (``None`` = auto);
+    the rows are bit-identical at any width.
     """
     if workloads is None:
         workloads = PARSEC_ORDER
@@ -78,7 +80,7 @@ def run(dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
         for name in workloads
         for trial in range(runs_per_workload)
     ]
-    metrics = run_grid("fig7", points, jobs=jobs)
+    metrics = run_grid("fig7", points, jobs=jobs, batch=batch)
     rows = []
     for w, name in enumerate(workloads):
         row = Fig7Row(name=name, injections=0, detected=0)

@@ -29,7 +29,8 @@ def build_workload(name, dynamic_instructions=DEFAULT_DYNAMIC_INSTRUCTIONS,
                             seed=seed)
 
 
-def run_grid(name, points, jobs=None, progress=None, live=None):
+def run_grid(name, points, jobs=None, progress=None, live=None,
+             batch=None):
     """Execute experiment ``points`` through the campaign engine.
 
     Returns the per-point metrics dicts in point order.  Identical
@@ -39,7 +40,8 @@ def run_grid(name, points, jobs=None, progress=None, live=None):
     captured error rather than producing a figure with holes.
     ``live`` threads a :class:`repro.obs.live.LiveStatus` through to
     the executor so long figure sweeps are watchable like any other
-    campaign.
+    campaign.  ``batch`` selects the lockstep batch width for
+    compatible inject points (``None`` = auto).
     """
     from repro.campaign import CampaignSpec
     from repro.obs.events import event_log
@@ -59,7 +61,8 @@ def run_grid(name, points, jobs=None, progress=None, live=None):
     with event_log().span("grid", name=name, points=len(points),
                           unique=len(unique)):
         result = get_service().run_campaign(spec, jobs=jobs,
-                                            progress=progress, live=live)
+                                            progress=progress, live=live,
+                                            batch=batch)
     failed = result.failed
     if failed:
         first = failed[0]

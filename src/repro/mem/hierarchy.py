@@ -20,6 +20,17 @@ class AccessKind(enum.Enum):
     STORE = "store"
 
 
+#: Tag-walk result codes: the level that served the access.  The code
+#: is a pure function of cache *contents* (which evolve by access order
+#: alone, never by access timing), so identically-ordered access
+#: streams see identical codes — the invariant the batched campaign
+#: kernel (:mod:`repro.perf.batch`) builds on.
+L1_HIT = 0
+L2_HIT = 1
+LLC_HIT = 2
+DRAM = 3
+
+
 class MemoryHierarchy:
     """Timing for one core's view of the memory system.
 
@@ -51,14 +62,24 @@ class MemoryHierarchy:
 
     def access(self, addr, now, kind=AccessKind.LOAD):
         """Latency in cycles of an access issued at cycle ``now``."""
+        return self.latency_for_code(self.lookup_code(addr, kind), now, kind)
+
+    def lookup_code(self, addr, kind=AccessKind.LOAD):
+        """Walk the tags for one access and return the serving level.
+
+        This is the *content* half of :meth:`access`: lookups, prefetch
+        fills, and demand fills mutate LRU state exactly as the fused
+        method always did, but nothing here depends on ``now`` — the
+        result is determined by the access stream alone.  The *timing*
+        half (DRAM queueing, MSHR backpressure) lives in
+        :meth:`latency_for_code`.
+        """
         if kind is AccessKind.IFETCH:
             l1 = self.l1i
-            latency = self._l1i_hit
         else:
             l1 = self.l1d
-            latency = self._l1d_hit
         if l1.lookup(addr):
-            return latency
+            return L1_HIT
         l2 = self.l2
         llc = self.llc
         if kind is not AccessKind.IFETCH:
@@ -73,18 +94,41 @@ class MemoryHierarchy:
                 llc.fill(next_line)
                 l2.fill(next_line)
                 l1.fill(next_line)
-        # L1 miss: walk down, charging each level's hit latency.
-        latency += self._l2_hit
-        if not l2.lookup(addr):
-            latency += self._llc_hit
-            if not llc.lookup(addr):
-                # LLC miss: go to DRAM.
-                completion = self.dram.access(now + latency)
-                latency = completion - now
-        # Fill upward and charge MSHR queueing at the L1.
+        if l2.lookup(addr):
+            code = L2_HIT
+        elif llc.lookup(addr):
+            code = LLC_HIT
+        else:
+            code = DRAM
+        # Fill upward (inclusive hierarchy).
         llc.fill(addr)
         l2.fill(addr)
         l1.fill(addr)
+        return code
+
+    def latency_for_code(self, code, now, kind=AccessKind.LOAD):
+        """Latency of an access issued at ``now`` served at ``code``.
+
+        Touches only per-core queueing state (DRAM window, L1 MSHRs) —
+        never the tags — so a batch of lanes sharing one tag walk can
+        each resolve their own latency here.
+        """
+        if kind is AccessKind.IFETCH:
+            l1 = self.l1i
+            latency = self._l1i_hit
+        else:
+            l1 = self.l1d
+            latency = self._l1d_hit
+        if code == L1_HIT:
+            return latency
+        # L1 miss: charge each level's hit latency on the way down.
+        latency += self._l2_hit
+        if code != L2_HIT:
+            latency += self._llc_hit
+            if code == DRAM:
+                completion = self.dram.access(now + latency)
+                latency = completion - now
+        # Charge MSHR queueing at the L1.
         completion = l1.mshr_allocate(now, now + latency)
         return completion - now
 

@@ -27,6 +27,8 @@ The snapshot schema (``schema`` 1)::
      "detection": {"injections":, "detected":, "rate":},
      "totals": {"instructions":, "cycles":},
      "coverage": {"runtime.addr": rate, ...},
+     "batch": {"batches":, "lanes":, "mean_lanes_active":,
+               "evictions":, "evictions_by_cause": {cause: n}},
      "shards": {"0": {"points":, "failed":, "last_seen_s":}, ...},
      "jobs": J}
 """
@@ -97,6 +99,13 @@ class LiveStatus:
         self._point_rate = RateWindow(rate_window_s, clock=clock)
         self._instr_rate = RateWindow(rate_window_s, clock=clock)
         self._shards = {}
+        # Lockstep batch kernel observability (repro.perf.batch):
+        # occupancy (lanes-active) and eviction accounting, folded from
+        # each batch's stats dict.
+        self.batches = 0
+        self.batch_lanes = 0
+        self.batch_evictions_by_cause = {}
+        self._batch_occupancy_sum = 0.0
 
     # -- ingestion ---------------------------------------------------------
 
@@ -146,6 +155,34 @@ class LiveStatus:
         registry = get_registry()
         for structure, rate in self.coverage.structure_rates().items():
             registry.gauge(f"coverage.{structure}").set(rate)
+
+    def batch(self, stats):
+        """Fold one lockstep batch's kernel stats.
+
+        ``stats`` is :class:`repro.perf.batch.BatchOutcome` ``.stats``:
+        ``{"lanes", "instructions", "occupancy", "evictions"}`` with
+        ``occupancy`` the mean live-lane fraction over the run.  Feeds
+        the lanes-active gauge and the per-cause eviction counters in
+        the process registry, plus the snapshot's ``batch`` section.
+        """
+        with self._lock:
+            self.batches += 1
+            lanes = stats.get("lanes") or 0
+            occupancy = stats.get("occupancy") or 0.0
+            evictions = stats.get("evictions") or {}
+            self.batch_lanes += lanes
+            self._batch_occupancy_sum += occupancy * lanes
+            for cause, count in evictions.items():
+                self.batch_evictions_by_cause[cause] = (
+                    self.batch_evictions_by_cause.get(cause, 0) + count)
+            registry = get_registry()
+            registry.counter("batch.batches").inc()
+            registry.counter("batch.lanes").inc(lanes)
+            registry.gauge("batch.lanes_active").set(occupancy * lanes)
+            for cause, count in evictions.items():
+                registry.counter("batch.evictions").inc(count)
+                registry.counter(f"batch.evictions.{cause}").inc(count)
+            self.publish()
 
     def resumed_point(self, result):
         """Fold a *resumed* row's coverage cells (and nothing else).
@@ -253,6 +290,16 @@ class LiveStatus:
                 "cycles": self.cycles,
             },
             "coverage": self.coverage.structure_rates(),
+            "batch": {
+                "batches": self.batches,
+                "lanes": self.batch_lanes,
+                "mean_lanes_active": (
+                    self._batch_occupancy_sum / self.batches
+                    if self.batches else None),
+                "evictions": sum(self.batch_evictions_by_cause.values()),
+                "evictions_by_cause": dict(sorted(
+                    self.batch_evictions_by_cause.items())),
+            },
             "shards": {
                 str(worker): {
                     "points": shard["points"],

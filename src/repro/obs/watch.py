@@ -122,6 +122,19 @@ def render_snapshot(snap, now_unix=None):
             f"p99 {_fmt(latency.get('p99'))} ns "
             f"(mean {_fmt(latency.get('mean'))}, "
             f"max {_fmt(latency.get('max'))}, n={latency['count']})")
+    batch = snap.get("batch") or {}
+    if batch.get("batches"):
+        line = (f"batch     : {batch['batches']} batches, "
+                f"{batch.get('lanes', 0)} lanes, "
+                f"{_fmt(batch.get('mean_lanes_active'), '{:,.1f}')} "
+                f"mean active")
+        evictions = batch.get("evictions", 0)
+        if evictions:
+            causes = batch.get("evictions_by_cause") or {}
+            detail = ", ".join(f"{cause} {count}"
+                               for cause, count in sorted(causes.items()))
+            line += f"; {evictions} evicted ({detail})"
+        lines.append(line)
     coverage = snap.get("coverage") or {}
     if coverage:
         parts = [f"{structure} {rate:.0%}" if rate is not None

@@ -16,6 +16,15 @@ Warm-path metrics (schema 2) cover the execution service:
 * **campaign** — back-to-back campaigns through per-campaign ephemeral
   worker pools vs one persistent pre-warmed pool.
 
+Batched-kernel metrics (schema 3):
+
+* **batch_kernel** — campaign points/s through the lockstep batch
+  kernel (:mod:`repro.perf.batch`) vs the scalar per-point campaign
+  loop it replaced (program rebuilt per point, no segment memo), on a
+  fig7-style inject grid.  Ratios take the *median* rep per side —
+  the two sides run interleaved, and best-of would reward whichever
+  side caught the quietest scheduler moment.
+
 The absolute walls are machine-dependent; the speedup *ratios* are the
 regression-stable numbers :mod:`repro.perf.regress` puts floors under.
 
@@ -32,7 +41,7 @@ import sys
 import tempfile
 import time
 
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 #: Default workloads: one FP-heavy PARSEC profile, one pointer-chasing
 #: SPECint profile, one streaming profile — the three memory behaviours
@@ -231,13 +240,17 @@ def _bench_batch(workload, instructions, commands=4):
 
 
 def _bench_campaign(workload, instructions, seed, jobs=2, campaigns=4,
-                    points=6):
+                    points=12):
     """Back-to-back campaigns: ephemeral pools vs one persistent pool.
 
     The ephemeral side forks and tears down a worker pool per campaign
     (the classic behaviour); the persistent side streams every
     campaign through one pre-warmed :class:`WorkerPool` — the
     execution-service architecture.  Identical points on both sides.
+    ``points`` must be large enough that the warm pool's amortization
+    is visible over per-campaign noise — at 6 points per campaign the
+    fork cost was a rounding error and the recorded speedup sat at
+    parity, underselling the pool the service actually keeps.
     """
     from repro.campaign.executor import WorkerPool, run_campaign
     from repro.campaign.spec import CampaignPoint, CampaignSpec
@@ -283,6 +296,102 @@ def _bench_campaign(workload, instructions, seed, jobs=2, campaigns=4,
     }
 
 
+def _bench_batch_kernel(workload, instructions, seed, lanes=64, reps=3,
+                        rate=0.0005, scalar_points=16):
+    """Batched lockstep kernel vs the scalar per-point campaign loop.
+
+    Three execution strategies over one fig7-style inject grid
+    (``workload`` × distinct trials at injection rate ``rate``):
+
+    * **scalar** — the pre-batch campaign loop: scalar fast kernel,
+      program rebuilt per point, segment memo off.  This is the
+      baseline the batch kernel's ≥2x claim is measured against.
+    * **scalar_memo** — the scalar kernel with this tree's shared
+      program cache and segment memo, for attribution: how much of the
+      win needs the batch, not just the caches.
+    * **batched** — one :func:`repro.campaign.tasks.run_inject_batch`
+      call advancing ``lanes`` points in lockstep.
+
+    The sides run interleaved (scalar, scalar_memo, batched, repeat)
+    and each records the *median* rep: a ratio of best-ofs rewards
+    whichever side caught the quietest scheduler moment, while medians
+    of interleaved blocks see the same machine.  A sparse rate is used
+    deliberately — it keeps lanes convergent (eviction-free), which is
+    the regime campaigns hunting coverage tails run in and where the
+    lockstep amortization is fully visible.
+    """
+    import statistics
+
+    from repro.campaign.spec import CampaignPoint
+    from repro.campaign.tasks import (_PROGRAM_CACHE, run_inject_batch,
+                                      run_inject_point)
+    from repro.core import segmemo
+
+    def grid(count, base_trial):
+        return [CampaignPoint(task="inject", workload=workload,
+                              instructions=instructions, seed=seed,
+                              params={"rate": rate, "trial": trial,
+                                      "rng_key": f"{seed}/{workload}/{trial}"})
+                for trial in range(base_trial, base_trial + count)]
+
+    previous = os.environ.get("REPRO_NO_SEGMEMO")
+    scalar, scalar_memo, batched = [], [], []
+    evicted_total = lanes_total = 0
+    try:
+        # Warm everything both sides share: decoded program, steppers,
+        # and the segment-memo store (steady state for a campaign
+        # worker that processes many batches of one program).
+        os.environ["REPRO_NO_SEGMEMO"] = "0"
+        run_inject_point(grid(1, 0)[0], "bench-batch")
+        segmemo.clear()
+        run_inject_batch(grid(lanes, 1000), "bench-batch")
+        trial = 2000
+        for _ in range(reps):
+            os.environ["REPRO_NO_SEGMEMO"] = "1"
+            t0 = time.perf_counter()
+            for point in grid(scalar_points, trial):
+                _PROGRAM_CACHE.clear()
+                run_inject_point(point, "bench-batch")
+            scalar.append(scalar_points / (time.perf_counter() - t0))
+            trial += scalar_points
+            os.environ["REPRO_NO_SEGMEMO"] = "0"
+            t0 = time.perf_counter()
+            for point in grid(scalar_points, trial):
+                run_inject_point(point, "bench-batch")
+            scalar_memo.append(scalar_points / (time.perf_counter() - t0))
+            trial += scalar_points
+            t0 = time.perf_counter()
+            _, stats = run_inject_batch(grid(lanes, trial), "bench-batch")
+            batched.append(lanes / (time.perf_counter() - t0))
+            trial += lanes
+            if stats is not None:
+                evicted_total += sum(stats["evictions"].values())
+                lanes_total += stats["lanes"]
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NO_SEGMEMO", None)
+        else:
+            os.environ["REPRO_NO_SEGMEMO"] = previous
+    scalar_rate = statistics.median(scalar)
+    batched_rate = statistics.median(batched)
+    return {
+        "workload": workload,
+        "instructions": instructions,
+        "rate": rate,
+        "lanes": lanes,
+        "reps": reps,
+        "scalar_points": scalar_points,
+        "scalar_points_per_s": scalar_rate,
+        "scalar_memo_points_per_s": statistics.median(scalar_memo),
+        "batched_points_per_s": batched_rate,
+        "batch_speedup": (batched_rate / scalar_rate if scalar_rate > 0
+                          else 0.0),
+        "eviction_rate": (evicted_total / lanes_total if lanes_total
+                          else 0.0),
+        "soa_lane_backend": "numpy",
+    }
+
+
 def _bench_figures(figures, instructions):
     """Wall time of each requested figure driver (single-job)."""
     from repro.experiments import (ablations, fig6_performance, fig7_latency,
@@ -313,7 +422,7 @@ def _bench_figures(figures, instructions):
 def run_bench(workloads=DEFAULT_WORKLOADS, instructions=20_000, seed=0,
               cores=4, repeat=3, figures=DEFAULT_FIGURES,
               figure_instructions=2_000, kernels=True, warm_start=True,
-              campaign=True, campaign_jobs=2, log=None):
+              campaign=True, campaign_jobs=2, batch_kernel=True, log=None):
     """Run the benchmark suite; returns the BENCH_perf dict."""
     from repro.perf.decode import slow_kernel_enabled
 
@@ -336,6 +445,7 @@ def run_bench(workloads=DEFAULT_WORKLOADS, instructions=20_000, seed=0,
         "warm_start": None,
         "batch": None,
         "campaign": None,
+        "batch_kernel": None,
     }
     for name in workloads:
         say(f"bench {name} ({instructions} instrs x{repeat})")
@@ -358,6 +468,15 @@ def run_bench(workloads=DEFAULT_WORKLOADS, instructions=20_000, seed=0,
         result["campaign"] = _bench_campaign(
             workloads[0], max(1_000, instructions // 10), seed,
             jobs=campaign_jobs)
+    if batch_kernel and workloads:
+        from repro.perf.batch import batch_available
+        if batch_available():
+            say("bench batch kernel (lockstep batch vs scalar "
+                "campaign loop)")
+            result["batch_kernel"] = _bench_batch_kernel(
+                workloads[0], instructions, seed)
+        else:
+            say("bench batch kernel skipped (kernel unavailable)")
     if figures:
         say(f"bench figure drivers {', '.join(figures)}")
         result["figures"] = _bench_figures(figures, figure_instructions)
@@ -409,6 +528,17 @@ def format_bench(result):
             f"{campaign['persistent_wall_s']:.2f}s "
             f"({campaign['pool_speedup']:.2f}x, "
             f"{campaign['points_per_s']:.1f} points/s)")
+    batch_kernel = result.get("batch_kernel")
+    if batch_kernel:
+        out.append(
+            f"batch kernel ({batch_kernel['workload']}, "
+            f"{batch_kernel['lanes']} lanes, "
+            f"rate {batch_kernel['rate']}): scalar "
+            f"{batch_kernel['scalar_points_per_s']:.2f} -> memo "
+            f"{batch_kernel['scalar_memo_points_per_s']:.2f} -> batched "
+            f"{batch_kernel['batched_points_per_s']:.2f} points/s "
+            f"({batch_kernel['batch_speedup']:.2f}x, "
+            f"{batch_kernel['eviction_rate']:.1%} evicted)")
     for name, metrics in result.get("figures", {}).items():
         out.append(f"figure {name}: {metrics['wall_s']:.2f}s wall")
     return "\n".join(out)

@@ -11,7 +11,11 @@ quarter.  This module makes the trajectory itself visible:
 * :func:`format_trend` — ``repro bench --trend`` renders each
   metric's recorded trajectory as a sparkline plus first/last/delta,
   so a drift reads as a sagging line instead of a sequence of
-  individually-acceptable checks.
+  individually-acceptable checks;
+* :func:`trend_violations` — the slope gate behind ``repro bench
+  --trend``'s exit code: a metric whose fitted trailing-window slope
+  loses more than the tolerance is a regression even though every
+  individual run stayed above its floor.
 
 Only ratio/throughput metrics are recorded — the same ones
 :mod:`repro.perf.regress` floors — because they are what trends
@@ -70,7 +74,9 @@ def history_record(result, sha=None, unix=None):
             metrics[f"kernels/{key}"] = kernels[key]
     for section, key in (("warm_start", "warm_speedup"),
                          ("batch", "batch_speedup"),
-                         ("campaign", "pool_speedup")):
+                         ("campaign", "pool_speedup"),
+                         ("batch_kernel", "batch_speedup"),
+                         ("batch_kernel", "batched_points_per_s")):
         value = (result.get(section) or {}).get(key)
         if value:
             metrics[f"{section}/{key}"] = value
@@ -132,6 +138,69 @@ def sparkline(values):
     return "".join(
         _SPARK_LEVELS[round((value - low) / span * top)]
         for value in values)
+
+
+def trend_violations(records, window=6, tolerance=0.15, min_runs=4):
+    """Sustained-slope regressions across the trailing ``window`` runs.
+
+    The floor check (:mod:`repro.perf.regress`) is a binary gate: a
+    slow bleed of a few percent per commit passes every run.  This
+    check catches the bleed itself — for each recorded higher-is-better
+    metric (throughputs and speedup ratios; ``wall_s`` walls are
+    excluded as lower-is-better and machine-noisy), a least-squares
+    line is fitted over the trailing ``window`` values, and the fitted
+    end-to-end decline relative to the window mean must stay within
+    ``tolerance``.  Metrics with fewer than ``min_runs`` recorded runs
+    are skipped — one noisy pair of runs is not a trend.
+
+    Returns a list of dicts ``{"metric", "runs", "first", "latest",
+    "fitted_decline"}``, empty when no slope regression.
+    """
+    series = {}
+    for record in records:
+        for metric, value in (record.get("metrics") or {}).items():
+            if metric.endswith("/wall_s"):
+                continue
+            series.setdefault(metric, []).append(value)
+    violations = []
+    for metric, values in series.items():
+        values = values[-window:]
+        n = len(values)
+        if n < min_runs:
+            continue
+        mean_value = sum(values) / n
+        if mean_value <= 0:
+            continue
+        # Least-squares slope over run index 0..n-1.
+        x_mean = (n - 1) / 2.0
+        denom = sum((i - x_mean) ** 2 for i in range(n))
+        slope = sum((i - x_mean) * (v - mean_value)
+                    for i, v in enumerate(values)) / denom
+        fitted_decline = -(slope * (n - 1)) / mean_value
+        if fitted_decline > tolerance:
+            violations.append({
+                "metric": metric,
+                "runs": n,
+                "first": values[0],
+                "latest": values[-1],
+                "fitted_decline": fitted_decline,
+            })
+    return violations
+
+
+def format_trend_violations(violations, window=6, tolerance=0.15):
+    """Render the slope-check verdict under the trend table."""
+    if not violations:
+        return (f"trend check   : OK (no metric declining more than "
+                f"{tolerance:.0%} over its last {window} runs)")
+    lines = [f"trend check   : {len(violations)} slope regression(s) "
+             f"(fitted decline > {tolerance:.0%} over {window} runs)"]
+    lines.extend(
+        f"  DECLINING   : {v['metric']}: {v['first']:,.2f} -> "
+        f"{v['latest']:,.2f} over {v['runs']} runs "
+        f"(fitted {v['fitted_decline']:+.1%} decline)"
+        for v in violations)
+    return "\n".join(lines)
 
 
 def format_trend(records, last=20):

@@ -31,6 +31,7 @@ _RATIO_METRICS = (
     ("warm_start", "warm_speedup"),
     ("batch", "batch_speedup"),
     ("campaign", "pool_speedup"),
+    ("batch_kernel", "batch_speedup"),
 )
 
 

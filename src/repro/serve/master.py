@@ -491,7 +491,8 @@ class Master:
                     progress=on_point, abort=abort,
                     point_timeout_s=record.options.get(
                         "point_timeout_s"),
-                    chunk_size=record.options.get("chunk_size"))
+                    chunk_size=record.options.get("chunk_size"),
+                    batch=record.options.get("batch"))
         except CampaignAborted:
             if self._shutdown.is_set():
                 state = sched.QUEUED   # next master resumes it
