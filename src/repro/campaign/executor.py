@@ -1,68 +1,64 @@
-"""Campaign execution: serial or sharded across worker processes.
+"""Campaign orchestration: plan a run, hand it to a transport.
 
 :func:`run_campaign` evaluates every point of a
 :class:`~repro.campaign.spec.CampaignSpec` and returns a
 :class:`CampaignResult` whose results are ordered by point index —
-independent of how many shards ran them or in what order they finished.
+independent of how many shards or remote runners ran them or in what
+order they finished.
 
-Dispatch is chunked work stealing: pending points are cut into small
-chunks on a shared queue and each worker pulls its next chunk the
-moment it drains the previous one, so an unlucky shard stuck on a slow
-point never strands the rest of the grid behind a static partition.
-Every point is individually guarded — an exception (or an optional
-per-point wall-clock timeout) is captured as a failed
-:class:`~repro.campaign.results.PointResult`, never a crashed campaign.
+This module is the *planning* layer of a three-layer split:
 
-The shards live in a :class:`WorkerPool`.  A pool is forked **once**
-and can outlive any number of campaigns: workers pre-import the
-simulator, pre-warm the persistent stepper cache
-(:mod:`repro.perf.cache`), and then stream campaign points over the
-shared queues — so back-to-back campaigns (figure drivers, difftest
-sweeps, ``repro batch`` scripts) pay interpreter startup and stepper
-compilation once per worker, not once per campaign.
-:func:`run_campaign` accepts an external ``pool`` (usually owned by
-:class:`repro.perf.service.ExecutionService`); without one it spins up
-an ephemeral pool per call, which preserves the classic behaviour.
+* :mod:`repro.campaign.sched` — the pure scheduler core: chunk
+  leasing, lease epochs/expiry, batch-unit grouping, result folding.
+* :mod:`repro.campaign.transport` — pluggable transports carrying
+  chunks to evaluators: the forked local
+  :class:`~repro.campaign.pool.WorkerPool`
+  (:class:`~repro.campaign.transport.LocalPoolTransport`) or remote
+  ``repro runner`` processes over TCP
+  (:class:`~repro.campaign.transport.TcpRunnerTransport`).
+* this module — resume realignment, store/live/progress fan-out,
+  result ordering, and the campaign-level events.
+
+:func:`run_campaign` accepts an explicit ``transport``; without one
+it builds the classic local path from ``pool``/``jobs`` (an external
+persistent pool — usually owned by
+:class:`repro.perf.service.ExecutionService` — or an ephemeral one),
+and with ``jobs <= 1`` it evaluates inline, serially.
 
 Determinism: a point's metrics depend only on the point itself (see
-``spec.py``), so ``jobs=N`` is bit-identical to ``jobs=1``; only the
-bookkeeping fields (elapsed, worker id) differ.
+``spec.py``), so any transport — serial, local shards, remote
+runners, or a mixture — is bit-identical; only the bookkeeping fields
+(elapsed, worker id) differ.
 """
 
-import multiprocessing
 import os
-import queue as queue_module
 import signal
 import time
-import traceback
 import warnings
 from dataclasses import dataclass, field
 
-from repro.campaign.results import PointResult, ResultStore, aggregate
-from repro.campaign.spec import CampaignPoint
-from repro.campaign.tasks import (batch_group_key, evaluate_point,
-                                  run_inject_batch)
+from repro.campaign.results import ResultStore, aggregate
+# Re-exported for compatibility: these lived here before the
+# sched/transport split, and tests, benches, and the service still
+# import them from the executor.
+from repro.campaign.pool import WorkerPool  # noqa: F401
+from repro.campaign.sched import batch_units as _batch_units  # noqa: F401
+from repro.campaign.work import (CampaignAborted,  # noqa: F401
+                                 PointTimeout, evaluate_units)
 from repro.obs.events import event_log
 from repro.obs.metrics import get_registry
 
+_evaluate_units = evaluate_units  # pre-split private name
 
-class PointTimeout(Exception):
-    """A point exceeded the per-point wall-clock budget."""
-
-
-class CampaignAborted(Exception):
-    """The campaign's owner asked it to stop between points.
-
-    Raised out of :func:`run_campaign` when its ``abort`` callback
-    returns true; everything completed so far has already been
-    appended to the store, so a later run with ``resume_from`` picks
-    up exactly where the abort landed.  ``completed`` counts the
-    points that finished before the stop.
-    """
-
-    def __init__(self, message, completed=0):
-        super().__init__(message)
-        self.completed = completed
+__all__ = [
+    "CampaignAborted",
+    "CampaignResult",
+    "PointTimeout",
+    "WorkerPool",
+    "default_jobs",
+    "resolve_batch_lanes",
+    "run_campaign",
+]
 
 
 @dataclass
@@ -124,401 +120,30 @@ def resolve_batch_lanes(batch=None):
     return lanes if lanes == 1 or batch_available() else 1
 
 
-def _batch_units(pairs, lanes):
-    """Cut ``(index, point)`` pairs into evaluation units.
-
-    Batch-compatible points (equal :func:`batch_group_key`) are grouped
-    up to ``lanes`` wide; unbatchable points and singleton groups run
-    scalar.  Units keep first-appearance order — results are reordered
-    by index at collection time, so unit order only affects store
-    append order (which resume already tolerates).
-    """
-    if lanes <= 1:
-        return [[pair] for pair in pairs]
-    units = []
-    open_groups = {}
-    for pair in pairs:
-        key = batch_group_key(pair[1])
-        if key is None:
-            units.append([pair])
-            continue
-        group = open_groups.get(key)
-        if group is None or len(group) >= lanes:
-            group = open_groups[key] = []
-            units.append(group)
-        group.append(pair)
-    return units
-
-
-def _evaluate_batch_guarded(group, campaign_name, timeout_s, worker_id):
-    """Evaluate one batch group; falls back to per-point scalar runs.
-
-    Returns ``(results, batch_stats)``.  The wall-clock budget for the
-    batch is ``timeout_s`` per lane; any failure — timeout, kernel
-    error, a bad point — reruns the whole group through the scalar
-    per-point guard, so error attribution and row content match serial
-    execution exactly.
-    """
-    start = time.perf_counter()
-    budget = None if timeout_s is None else timeout_s * len(group)
-    use_alarm = budget is not None and hasattr(signal, "SIGALRM")
-    previous = None
-    try:
-        if use_alarm:
-            def on_alarm(signum, frame):
-                raise PointTimeout(
-                    f"batch exceeded {budget:.1f}s wall-clock budget")
-            previous = signal.signal(signal.SIGALRM, on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, budget)
-        metrics_list, stats = run_inject_batch(
-            [point for _, point in group], campaign_name=campaign_name)
-    except Exception:
-        return ([_evaluate_guarded(point, index, campaign_name, timeout_s,
-                                   worker_id) for index, point in group],
-                None)
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            if previous is not None:
-                signal.signal(signal.SIGALRM, previous)
-    elapsed_each = (time.perf_counter() - start) / len(group)
-    log = event_log()
-    if stats is not None:
-        log.emit("batch_complete", worker=worker_id,
-                 campaign=campaign_name, **stats)
-    results = []
-    for (index, point), metrics in zip(group, metrics_list):
-        result = PointResult(point_id=point.point_id, index=index,
-                             ok=True, metrics=metrics)
-        result.elapsed_s = elapsed_each
-        result.worker = worker_id
-        log.emit("point_complete", worker=worker_id,
-                 point_id=result.point_id, index=index, ok=True,
-                 elapsed_s=elapsed_each)
-        results.append(result)
-    return results, stats
-
-
-def _evaluate_units(pairs, batch_lanes, campaign_name, timeout_s,
-                    worker_id, emit, on_batch=None, abort=None):
-    """Shared shard/serial loop: evaluate pairs unit by unit.
-
-    ``emit`` receives each finished :class:`PointResult`; ``on_batch``
-    each batch kernel stats dict.  ``abort`` (serial path only) is
-    polled between units; a true poll raises :class:`CampaignAborted`
-    with the count of points emitted so far.
-    """
-    emitted = 0
-    for unit in _batch_units(pairs, batch_lanes):
-        if abort is not None and abort():
-            raise CampaignAborted(
-                f"campaign {campaign_name!r} aborted with {emitted} "
-                f"points done", completed=emitted)
-        if len(unit) == 1:
-            index, point = unit[0]
-            emit(_evaluate_guarded(point, index, campaign_name,
-                                   timeout_s, worker_id))
-            emitted += 1
-            continue
-        results, stats = _evaluate_batch_guarded(
-            unit, campaign_name, timeout_s, worker_id)
-        if stats is not None and on_batch is not None:
-            on_batch(stats)
-        for result in results:
-            emit(result)
-            emitted += 1
-
-
-def _evaluate_guarded(point, index, campaign_name, timeout_s, worker_id):
-    """Evaluate one point, capturing errors and enforcing the timeout."""
-    start = time.perf_counter()
-    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
-    previous = None
-    try:
-        if use_alarm:
-            def on_alarm(signum, frame):
-                raise PointTimeout(
-                    f"point exceeded {timeout_s:.1f}s wall-clock budget")
-            previous = signal.signal(signal.SIGALRM, on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, timeout_s)
-        metrics = evaluate_point(point, campaign_name=campaign_name)
-        result = PointResult(point_id=point.point_id, index=index,
-                             ok=True, metrics=metrics)
-    except Exception as exc:
-        detail = traceback.format_exc(limit=8)
-        result = PointResult(
-            point_id=point.point_id, index=index, ok=False,
-            error=f"{type(exc).__name__}: {exc}\n{detail}")
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            if previous is not None:
-                signal.signal(signal.SIGALRM, previous)
-    result.elapsed_s = time.perf_counter() - start
-    result.worker = worker_id
-    event_log().emit("point_complete", worker=worker_id,
-                     point_id=result.point_id, index=index, ok=result.ok,
-                     elapsed_s=result.elapsed_s)
-    return result
-
-
-def _warm_worker():
-    """Pre-import the simulator and prime every stepper maker so no
-    point pays a first-touch compile inside the pool."""
-    import repro.campaign.tasks  # noqa: F401 — registers built-in tasks
-    import repro.core.system    # noqa: F401 — pulls the simulator in
-    from repro.perf.cache import stepper_cache
-    from repro.perf.jit import prime_steppers
-    prime_steppers()
-    # Persist anything compiled cold right away: fork-start children
-    # exit via os._exit, which skips atexit handlers, so this is the
-    # worker's only chance to share its compiles with future processes.
-    stepper_cache().flush()
-
-
-def _pool_worker(worker_id, task_queue, result_queue, warm):
-    """Shard main loop: steal work items until the sentinel arrives.
-
-    An item is ``(epoch, campaign_name, timeout_s, batch_lanes,
-    chunk)``; the epoch tags each result row with the
-    :meth:`WorkerPool.run` call that submitted it, so rows from an
-    abandoned run can never be mistaken for a later campaign's.
-    Besides result rows the queue carries ``{"__batch__": stats}``
-    control rows — batch kernel occupancy/eviction stats for the
-    parent's live status (they do not count toward point totals).
-    """
-    if warm:
-        try:
-            _warm_worker()
-        except Exception:  # noqa: BLE001 — warm-up is never fatal
-            pass
-    log = event_log()
-    log.emit("shard_ready", worker=worker_id)
-    while True:
-        item = task_queue.get()
-        if item is None:
-            break
-        epoch, campaign_name, timeout_s, batch_lanes, chunk = item
-        log.emit("chunk_lease", worker=worker_id, epoch=epoch,
-                 campaign=campaign_name, points=len(chunk))
-        pairs = [(index, CampaignPoint.from_dict(point_dict))
-                 for index, point_dict in chunk]
-        _evaluate_units(
-            pairs, batch_lanes, campaign_name, timeout_s, worker_id,
-            emit=lambda result: result_queue.put((epoch, result.to_row())),
-            on_batch=lambda stats: result_queue.put(
-                (epoch, {"__batch__": stats})))
-        # One heartbeat per drained chunk: liveness at a commit-log
-        # boundary, never per point (the hot path stays event-free).
-        log.emit("worker_heartbeat", worker=worker_id, epoch=epoch,
-                 campaign=campaign_name)
-    log.emit("shard_exit", worker=worker_id)
-
-
-def _chunk(pending, chunk_size, jobs, batch_lanes=1):
-    """Cut pending (index, point) pairs into work-stealing chunks.
-
-    Default size targets ~4 steals per worker: small enough to
-    rebalance around stragglers, large enough to amortize queue trips.
-    With batching on, a chunk must hold at least one full batch —
-    otherwise grouping (which never crosses chunk boundaries) could
-    only ever form fragments.
-    """
-    if chunk_size is None:
-        chunk_size = max(1, len(pending) // (jobs * 4))
-    chunk_size = max(chunk_size, batch_lanes)
-    return [pending[i:i + chunk_size]
-            for i in range(0, len(pending), chunk_size)]
-
-
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
-
-
-class WorkerPool:
-    """A set of persistent campaign shards (forked once, reused).
-
-    With the default ``fork`` start method the workers inherit the
-    parent's warm state (imported modules, compiled steppers) for
-    free; ``warm=True`` additionally primes each worker explicitly,
-    which covers spawn platforms and workers forked before the parent
-    warmed up.  Use as a context manager, or call :meth:`close`.
-    """
-
-    def __init__(self, jobs, warm=False, context=None):
-        self.jobs = max(1, int(jobs))
-        self._ctx = context if context is not None else _mp_context()
-        self._task_queue = self._ctx.Queue()
-        self._result_queue = self._ctx.Queue()
-        self._epoch = 0
-        self._closed = False
-        self._workers = [
-            self._ctx.Process(target=_pool_worker,
-                              args=(worker_id, self._task_queue,
-                                    self._result_queue, warm),
-                              daemon=True)
-            for worker_id in range(self.jobs)]
-        for proc in self._workers:
-            proc.start()
-        log = event_log()
-        for worker_id, proc in enumerate(self._workers):
-            log.emit("shard_spawn", worker=worker_id, child_pid=proc.pid,
-                     jobs=self.jobs)
-
-    @property
-    def healthy(self):
-        """Whether every shard is still alive (a dead shard means the
-        pool should be rebuilt rather than reused)."""
-        return (not self._closed
-                and all(proc.is_alive() for proc in self._workers))
-
-    @property
-    def pids(self):
-        """The shard process ids (for health displays and tests)."""
-        return [proc.pid for proc in self._workers]
-
-    def run(self, campaign_name, pending, timeout_s=None, chunk_size=None,
-            on_result=None, abort=None, batch_lanes=1, on_batch=None):
-        """Stream ``pending`` ``(index, point)`` pairs through the
-        shards; returns ``{index: PointResult}`` with every pending
-        index present (worker death becomes a failed point).
-
-        ``abort`` is an optional zero-argument callable polled while
-        results are collected; when it turns true the call raises
-        :class:`CampaignAborted`.  The pool itself stays healthy — the
-        abandoned chunks drain through the epoch filter, so the next
-        ``run`` on the same pool is unaffected.
-
-        ``batch_lanes > 1`` lets each shard run batch-compatible
-        inject points through the lockstep kernel
-        (:mod:`repro.perf.batch`); ``on_batch`` receives each batch's
-        occupancy/eviction stats dict as it arrives.
-        """
-        if self._closed:
-            raise RuntimeError("WorkerPool is closed")
-        self._epoch += 1
-        epoch = self._epoch
-        for chunk in _chunk(pending, chunk_size, self.jobs, batch_lanes):
-            self._task_queue.put(
-                (epoch, campaign_name, timeout_s, batch_lanes,
-                 [(index, point.to_dict()) for index, point in chunk]))
-        collected = {}
-        remaining = len(pending)
-        draining_after_death = False
-        drain_deadline = None
-        while remaining > 0:
-            if abort is not None and abort():
-                raise CampaignAborted(
-                    f"campaign {campaign_name!r} aborted with "
-                    f"{len(collected)} of {len(pending)} pending points "
-                    f"done", completed=len(collected))
-            try:
-                got_epoch, row = self._result_queue.get(timeout=0.2)
-            except queue_module.Empty:
-                alive = sum(1 for proc in self._workers if proc.is_alive())
-                if alive == 0:
-                    break  # everyone gone; stragglers marked below
-                if alive < len(self._workers) and not draining_after_death:
-                    for worker_id, proc in enumerate(self._workers):
-                        if not proc.is_alive():
-                            event_log().emit("shard_death",
-                                             worker=worker_id,
-                                             child_pid=proc.pid,
-                                             exitcode=proc.exitcode)
-                    # A shard died and its in-flight chunk died with it,
-                    # so `remaining` can never reach zero.  Hand the
-                    # survivors shutdown sentinels: they drain the
-                    # still-queued chunks (reporting those points) and
-                    # exit, the alive==0 break fires, and only the lost
-                    # chunk's points become WorkerDied.  The pool is
-                    # spent afterwards (reaped below) — the owner sees
-                    # ``healthy == False`` and rebuilds.
-                    for _ in range(alive):
-                        self._task_queue.put(None)
-                    draining_after_death = True
-                    drain_deadline = time.monotonic() + 10.0
-                elif (draining_after_death
-                        and time.monotonic() > drain_deadline):
-                    # The survivors made no progress for the whole
-                    # grace period: a SIGKILL can land while the dying
-                    # shard holds the result queue's pipe lock, wedging
-                    # every other shard's put() forever.  Reap them —
-                    # the unreported points become WorkerDied below.
-                    event_log().emit("pool_drain_wedged",
-                                     remaining=remaining)
-                    for proc in self._workers:
-                        if proc.is_alive():
-                            proc.terminate()
-                    break
-                continue
-            if got_epoch != epoch:
-                continue  # abandoned-run leftover
-            if draining_after_death:
-                drain_deadline = time.monotonic() + 10.0
-            if "__batch__" in row:
-                if on_batch is not None:
-                    on_batch(row["__batch__"])
-                continue
-            result = PointResult.from_row(row)
-            collected[result.index] = result
-            if on_result is not None:
-                on_result(result)
-            remaining -= 1
-        if draining_after_death:
-            self._closed = True
-            for proc in self._workers:
-                proc.join(timeout=5.0)
-                if proc.is_alive():
-                    proc.terminate()
-        for index, point in pending:
-            if index not in collected:
-                result = PointResult(
-                    point_id=point.point_id, index=index, ok=False,
-                    error="WorkerDied: shard exited before reporting "
-                          "this point")
-                collected[index] = result
-                if on_result is not None:
-                    on_result(result)
-        return collected
-
-    def close(self, join_timeout=5.0):
-        """Send shutdown sentinels and reap the shards."""
-        if self._closed:
-            return
-        self._closed = True
-        event_log().emit("pool_close", jobs=self.jobs)
-        for _ in self._workers:
-            self._task_queue.put(None)
-        for proc in self._workers:
-            proc.join(timeout=join_timeout)
-            if proc.is_alive():
-                proc.terminate()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, exc_type, exc, tb):
-        self.close()
-
-
 def run_campaign(spec, jobs=None, store=None, resume_from=None,
                  progress=None, chunk_size=None, point_timeout_s=None,
-                 pool=None, live=None, abort=None, batch=None):
+                 pool=None, live=None, abort=None, batch=None,
+                 transport=None):
     """Execute ``spec`` and return a :class:`CampaignResult`.
 
     ``jobs``
         Worker shard count (1 = in-process serial; default honours
         ``$REPRO_JOBS``).
     ``pool``
-        An externally-owned persistent :class:`WorkerPool` — or a
-        zero-argument callable returning one (or ``None``), invoked
-        only once more than one point is known to be pending, so a
-        fully-resumed campaign never pays pool startup.  When a pool
-        is used it overrides ``jobs`` and the campaign streams through
-        its already-warm shards.  The caller keeps ownership — the
-        pool stays open for the next campaign.
+        An externally-owned persistent
+        :class:`~repro.campaign.pool.WorkerPool` — or a zero-argument
+        callable returning one (or ``None``), invoked only once more
+        than one point is known to be pending, so a fully-resumed
+        campaign never pays pool startup.  When a pool is used it
+        overrides ``jobs`` and the campaign streams through its
+        already-warm shards.  The caller keeps ownership — the pool
+        stays open for the next campaign.
+    ``transport``
+        An explicit :class:`~repro.campaign.transport.Transport`
+        (overrides ``pool`` and ``jobs``): this is how distributed
+        campaigns run —
+        :class:`~repro.campaign.transport.TcpRunnerTransport` carries
+        the same pending pairs to remote runners, bit-identically.
     ``store``
         Optional :class:`ResultStore`; every result is appended as it
         completes.
@@ -549,6 +174,8 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
         default), or ``1`` to force scalar evaluation.  Rows are
         bit-identical either way; batching only changes throughput.
     """
+    from repro.campaign.transport import ExecutionPlan, LocalPoolTransport
+
     spec.validate()
     jobs = default_jobs(jobs)
     batch_lanes = resolve_batch_lanes(batch)
@@ -592,16 +219,24 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
         if live is not None:
             live.batch(stats)
 
+    plan = ExecutionPlan(
+        campaign_name=spec.name, pending=pending,
+        timeout_s=point_timeout_s, chunk_size=chunk_size,
+        batch_lanes=batch_lanes, on_result=on_result,
+        on_batch=on_batch, abort=abort, live=live, jobs=jobs)
     start = time.monotonic()
     try:
-        if pool is not None and len(pending) > 1 and callable(pool):
+        # A pool *factory* is invoked only once more than one point is
+        # known to be pending (and no explicit transport supersedes
+        # it); returning None means "run serial".
+        if (transport is None and pool is not None
+                and len(pending) > 1 and callable(pool)):
             pool = pool()
-        if pool is not None and not callable(pool) and len(pending) > 1:
-            collected = pool.run(spec.name, pending,
-                                 timeout_s=point_timeout_s,
-                                 chunk_size=chunk_size, on_result=on_result,
-                                 abort=abort, batch_lanes=batch_lanes,
-                                 on_batch=on_batch)
+        if transport is not None and len(pending) > 0:
+            collected = transport.execute(plan)
+        elif (pool is not None and not callable(pool)
+                and len(pending) > 1):
+            collected = LocalPoolTransport(pool=pool).execute(plan)
         elif jobs <= 1 or len(pending) <= 1:
             collected = {}
 
@@ -609,16 +244,11 @@ def run_campaign(spec, jobs=None, store=None, resume_from=None,
                 collected[result.index] = result
                 on_result(result)
 
-            _evaluate_units(pending, batch_lanes, spec.name,
-                            point_timeout_s, worker_id=0, emit=emit,
-                            on_batch=on_batch, abort=abort)
+            evaluate_units(pending, batch_lanes, spec.name,
+                           point_timeout_s, worker_id=0, emit=emit,
+                           on_batch=on_batch, abort=abort)
         else:
-            with WorkerPool(min(jobs, len(pending))) as ephemeral:
-                collected = ephemeral.run(
-                    spec.name, pending, timeout_s=point_timeout_s,
-                    chunk_size=chunk_size, on_result=on_result,
-                    abort=abort, batch_lanes=batch_lanes,
-                    on_batch=on_batch)
+            collected = LocalPoolTransport(jobs=jobs).execute(plan)
     except CampaignAborted as exc:
         log.emit("campaign_abort", campaign=spec.name,
                  completed=exc.completed, pending=len(pending),

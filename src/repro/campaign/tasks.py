@@ -291,6 +291,48 @@ def run_tab3_point(point, campaign_name=""):
     return tab3_area.compute_report()
 
 
+@task("cli")
+def run_cli_point(point, campaign_name=""):
+    """One ``repro`` CLI invocation evaluated as a campaign point.
+
+    This is how ``repro batch --jobs N`` fans a command file across
+    the warm worker pool: each script line becomes one point
+    (``params["command"]`` holds the line, ``params["line"]`` its
+    1-based line number, keeping duplicate commands distinct), the
+    command runs in-process through :func:`repro.cli.main` with its
+    stdout/stderr captured, and the metrics carry the exit status plus
+    both streams so the parent can replay them in line order.
+
+    A nonzero exit status is a *metric*, not a point failure — one
+    failing script line must not poison the batch row for reporting.
+    """
+    import io
+    import shlex
+    from contextlib import redirect_stderr, redirect_stdout
+
+    from repro.cli import build_parser, cli_handlers
+
+    command = point.params["command"]
+    argv = shlex.split(command)
+    if argv and argv[0] == "repro":
+        argv = argv[1:]
+    out, err = io.StringIO(), io.StringIO()
+    try:
+        with redirect_stdout(out), redirect_stderr(err):
+            parsed = build_parser().parse_args(argv)
+            status = cli_handlers()[parsed.command](parsed)
+    except SystemExit as exc:  # argparse rejected the line
+        status = exc.code if isinstance(exc.code, int) else 2
+    except Exception as exc:  # noqa: BLE001 — the line's failure,
+        # never the campaign's (mirrors the serial batch loop).
+        print(f"{type(exc).__name__}: {exc}", file=err)
+        status = 1
+    return {"status": int(status or 0),
+            "line": point.params.get("line"),
+            "command": command,
+            "stdout": out.getvalue(), "stderr": err.getvalue()}
+
+
 @task("difftest")
 def run_difftest_point(point, campaign_name=""):
     """One differential-fuzzing point: generate a constrained-random

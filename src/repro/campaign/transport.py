@@ -1,0 +1,249 @@
+"""Pluggable campaign transports: how chunks travel to evaluators.
+
+:func:`~repro.campaign.executor.run_campaign` plans a campaign (resume
+realignment, store/live/progress fan-out, result ordering) and hands
+the pending work to a **transport**, which owns only the question of
+*where* the points evaluate:
+
+* :class:`LocalPoolTransport` — today's forked
+  :class:`~repro.campaign.pool.WorkerPool`, bit-identical to the
+  classic executor (same env knobs, same partial-shard-death
+  semantics, same ``WorkerDied`` fills).
+* :class:`TcpRunnerTransport` — a
+  :class:`~repro.campaign.remote.RunnerHub` of remote ``repro
+  runner`` processes leasing chunks over line-JSON RPC, optionally
+  mixed with a local pool stealing from the same
+  :class:`~repro.campaign.sched.ChunkScheduler`.
+
+Every transport implements one method::
+
+    execute(plan) -> {index: PointResult}
+
+with every pending index present in the mapping, and the determinism
+contract inherited from the scheduler core: rows are bit-identical to
+serial no matter which transport (or mixture) carried them.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.campaign.sched import ChunkScheduler
+from repro.campaign.work import CampaignAborted
+
+__all__ = ["ExecutionPlan", "LocalPoolTransport", "TcpRunnerTransport",
+           "Transport"]
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything a transport needs to run one campaign's pending set."""
+
+    campaign_name: str
+    #: ``(index, CampaignPoint)`` pairs still to evaluate.
+    pending: list
+    timeout_s: object = None
+    chunk_size: object = None
+    batch_lanes: int = 1
+    #: Called with each fresh :class:`PointResult` as it folds.
+    on_result: object = None
+    #: Called with each batch kernel stats dict (chunk-atomic).
+    on_batch: object = None
+    #: Zero-argument poll; true aborts the campaign.
+    abort: object = None
+    #: Optional :class:`~repro.obs.live.LiveStatus` for transport-level
+    #: extras (runner health); results are fed by the executor.
+    live: object = None
+    #: How many local shards the transport may use (``None`` = its own
+    #: default); remote transports treat this as the *mixed-mode* pool
+    #: size.
+    jobs: object = None
+    extras: dict = field(default_factory=dict)
+
+    def deliver(self, deliverables):
+        """Fan one batch of scheduler deliverables out to the hooks."""
+        for kind, payload in deliverables:
+            if kind == "result" and self.on_result is not None:
+                self.on_result(payload)
+            elif kind == "batch" and self.on_batch is not None:
+                self.on_batch(payload)
+
+
+class Transport:
+    """Interface: carry an :class:`ExecutionPlan` to completion."""
+
+    def execute(self, plan):
+        raise NotImplementedError
+
+    def close(self):
+        """Release transport-owned resources (pools, sockets)."""
+
+
+class LocalPoolTransport(Transport):
+    """The classic path: a forked worker pool on this machine.
+
+    ``pool`` may be a live :class:`~repro.campaign.pool.WorkerPool`, a
+    zero-argument factory returning one (or ``None`` for serial), or
+    absent — in which case an ephemeral pool of ``plan.jobs`` shards
+    is forked per campaign and closed afterwards, preserving the
+    classic ``run_campaign(jobs=N)`` behaviour exactly.
+    """
+
+    def __init__(self, pool=None, jobs=None):
+        self._pool = pool
+        self._jobs = jobs
+
+    def execute(self, plan):
+        pool = self._pool
+        if pool is not None and callable(pool):
+            pool = pool()
+        if pool is not None:
+            return self._run(pool, plan)
+        jobs = self._jobs if self._jobs is not None else plan.jobs
+        jobs = max(1, int(jobs or 1))
+        from repro.campaign.pool import WorkerPool
+        with WorkerPool(min(jobs, max(1, len(plan.pending)))) as ephemeral:
+            return self._run(ephemeral, plan)
+
+    @staticmethod
+    def _run(pool, plan):
+        return pool.run(plan.campaign_name, plan.pending,
+                        timeout_s=plan.timeout_s,
+                        chunk_size=plan.chunk_size,
+                        on_result=plan.on_result, abort=plan.abort,
+                        batch_lanes=plan.batch_lanes,
+                        on_batch=plan.on_batch)
+
+
+class TcpRunnerTransport(Transport):
+    """Distribute chunks across registered remote runners (and,
+    optionally, a local pool stealing from the same scheduler).
+
+    The transport's main loop owns the
+    :class:`~repro.campaign.sched.ChunkScheduler` through a
+    :class:`~repro.campaign.remote.Drive` (a lock + deliverable queue
+    shim): runner connection threads lease and record through the
+    drive, while this loop drains deliverables, pumps the optional
+    local pool, expires wedged leases, and publishes runner health to
+    the plan's live status.
+
+    Runner loss semantics: a disconnected runner's chunks requeue
+    immediately (connection death is detected by the hub); a
+    wedged-but-connected runner's chunks requeue when their lease
+    deadline lapses (``lease_timeout_s``, renewed by heartbeats and
+    rows).  Either way the re-run is bit-identical — rows are pure
+    functions of point identity, and the bumped lease epoch blackholes
+    any stragglers from the lost lease.
+    """
+
+    def __init__(self, hub, local_pool=None, lease_timeout_s=60.0,
+                 poll_s=0.05, status_interval_s=1.0):
+        self.hub = hub
+        self._local_pool = local_pool
+        self.lease_timeout_s = lease_timeout_s
+        self.poll_s = poll_s
+        self.status_interval_s = status_interval_s
+
+    def execute(self, plan):
+        from repro.campaign.remote import Drive
+        from repro.obs.events import event_log
+
+        log = event_log()
+        pool = self._local_pool
+        if pool is not None and callable(pool):
+            pool = pool()
+        sources = self.hub.active_count() + (pool.jobs if pool else 0)
+        sched = ChunkScheduler(plan.pending, chunk_size=plan.chunk_size,
+                               sources=max(1, sources),
+                               batch_lanes=plan.batch_lanes,
+                               lease_timeout_s=self.lease_timeout_s)
+        drive = Drive(sched, campaign_name=plan.campaign_name,
+                      timeout_s=plan.timeout_s,
+                      batch_lanes=plan.batch_lanes)
+        self.hub.attach(drive)
+        if pool is not None:
+            pool.start_epoch()
+        pool_draining = False
+        pool_spent = pool is None
+        next_status = 0.0
+        try:
+            while True:
+                if plan.abort is not None and plan.abort():
+                    raise CampaignAborted(
+                        f"campaign {plan.campaign_name!r} aborted with "
+                        f"{drive.completed} of {len(plan.pending)} "
+                        f"pending points done",
+                        completed=drive.completed)
+                plan.deliver(drive.drain())
+                if drive.done:
+                    break
+                now = time.monotonic()
+                for chunk in drive.expire(now):
+                    log.emit("lease_expired", chunk=chunk.chunk_id,
+                             campaign=plan.campaign_name,
+                             points=len(chunk.pairs))
+                if plan.live is not None and now >= next_status:
+                    plan.live.runners(self.hub.runners_info())
+                    next_status = now + self.status_interval_s
+                if not pool_spent:
+                    pool_spent, pool_draining = self._pump_local(
+                        pool, plan, drive, pool_draining)
+                if pool_spent and self.hub.active_count() == 0:
+                    # Nobody left to run the remainder: fail it the
+                    # way the local pool always has.  A runner that
+                    # rejoins later would find a fresh drive anyway.
+                    plan.deliver(drive.fail_lost())
+                    break
+                if pool is None or pool_spent:
+                    time.sleep(self.poll_s)
+        finally:
+            self.hub.detach()
+            if pool is not None and not pool.healthy:
+                # Shards died during this run: reap the pool so its
+                # owner rebuilds instead of reusing a spent fleet.
+                pool.mark_spent()
+        plan.deliver(drive.drain())
+        return drive.results()
+
+    def _pump_local(self, pool, plan, drive, draining):
+        """Keep the local pool saturated and fold whatever it sends.
+
+        Returns ``(spent, draining)``.  Local shard death follows the
+        pool's partial-death protocol, but — unlike the pure-local
+        transport — the lost chunks *requeue* to the surviving
+        sources (remote runners included) instead of failing as
+        ``WorkerDied``, because here a lease can be re-run elsewhere.
+        """
+        from repro.obs.events import event_log
+
+        alive = pool.alive
+        if alive == 0:
+            # Every shard gone: requeue whatever "local" still held.
+            for chunk in drive.release("local"):
+                event_log().emit("local_chunks_requeued",
+                                 chunk=chunk.chunk_id,
+                                 points=len(chunk.pairs))
+            return True, draining
+        if alive < pool.jobs and not draining:
+            pool.drain_survivors()
+            draining = True
+        if not draining:
+            in_flight = drive.leased_by("local")
+            while in_flight < pool.jobs + 1:
+                chunk = drive.lease("local")
+                if chunk is None:
+                    break
+                pool.submit(plan.campaign_name, chunk,
+                            timeout_s=plan.timeout_s,
+                            batch_lanes=plan.batch_lanes)
+                in_flight += 1
+        polled = pool.poll(timeout=self.poll_s)
+        while polled is not None:
+            chunk_id, lease_epoch, row = polled
+            drive.record(chunk_id, lease_epoch, row)
+            polled = pool.poll(timeout=0.0)
+        return False, draining
+
+    def close(self):
+        pool = self._local_pool
+        if pool is not None and not callable(pool):
+            pool.close()

@@ -18,7 +18,11 @@ Usage (``python -m repro ...``)::
         --fault-targets all --out inj.jsonl
     python -m repro coverage inj.jsonl
     python -m repro batch commands.txt
-    python -m repro serve --jobs 4
+    python -m repro batch commands.txt --jobs 4
+    python -m repro events summarize events.jsonl --top 5
+    python -m repro campaign --spec c.json --runners 7100 --min-runners 2
+    python -m repro runner --connect host:7100 --name rack2
+    python -m repro serve --jobs 4 --runners 7100
     python -m repro submit --workloads dedup --seeds 0,1 --priority 5
     python -m repro queue
     python -m repro cancel 3 --pause
@@ -65,6 +69,15 @@ Serving: ``repro serve`` starts the long-lived campaign master (see
 ``--pause`` / ``--requeue``) one, and ``repro watch RID`` follows a
 run by id — live over the socket while the master is up, falling back
 to the run's status snapshot / store on disk once it is not.
+
+Distributed campaigns: ``repro campaign --runners [HOST:]PORT`` (and
+``repro serve --runners PORT``) open a TCP runner port; ``repro
+runner --connect HOST:PORT`` processes on other machines register,
+lease chunks, and stream rows back — any mixture of remote runners
+and local shards (``--jobs``) is bit-identical to a serial run.  The
+runner port is unauthenticated: bind it only on trusted networks.
+``repro events summarize FILE`` renders an event log's per-phase
+wall-time breakdown after the fact.
 """
 
 import argparse
@@ -310,14 +323,58 @@ def _cmd_campaign(args):
         return 2
     from repro.campaign import default_jobs
     from repro.obs.live import attach_live
-    with ResultStore(path=args.out) as store:
-        live = attach_live(spec, jobs=default_jobs(args.jobs), store=store,
-                           status_path=args.status)
-        result = get_service().run_campaign(
-            spec, jobs=args.jobs, store=store, resume_from=resume_from,
-            progress=_progress(spec, args),
-            point_timeout_s=args.point_timeout, live=live,
-            batch=args.batch)
+
+    transport = None
+    cleanup = []
+    if args.runners is not None:
+        from repro.campaign.pool import WorkerPool
+        from repro.campaign.remote import (RunnerHub, RunnerListener,
+                                           parse_address)
+        from repro.campaign.transport import TcpRunnerTransport
+
+        kind, host, port = parse_address(str(args.runners))
+        if kind != "tcp":
+            print("campaign: --runners takes [HOST:]PORT", file=sys.stderr)
+            return 2
+        hub = RunnerHub()
+        try:
+            listener = RunnerListener(hub, host=host, port=port).start()
+        except OSError as exc:
+            print(f"campaign: cannot bind runner port "
+                  f"{args.runners}: {exc}", file=sys.stderr)
+            return 2
+        cleanup.append(listener.stop)
+        print(f"campaign: accepting runners on {listener.address} "
+              f"('repro runner --connect {listener.address}')",
+              file=sys.stderr, flush=True)
+        active = hub.wait_for(args.min_runners, timeout_s=args.runner_wait)
+        if active < args.min_runners:
+            print(f"campaign: only {active} of {args.min_runners} "
+                  f"runner(s) registered within {args.runner_wait:.0f}s",
+                  file=sys.stderr)
+            listener.stop()
+            return 2
+        # --jobs >= 2 alongside --runners is mixed mode: a local pool
+        # steals chunks from the same scheduler as the remote fleet.
+        local_jobs = default_jobs(args.jobs)
+        local_pool = None
+        if local_jobs > 1:
+            local_pool = WorkerPool(local_jobs)
+            cleanup.append(local_pool.close)
+        transport = TcpRunnerTransport(hub, local_pool=local_pool)
+
+    try:
+        with ResultStore(path=args.out) as store:
+            live = attach_live(spec, jobs=default_jobs(args.jobs),
+                               store=store, status_path=args.status)
+            result = get_service().run_campaign(
+                spec, jobs=args.jobs, store=store, resume_from=resume_from,
+                progress=_progress(spec, args),
+                point_timeout_s=args.point_timeout, live=live,
+                batch=args.batch, transport=transport)
+    finally:
+        for fn in reversed(cleanup):
+            fn()
     print(format_summary(spec, result.results,
                          corrupt_rows_skipped=result.corrupt_rows_skipped))
     return 0 if result.all_ok else 1
@@ -588,7 +645,7 @@ def _cmd_serve(args):
 
     _events(args)
     master = Master(state_dir=args.state_dir, socket_path=args.socket,
-                    jobs=args.jobs)
+                    jobs=args.jobs, runners=args.runners)
     try:
         recovered = master.start()
     except (OSError, RuntimeError) as exc:
@@ -599,6 +656,9 @@ def _cmd_serve(args):
               f"-> requeued", file=sys.stderr)
     print(f"serve: master pid {os.getpid()} listening on "
           f"{master.socket_path}")
+    if master.listener is not None:
+        print(f"serve: accepting runners on {master.listener.address} "
+              f"('repro runner --connect {master.listener.address}')")
     print(f"serve: state dir {master.state_dir}", flush=True)
 
     def _request_stop(signum, frame):
@@ -724,12 +784,83 @@ def _cmd_cancel(args):
     return 0
 
 
+def _batch_fanout(args, text):
+    """``batch --jobs N``: fan independent script lines across shards.
+
+    Each runnable line becomes one campaign point of the ``cli`` task
+    (see :mod:`repro.campaign.tasks`) and the whole script runs through
+    the ordinary campaign transport layer — the same warm worker pool,
+    chunk scheduler, and determinism bookkeeping as any grid.  Captured
+    stdout/stderr replay in line order afterwards, so the transcript
+    reads as if the script ran serially.  Lines run concurrently and
+    must therefore be independent (no line reading another's output
+    file mid-script); every line always runs (``--keep-going``
+    semantics), because there is no serial "first failure" to stop at.
+    """
+    import shlex
+
+    from repro.campaign import CampaignPoint, CampaignSpec
+    from repro.perf.service import get_service
+
+    commands = []
+    failures = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        command = line.strip()
+        if not command or command.startswith("#"):
+            continue
+        try:
+            argv = shlex.split(command)
+        except ValueError as exc:  # e.g. unbalanced quotes
+            print(f"batch: line {lineno}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if argv and argv[0] == "repro":  # tolerate pasted shell lines
+            argv = argv[1:]
+        if not argv:
+            continue
+        if argv[0] in ("batch", "serve", "runner"):
+            print(f"batch: line {lineno}: {argv[0]} cannot run inside "
+                  f"a batch", file=sys.stderr)
+            failures += 1
+            continue
+        commands.append((lineno, " ".join(argv)))
+    if commands:
+        points = [CampaignPoint(task="cli", workload="batch",
+                                params={"command": command, "line": lineno})
+                  for lineno, command in commands]
+        spec = CampaignSpec(name="batch", points=points)
+        result = get_service().run_campaign(spec, jobs=args.jobs,
+                                            progress=_progress(spec, args))
+        for (lineno, command), point in zip(commands, result.results):
+            print(f"batch line {lineno:<4}: {command}", file=sys.stderr)
+            if point.ok:
+                metrics = point.metrics or {}
+                sys.stderr.write(metrics.get("stderr") or "")
+                sys.stdout.write(metrics.get("stdout") or "")
+                status = metrics.get("status", 0)
+            else:
+                print(f"batch: line {lineno}: "
+                      f"{(point.error or 'error').splitlines()[-1]}",
+                      file=sys.stderr)
+                status = 1
+            if status:
+                failures += 1
+                print(f"batch: line {lineno} exited {status}",
+                      file=sys.stderr)
+    print(f"batch           : {len(commands)} command(s), "
+          f"{failures} failed")
+    return 1 if failures else 0
+
+
 def _cmd_batch(args):
     """Run a script of repro commands inside one warm interpreter.
 
     Amortizes interpreter startup, maker compilation, and worker-pool
     forking across every command: the service is warmed once, and all
     grid-shaped commands stream through the same persistent pool.
+    With ``--jobs N`` the (independent) lines themselves fan out
+    across the pool via the campaign transport layer — see
+    :func:`_batch_fanout`.
     """
     import shlex
 
@@ -744,6 +875,9 @@ def _cmd_batch(args):
         except OSError as exc:
             print(f"batch: cannot read {args.file}: {exc}", file=sys.stderr)
             return 2
+
+    if args.jobs is not None and args.jobs > 1:
+        return _batch_fanout(args, text)
 
     get_service().warm()
     parser = build_parser()
@@ -765,10 +899,14 @@ def _cmd_batch(args):
             argv = argv[1:]
         if not argv:
             continue
-        if argv[0] in ("batch", "serve"):
-            reason = ("nested batch is not allowed" if argv[0] == "batch"
-                      else "serve blocks forever; start the master "
-                           "outside the batch")
+        if argv[0] in ("batch", "serve", "runner"):
+            reason = {
+                "batch": "nested batch is not allowed",
+                "serve": "serve blocks forever; start the master "
+                         "outside the batch",
+                "runner": "runner blocks forever; start it outside "
+                          "the batch",
+            }[argv[0]]
             print(f"batch: line {lineno}: {reason}", file=sys.stderr)
             failures += 1
             if not args.keep_going:
@@ -793,6 +931,45 @@ def _cmd_batch(args):
                 break
     print(f"batch           : {ran} command(s), {failures} failed")
     return 1 if failures else 0
+
+
+def _cmd_runner(args):
+    """Run a remote campaign evaluator against a master's runner port."""
+    from repro.campaign.remote import run_runner
+
+    _events(args)
+
+    def status(message):
+        print(f"runner: {message}", file=sys.stderr, flush=True)
+
+    try:
+        chunks = run_runner(args.connect, name=args.name,
+                            poll_s=args.poll,
+                            reconnect=not args.no_reconnect,
+                            retry_s=args.retry,
+                            max_chunks=args.max_chunks,
+                            idle_exit_s=args.idle_exit,
+                            on_status=status)
+    except KeyboardInterrupt:
+        print("runner: interrupted", file=sys.stderr)
+        return 0
+    except (OSError, ConnectionError) as exc:
+        print(f"runner: {exc}", file=sys.stderr)
+        return 2
+    print(f"runner: done ({chunks} chunk(s) evaluated)", file=sys.stderr)
+    return 0
+
+
+def _cmd_events(args):
+    """Analyze a structured JSONL event log (``events summarize``)."""
+    from repro.obs.summarize import format_events_summary, summarize_path
+
+    summary = summarize_path(args.path)
+    if summary is None:
+        print(f"events: no events in {args.path}", file=sys.stderr)
+        return 2
+    print(format_events_summary(summary, top=args.top, source=args.path))
+    return 0
 
 
 def _cmd_figure(args):
@@ -936,6 +1113,21 @@ def build_parser():
                                       "default: kernel-chosen width), or 1 "
                                       "to force scalar evaluation; rows "
                                       "are bit-identical either way")
+    campaign_parser.add_argument("--runners", default=None,
+                                 metavar="[HOST:]PORT",
+                                 help="accept remote 'repro runner' "
+                                      "processes on this TCP port and "
+                                      "distribute chunks to them (0 picks "
+                                      "a free port; trusted networks "
+                                      "only — no authentication); with "
+                                      "--jobs >= 2 a local pool works "
+                                      "the same queue")
+    campaign_parser.add_argument("--min-runners", type=int, default=1,
+                                 help="runners to wait for before starting "
+                                      "(with --runners)")
+    campaign_parser.add_argument("--runner-wait", type=float, default=60.0,
+                                 help="seconds to wait for --min-runners "
+                                      "before giving up")
 
     bench_parser = sub.add_parser(
         "bench",
@@ -1068,6 +1260,54 @@ def build_parser():
                                    "comments)")
     batch_parser.add_argument("--keep-going", action="store_true",
                               help="continue past failing commands")
+    batch_parser.add_argument("--jobs", type=int, default=None,
+                              help="fan the (independent) script lines "
+                                   "across N worker shards through the "
+                                   "campaign transport layer; output "
+                                   "replays in line order, every line "
+                                   "runs (--keep-going semantics)")
+
+    runner_parser = sub.add_parser(
+        "runner",
+        help="remote campaign evaluator: connect to a master's runner "
+             "port, lease chunks, stream result rows back")
+    runner_parser.add_argument("--connect", required=True,
+                               metavar="HOST:PORT",
+                               help="master runner address (HOST:PORT, a "
+                                    "bare port on localhost, or a Unix "
+                                    "socket path)")
+    runner_parser.add_argument("--name", default=None,
+                               help="worker name reported in result rows "
+                                    "and runner status (default "
+                                    "runner-<id>)")
+    runner_parser.add_argument("--poll", type=float, default=0.5,
+                               help="idle seconds between empty leases")
+    runner_parser.add_argument("--retry", type=float, default=30.0,
+                               help="seconds of continuous connection "
+                                    "failure before giving up")
+    runner_parser.add_argument("--no-reconnect", action="store_true",
+                               help="exit on the first lost connection "
+                                    "instead of retrying")
+    runner_parser.add_argument("--max-chunks", type=int, default=None,
+                               help="exit after evaluating this many "
+                                    "chunks (tests/drills)")
+    runner_parser.add_argument("--idle-exit", type=float, default=None,
+                               help="exit after this many seconds without "
+                                    "a lease grant")
+    runner_parser.add_argument("--events", default=None,
+                               help="append structured JSONL events here "
+                                    "(sets $REPRO_EVENTS)")
+
+    events_parser = sub.add_parser(
+        "events", help="analyze a structured JSONL event log")
+    events_sub = events_parser.add_subparsers(dest="action", required=True)
+    summarize_parser = events_sub.add_parser(
+        "summarize",
+        help="per-phase wall-time breakdown with campaign/shard/chunk "
+             "rollups and the slowest points")
+    summarize_parser.add_argument("path", help="event-log file (JSONL)")
+    summarize_parser.add_argument("--top", type=int, default=10,
+                                  help="slowest points to list")
 
     serve_parser = sub.add_parser(
         "serve",
@@ -1082,6 +1322,12 @@ def build_parser():
     serve_parser.add_argument("--events", default=None,
                               help="append structured JSONL events here "
                                    "(sets $REPRO_EVENTS for all workers)")
+    serve_parser.add_argument("--runners", default=None,
+                              metavar="[HOST:]PORT",
+                              help="also accept remote 'repro runner' "
+                                   "processes on this TCP port; submitted "
+                                   "runs distribute across them (0 picks "
+                                   "a free port; trusted networks only)")
     _add_serve_client_args(serve_parser, "this master")
 
     submit_parser = sub.add_parser(
@@ -1134,7 +1380,15 @@ _HANDLERS = {
     "submit": _cmd_submit,
     "queue": _cmd_queue,
     "cancel": _cmd_cancel,
+    "runner": _cmd_runner,
+    "events": _cmd_events,
 }
+
+
+def cli_handlers():
+    """The command-name → handler mapping (used by the ``cli``
+    campaign task to re-enter the CLI inside a worker shard)."""
+    return _HANDLERS
 
 
 def main(argv=None):

@@ -30,6 +30,8 @@ The snapshot schema (``schema`` 1)::
      "batch": {"batches":, "lanes":, "mean_lanes_active":,
                "evictions":, "evictions_by_cause": {cause: n}},
      "shards": {"0": {"points":, "failed":, "last_seen_s":}, ...},
+     "runners": [{"runner":, "name":, "pid":, "alive":, "points":,
+                  "chunks":, "last_seen_s":}, ...],   # distributed only
      "jobs": J}
 """
 
@@ -106,6 +108,9 @@ class LiveStatus:
         self.batch_lanes = 0
         self.batch_evictions_by_cause = {}
         self._batch_occupancy_sum = 0.0
+        #: Latest remote-runner fleet snapshot (distributed campaigns;
+        #: empty for purely local runs — the section is omitted then).
+        self._runners = []
 
     # -- ingestion ---------------------------------------------------------
 
@@ -194,6 +199,19 @@ class LiveStatus:
         """
         with self._lock:
             self._fold_coverage(result.metrics or {})
+
+    def runners(self, info):
+        """Record the remote-runner fleet snapshot (distributed runs).
+
+        ``info`` is :meth:`repro.campaign.remote.RunnerHub.runners_info`
+        output — per-runner name/pid/health/points/chunks.  The
+        transport feeds this periodically; the latest snapshot is
+        embedded in ``status.json`` under ``"runners"`` so ``repro
+        watch`` can show fleet health next to the shard table.
+        """
+        with self._lock:
+            self._runners = list(info)
+            self.publish()
 
     def heartbeat(self, worker, now=None):
         """Record shard liveness outside point completion."""
@@ -309,6 +327,18 @@ class LiveStatus:
                 for worker, shard in sorted(self._shards.items())
             },
         }
+        if self._runners:
+            now_unix = time.time()
+            snap["runners"] = [{
+                "runner": r.get("runner"),
+                "name": r.get("name"),
+                "pid": r.get("pid"),
+                "alive": r.get("alive"),
+                "points": r.get("points"),
+                "chunks": r.get("chunks"),
+                "last_seen_s": (now_unix - r["last_seen_unix"]
+                                if r.get("last_seen_unix") else None),
+            } for r in self._runners]
         snap.update(self.extra)
         return snap
 

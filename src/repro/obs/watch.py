@@ -143,13 +143,29 @@ def render_snapshot(snap, now_unix=None):
         lines.append("coverage  : " + ", ".join(parts))
     shards = snap.get("shards") or {}
     if shards:
+        # Worker ids are ints for local shards but names ("runner-2")
+        # for remote runners: sort numerics first, then lexically.
+        def shard_key(kv):
+            return (0, int(kv[0]), "") if kv[0].isdigit() \
+                else (1, 0, kv[0])
         rows = [[worker, shard.get("points", 0), shard.get("failed", 0),
                  (f"{shard['last_seen_s']:.1f}s"
                   if shard.get("last_seen_s") is not None else "-")]
                 for worker, shard in sorted(shards.items(),
-                                            key=lambda kv: int(kv[0]))]
+                                            key=shard_key)]
         lines.append(format_table(["shard", "points", "failed", "last seen"],
                                   rows))
+    runners = snap.get("runners") or []
+    if runners:
+        rows = [[str(r.get("runner", "?")), r.get("name", "-"),
+                 "up" if r.get("alive") else "LOST",
+                 r.get("chunks", 0), r.get("points", 0),
+                 (f"{r['last_seen_s']:.1f}s"
+                  if r.get("last_seen_s") is not None else "-")]
+                for r in runners]
+        lines.append(format_table(
+            ["runner", "name", "state", "chunks", "points", "last seen"],
+            rows))
     return "\n".join(lines)
 
 

@@ -101,7 +101,7 @@ class Master:
     """
 
     def __init__(self, state_dir=None, socket_path=None, jobs=None,
-                 service=None):
+                 service=None, runners=None):
         self.state_dir = state_dir or sched.default_state_dir()
         self.socket_path = socket_path or os.path.join(self.state_dir,
                                                        SOCKET_NAME)
@@ -110,6 +110,13 @@ class Master:
             from repro.perf.service import get_service
             service = get_service()
         self.service = service
+        # Remote runner support: the hub always exists (runners may
+        # register over this Unix socket too); the TCP listener only
+        # binds when `runners` names a "[HOST:]PORT".
+        from repro.campaign.remote import RunnerHub
+        self.hub = RunnerHub()
+        self.runners_address = runners
+        self.listener = None
         self.scheduler = None
         self._sock = None
         self._shutdown = threading.Event()
@@ -138,12 +145,21 @@ class Master:
         self.scheduler = sched.Scheduler(registry, counter)
         recovered = self.scheduler.recover()
         self._claim_socket()
+        if self.runners_address is not None:
+            from repro.campaign.remote import (RunnerListener,
+                                               parse_address)
+            _, host, port = parse_address(str(self.runners_address))
+            self.listener = RunnerListener(self.hub, host=host,
+                                           port=port or 0).start()
         self._started = time.time()
-        sched._atomic_write_json(contact_path(self.state_dir), {
+        contact = {
             "schema": protocol.PROTOCOL_SCHEMA, "pid": os.getpid(),
             "socket": self.socket_path, "state_dir": self.state_dir,
             "started_unix": self._started,
-        })
+        }
+        if self.listener is not None:
+            contact["runners"] = self.listener.address
+        sched._atomic_write_json(contact_path(self.state_dir), contact)
         event_log().emit("serve_start", socket=self.socket_path,
                          state_dir=self.state_dir,
                          recovered=[r.rid for r in recovered])
@@ -213,6 +229,9 @@ class Master:
                 client.conn.close()
             except OSError:
                 pass
+        if self.listener is not None:
+            self.listener.stop()
+            self.listener = None
         self.service.shutdown()
         if self._sock is not None:
             try:
@@ -305,6 +324,10 @@ class Master:
                 f"{type(exc).__name__}: {exc}"))
 
     def _drop_client(self, client):
+        # A client connection may also carry runner registrations
+        # (runners can register over the Unix socket alongside
+        # clients); its death releases their leases for requeue.
+        self.hub.lost_channel(client)
         with self._clients_lock:
             if client in self._clients:
                 self._clients.remove(client)
@@ -346,7 +369,29 @@ class Master:
             "started_unix": self._started,
             "runs": self.scheduler.counts(),
             "pool": self.service.pool_info(),
+            "runners": self.hub.runners_info(),
+            "runner_port": (self.listener.address
+                            if self.listener is not None else None),
         }
+
+    # Runner-facing methods: same hub whether a runner arrived over
+    # the TCP listener or this Unix socket.
+
+    def _runner_rpc(self, client, method, params):
+        from repro.campaign.remote import handle_runner_method
+        return handle_runner_method(self.hub, client, method, params)
+
+    def _rpc_runner_register(self, client, params):
+        return self._runner_rpc(client, "runner_register", params)
+
+    def _rpc_runner_lease(self, client, params):
+        return self._runner_rpc(client, "runner_lease", params)
+
+    def _rpc_runner_row(self, client, params):
+        return self._runner_rpc(client, "runner_row", params)
+
+    def _rpc_runner_heartbeat(self, client, params):
+        return self._runner_rpc(client, "runner_heartbeat", params)
 
     def _rpc_submit(self, client, params):
         if self._shutdown.is_set():
@@ -481,8 +526,21 @@ class Master:
             return (record.interrupt is not None
                     or self._shutdown.is_set())
 
+        # With runners registered, the run distributes: remote leases
+        # plus (when jobs > 1) the warm local pool stealing from the
+        # same scheduler.  Otherwise the classic local path.
+        transport = None
+        if self.hub.active_count() > 0:
+            from repro.campaign.transport import TcpRunnerTransport
+            from repro.campaign.executor import default_jobs
+            local_jobs = default_jobs(jobs)
+            transport = TcpRunnerTransport(
+                self.hub,
+                local_pool=((lambda: self.service.pool(local_jobs))
+                            if local_jobs > 1 else None))
         event_log().emit("serve_run_start", rid=rid, name=spec.name,
-                         jobs=jobs)
+                         jobs=jobs,
+                         runners=self.hub.active_count())
         try:
             with ResultStore(path=record.store) as store:
                 result = self.service.run_campaign(
@@ -492,7 +550,8 @@ class Master:
                     point_timeout_s=record.options.get(
                         "point_timeout_s"),
                     chunk_size=record.options.get("chunk_size"),
-                    batch=record.options.get("batch"))
+                    batch=record.options.get("batch"),
+                    transport=transport)
         except CampaignAborted:
             if self._shutdown.is_set():
                 state = sched.QUEUED   # next master resumes it

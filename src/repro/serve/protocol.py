@@ -139,6 +139,23 @@ METHOD_PARAMS = {
     "requeue": {"rid": (True, "int", False)},
     "subscribe": {"rid": (True, "int", False)},
     "shutdown": {},
+    # Runner-facing methods (repro runner <-> master).  Rows travel as
+    # plain dicts — batch kernel stats ride the same method as result
+    # rows, tagged by their "__batch__" key, exactly like the local
+    # pool's result queue.
+    "runner_register": {
+        "name": (False, "str", True),
+        "pid": (False, "int", True),
+        "slots": (False, "int", True),
+    },
+    "runner_lease": {"runner": (True, "int", False)},
+    "runner_row": {
+        "runner": (True, "int", False),
+        "chunk": (True, "int", False),
+        "epoch": (True, "int", False),
+        "row": (True, "dict", False),
+    },
+    "runner_heartbeat": {"runner": (True, "int", False)},
 }
 
 

@@ -284,6 +284,94 @@ class TestServeParser:
         assert "start the master outside the batch" in out.err
         assert "swaptions" in out.out  # the rest of the batch still ran
 
+    def test_batch_jobs_flag_parses(self):
+        args = build_parser().parse_args(["batch", "x.txt",
+                                          "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_batch_jobs_fans_out_and_replays_in_order(self, tmp_path,
+                                                      capsys):
+        script = tmp_path / "cmds.txt"
+        script.write_text("# comment\nlist\nlist\n")
+        assert main(["batch", str(script), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("swaptions") >= 2
+        assert "2 command(s), 0 failed" in out
+
+    def test_batch_jobs_counts_failures(self, tmp_path, capsys):
+        script = tmp_path / "cmds.txt"
+        script.write_text("list\nrun nosuchworkload\n")
+        assert main(["batch", str(script), "--jobs", "2"]) == 1
+        out = capsys.readouterr()
+        assert "1 failed" in out.out
+
+    def test_batch_jobs_blocks_runner_lines(self, tmp_path, capsys):
+        script = tmp_path / "cmds.txt"
+        script.write_text("runner --connect 127.0.0.1:9\n")
+        assert main(["batch", str(script), "--jobs", "2"]) == 1
+        assert "cannot run inside a batch" in capsys.readouterr().err
+
+    def test_runner_parser_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runner"])
+        args = build_parser().parse_args(
+            ["runner", "--connect", "host:7100", "--name", "r1",
+             "--max-chunks", "3", "--idle-exit", "5"])
+        assert args.connect == "host:7100" and args.name == "r1"
+        assert args.max_chunks == 3 and args.idle_exit == 5.0
+
+    def test_runner_without_master_fails_cleanly(self, capsys):
+        code = main(["runner", "--connect", "127.0.0.1:1",
+                     "--no-reconnect"])
+        assert code == 2
+        assert "runner:" in capsys.readouterr().err
+
+    def test_campaign_runner_flags_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--workloads", "dedup", "--runners", "7100",
+             "--min-runners", "2", "--runner-wait", "5"])
+        assert args.runners == "7100"
+        assert args.min_runners == 2 and args.runner_wait == 5.0
+
+
+class TestEventsSummarize:
+    def _log(self, tmp_path):
+        from repro.obs.events import EventLog
+
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path)
+        log.emit("campaign_start", campaign="c", points=2, pending=2,
+                 resumed=0)
+        log.emit("chunk_lease", worker=0, chunk=0, points=2)
+        log.emit("point_complete", worker=0, point_id="p/slow",
+                 ok=True, elapsed_s=0.5)
+        log.emit("point_complete", worker=0, point_id="p/fast",
+                 ok=False, elapsed_s=0.1)
+        log.emit("campaign_end", campaign="c", dur_s=0.7, failed=1)
+        return path
+
+    def test_summarize_reports_all_sections(self, tmp_path, capsys):
+        path = self._log(tmp_path)
+        assert main(["events", "summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "wall time by phase" in out
+        assert "campaigns" in out and "shards and runners" in out
+        assert "chunks    : 1 lease(s), 2 point(s)" in out
+        assert "p/slow" in out and "FAIL" in out
+
+    def test_top_limits_the_slowest_table(self, tmp_path, capsys):
+        path = self._log(tmp_path)
+        assert main(["events", "summarize", path, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest 1 point(s)" in out
+        assert "p/fast" not in out  # only the slowest survives
+
+    def test_empty_log_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "none.jsonl"
+        empty.write_text("")
+        assert main(["events", "summarize", str(empty)]) == 2
+        assert "no events" in capsys.readouterr().err
+
 
 class TestServeCommands:
     @pytest.fixture()

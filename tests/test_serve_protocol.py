@@ -51,6 +51,11 @@ VALID_REQUESTS = {
     "requeue": {"rid": 3},
     "subscribe": {"rid": 4},
     "shutdown": {},
+    "runner_register": {"name": "node3", "pid": 4242, "slots": 1},
+    "runner_lease": {"runner": 1},
+    "runner_row": {"runner": 1, "chunk": 0, "epoch": 2,
+                   "row": {"point_id": "p", "index": 0, "ok": True}},
+    "runner_heartbeat": {"runner": 1},
 }
 
 
