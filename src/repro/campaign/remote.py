@@ -483,6 +483,11 @@ class _Channel:
     sequentially per connection), so rows can be fired without
     waiting (:meth:`cast`) and their responses drained in one sweep
     before the next synchronous :meth:`call`.
+
+    Sends are serialized under a lock so a helper thread (the
+    in-evaluation heartbeat of :func:`_evaluate_lease`) can
+    :meth:`cast` concurrently with the evaluating thread's row casts.
+    Receives stay single-threaded: only the main loop drains.
     """
 
     def __init__(self, sock):
@@ -491,6 +496,7 @@ class _Channel:
         self._responses = []
         self._pending = 0
         self._next_id = 1
+        self._send_lock = threading.Lock()
 
     def close(self):
         try:
@@ -499,11 +505,13 @@ class _Channel:
             pass
 
     def _send(self, method, params):
-        request_id = self._next_id
-        self._next_id += 1
-        self._sock.sendall(protocol.encode(
-            protocol.request(method, params, request_id=request_id)))
-        self._pending += 1
+        with self._send_lock:
+            request_id = self._next_id
+            self._next_id += 1
+            data = protocol.encode(
+                protocol.request(method, params, request_id=request_id))
+            self._sock.sendall(data)
+            self._pending += 1
 
     def _recv_one(self):
         while not self._responses:
@@ -514,7 +522,8 @@ class _Channel:
                 if isinstance(item, protocol.Oversized):
                     raise ConnectionError("oversized frame from master")
                 self._responses.append(protocol.decode(item))
-        self._pending -= 1
+        with self._send_lock:
+            self._pending -= 1
         return self._responses.pop(0)
 
     def cast(self, method, params):
@@ -558,7 +567,7 @@ def _connect(address, timeout_s=10.0):
 
 def run_runner(address, name=None, poll_s=0.5, reconnect=True,
                retry_s=30.0, max_chunks=None, idle_exit_s=None,
-               on_status=None):
+               heartbeat_s=10.0, on_status=None):
     """The ``repro runner --connect`` main loop.
 
     Connect to a master at ``address`` (``HOST:PORT`` or a Unix
@@ -566,8 +575,13 @@ def run_runner(address, name=None, poll_s=0.5, reconnect=True,
     the connection dies.  With ``reconnect`` the runner retries for
     ``retry_s`` seconds of continuous failure before giving up — a
     master restart inside that window gets this runner back without
-    intervention.  ``max_chunks`` / ``idle_exit_s`` bound the loop for
-    tests and drills.  Returns the number of chunks evaluated.
+    intervention.  While a lease evaluates, a helper thread casts a
+    heartbeat every ``heartbeat_s`` seconds so a legitimately slow
+    unit (an unbounded point, a wide batch group) keeps renewing its
+    lease instead of expiring mid-evaluation and livelocking the
+    campaign on requeues.  ``max_chunks`` / ``idle_exit_s`` bound the
+    loop for tests and drills.  Returns the number of chunks
+    evaluated.
     """
     chunks_done = 0
     last_grant = time.monotonic()
@@ -611,7 +625,8 @@ def run_runner(address, name=None, poll_s=0.5, reconnect=True,
                     continue
                 last_grant = time.monotonic()
                 chunks_done += 1
-                _evaluate_lease(channel, runner_id, worker_id, work)
+                _evaluate_lease(channel, runner_id, worker_id, work,
+                                heartbeat_s=heartbeat_s)
                 if max_chunks is not None and chunks_done >= max_chunks:
                     return chunks_done
         except (OSError, ConnectionError, ProtocolError, KeyError) as exc:
@@ -630,10 +645,20 @@ def run_runner(address, name=None, poll_s=0.5, reconnect=True,
             channel.close()
 
 
-def _evaluate_lease(channel, runner_id, worker_id, work):
+def _evaluate_lease(channel, runner_id, worker_id, work,
+                    heartbeat_s=10.0):
     """Evaluate one leased chunk and stream its rows back (pipelined;
     one response drain at the end keeps the wire round-trip cost per
-    chunk, not per point)."""
+    chunk, not per point).
+
+    A helper thread casts ``runner_heartbeat`` every ``heartbeat_s``
+    seconds for the duration of the evaluation: completed-unit rows
+    are the only other renewal signal, so without it any single unit
+    slower than the master's lease timeout would expire its lease
+    mid-evaluation.  The thread only ever *casts* (the channel's send
+    path is lock-serialized); it is joined before the final flush, so
+    the main loop's synchronous calls never race a stray response.
+    """
     from repro.campaign.executor import resolve_batch_lanes
 
     pairs = [(index, CampaignPoint.from_dict(point_dict))
@@ -652,7 +677,26 @@ def _evaluate_lease(channel, runner_id, worker_id, work):
             "runner": runner_id, "chunk": work["chunk"],
             "epoch": work["epoch"], "row": {"__batch__": stats}})
 
-    evaluate_units(pairs, lanes, work["campaign"],
-                   work.get("timeout_s"), worker_id, emit=emit,
-                   on_batch=on_batch)
+    stop = threading.Event()
+
+    def beat():
+        while not stop.wait(heartbeat_s):
+            try:
+                channel.cast("runner_heartbeat", {"runner": runner_id})
+            except OSError:
+                return  # the evaluating thread will hit it too
+
+    beater = None
+    if heartbeat_s is not None and heartbeat_s > 0:
+        beater = threading.Thread(target=beat, daemon=True,
+                                  name=f"runner-heartbeat-{runner_id}")
+        beater.start()
+    try:
+        evaluate_units(pairs, lanes, work["campaign"],
+                       work.get("timeout_s"), worker_id, emit=emit,
+                       on_batch=on_batch)
+    finally:
+        if beater is not None:
+            stop.set()
+            beater.join()
     channel.flush()

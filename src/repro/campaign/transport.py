@@ -31,7 +31,24 @@ from repro.campaign.sched import ChunkScheduler
 from repro.campaign.work import CampaignAborted
 
 __all__ = ["ExecutionPlan", "LocalPoolTransport", "TcpRunnerTransport",
-           "Transport"]
+           "Transport", "effective_lease_timeout"]
+
+
+def effective_lease_timeout(lease_timeout_s, timeout_s, batch_lanes):
+    """The lease deadline a campaign's chunks actually get.
+
+    Renewals arrive per completed unit (rows) and per heartbeat, but
+    the deadline must still cover one evaluation unit's *legitimate*
+    budget: a batch group may run ``timeout_s`` per lane to its alarm
+    and then re-run the whole group through the scalar guard — up to
+    ``2 * timeout_s * lanes`` before its first row can land.  Without
+    this floor, a unit slower than the bare ``lease_timeout_s`` would
+    expire mid-evaluation every time it ran, and the campaign would
+    livelock re-leasing the same chunk forever.
+    """
+    if lease_timeout_s is None or timeout_s is None:
+        return lease_timeout_s
+    return lease_timeout_s + 2.0 * timeout_s * max(1, batch_lanes or 1)
 
 
 @dataclass
@@ -129,19 +146,32 @@ class TcpRunnerTransport(Transport):
     Runner loss semantics: a disconnected runner's chunks requeue
     immediately (connection death is detected by the hub); a
     wedged-but-connected runner's chunks requeue when their lease
-    deadline lapses (``lease_timeout_s``, renewed by heartbeats and
-    rows).  Either way the re-run is bit-identical — rows are pure
-    functions of point identity, and the bumped lease epoch blackholes
-    any stragglers from the lost lease.
+    deadline lapses.  The effective deadline is ``lease_timeout_s``
+    plus one evaluation unit's legitimate budget (a batch group may
+    burn ``timeout_s`` per lane, then re-run scalar after a failure),
+    and it is renewed by rows, idle heartbeats, and the runner's
+    in-evaluation heartbeat thread — so only a runner that genuinely
+    stopped responding ever expires.  Either way the re-run is
+    bit-identical — rows are pure functions of point identity, and
+    the bumped lease epoch blackholes any stragglers from the lost
+    lease.
+
+    When the last runner drops and no local shard can absorb the
+    remainder, the transport grace-waits ``runner_grace_s`` (sized to
+    ``run_runner``'s default reconnect window) for a re-registration
+    before failing the remainder as ``WorkerDied`` — a transient TCP
+    blip must not convert a recoverable run into a failed one.
     """
 
     def __init__(self, hub, local_pool=None, lease_timeout_s=60.0,
-                 poll_s=0.05, status_interval_s=1.0):
+                 poll_s=0.05, status_interval_s=1.0,
+                 runner_grace_s=30.0):
         self.hub = hub
         self._local_pool = local_pool
         self.lease_timeout_s = lease_timeout_s
         self.poll_s = poll_s
         self.status_interval_s = status_interval_s
+        self.runner_grace_s = runner_grace_s
 
     def execute(self, plan):
         from repro.campaign.remote import Drive
@@ -155,7 +185,9 @@ class TcpRunnerTransport(Transport):
         sched = ChunkScheduler(plan.pending, chunk_size=plan.chunk_size,
                                sources=max(1, sources),
                                batch_lanes=plan.batch_lanes,
-                               lease_timeout_s=self.lease_timeout_s)
+                               lease_timeout_s=effective_lease_timeout(
+                                   self.lease_timeout_s, plan.timeout_s,
+                                   plan.batch_lanes))
         drive = Drive(sched, campaign_name=plan.campaign_name,
                       timeout_s=plan.timeout_s,
                       batch_lanes=plan.batch_lanes)
@@ -165,6 +197,11 @@ class TcpRunnerTransport(Transport):
         pool_draining = False
         pool_spent = pool is None
         next_status = 0.0
+        # Grace accounting for total runner loss: `had_runners` is true
+        # once any runner has ever registered; `fleet_lost_at` marks
+        # when the active count last hit zero.
+        had_runners = bool(self.hub.runners_info())
+        fleet_lost_at = None
         try:
             while True:
                 if plan.abort is not None and plan.abort():
@@ -187,12 +224,24 @@ class TcpRunnerTransport(Transport):
                 if not pool_spent:
                     pool_spent, pool_draining = self._pump_local(
                         pool, plan, drive, pool_draining)
-                if pool_spent and self.hub.active_count() == 0:
-                    # Nobody left to run the remainder: fail it the
-                    # way the local pool always has.  A runner that
-                    # rejoins later would find a fresh drive anyway.
-                    plan.deliver(drive.fail_lost())
-                    break
+                active = self.hub.active_count()
+                if active > 0:
+                    had_runners = True
+                    fleet_lost_at = None
+                elif fleet_lost_at is None:
+                    fleet_lost_at = now
+                if pool_spent and active == 0:
+                    # Nobody left to run the remainder.  A dropped
+                    # connection is often a blip — run_runner retries
+                    # for ~30s before giving up — so when runners were
+                    # ever present, grace-wait for a re-registration
+                    # (the drive stays attached, so a rejoining runner
+                    # leases the requeued chunks and the run resumes)
+                    # before failing the remainder as WorkerDied.
+                    grace = self.runner_grace_s if had_runners else 0.0
+                    if now - fleet_lost_at >= grace:
+                        plan.deliver(drive.fail_lost())
+                        break
                 if pool is None or pool_spent:
                     time.sleep(self.poll_s)
         finally:
@@ -241,6 +290,12 @@ class TcpRunnerTransport(Transport):
             chunk_id, lease_epoch, row = polled
             drive.record(chunk_id, lease_epoch, row)
             polled = pool.poll(timeout=0.0)
+        # Live shards are the local heartbeat: their liveness is
+        # directly observable here (unlike a remote runner's), so a
+        # local lease is renewed every pump and can only be lost via
+        # the shard-death protocol above — never by expiry while a
+        # long unit is still legitimately computing.
+        drive.renew("local")
         return False, draining
 
     def close(self):

@@ -117,6 +117,15 @@ def evaluate_batch_guarded(group, campaign_name, timeout_s, worker_id):
         metrics_list, stats = run_inject_batch(
             [point for _, point in group], campaign_name=campaign_name)
     except Exception:
+        if use_alarm:
+            # Disarm the batch alarm *before* the scalar fallback: the
+            # per-point guards re-arm setitimer one point at a time,
+            # and a still-pending batch alarm firing in a gap between
+            # them would escape every guard and kill the whole loop.
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            if previous is not None:
+                signal.signal(signal.SIGALRM, previous)
+            use_alarm = False
         return ([evaluate_guarded(point, index, campaign_name, timeout_s,
                                   worker_id) for index, point in group],
                 None)

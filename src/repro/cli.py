@@ -361,7 +361,8 @@ def _cmd_campaign(args):
         if local_jobs > 1:
             local_pool = WorkerPool(local_jobs)
             cleanup.append(local_pool.close)
-        transport = TcpRunnerTransport(hub, local_pool=local_pool)
+        transport = TcpRunnerTransport(hub, local_pool=local_pool,
+                                       lease_timeout_s=args.lease_timeout)
 
     try:
         with ResultStore(path=args.out) as store:
@@ -645,7 +646,8 @@ def _cmd_serve(args):
 
     _events(args)
     master = Master(state_dir=args.state_dir, socket_path=args.socket,
-                    jobs=args.jobs, runners=args.runners)
+                    jobs=args.jobs, runners=args.runners,
+                    lease_timeout_s=args.lease_timeout)
     try:
         recovered = master.start()
     except (OSError, RuntimeError) as exc:
@@ -949,6 +951,7 @@ def _cmd_runner(args):
                             retry_s=args.retry,
                             max_chunks=args.max_chunks,
                             idle_exit_s=args.idle_exit,
+                            heartbeat_s=args.heartbeat,
                             on_status=status)
     except KeyboardInterrupt:
         print("runner: interrupted", file=sys.stderr)
@@ -1128,6 +1131,13 @@ def build_parser():
     campaign_parser.add_argument("--runner-wait", type=float, default=60.0,
                                  help="seconds to wait for --min-runners "
                                       "before giving up")
+    campaign_parser.add_argument("--lease-timeout", type=float,
+                                 default=60.0,
+                                 help="seconds without a row or heartbeat "
+                                      "before a runner's lease expires and "
+                                      "its chunk requeues (scaled up "
+                                      "automatically by the per-unit "
+                                      "evaluation budget)")
 
     bench_parser = sub.add_parser(
         "bench",
@@ -1294,6 +1304,10 @@ def build_parser():
     runner_parser.add_argument("--idle-exit", type=float, default=None,
                                help="exit after this many seconds without "
                                     "a lease grant")
+    runner_parser.add_argument("--heartbeat", type=float, default=10.0,
+                               help="seconds between lease-renewal "
+                                    "heartbeats while a chunk evaluates "
+                                    "(0 disables)")
     runner_parser.add_argument("--events", default=None,
                                help="append structured JSONL events here "
                                     "(sets $REPRO_EVENTS)")
@@ -1328,6 +1342,12 @@ def build_parser():
                                    "processes on this TCP port; submitted "
                                    "runs distribute across them (0 picks "
                                    "a free port; trusted networks only)")
+    serve_parser.add_argument("--lease-timeout", type=float, default=60.0,
+                              help="seconds without a row or heartbeat "
+                                   "before a runner's lease expires and "
+                                   "its chunk requeues (scaled up "
+                                   "automatically by the per-unit "
+                                   "evaluation budget)")
     _add_serve_client_args(serve_parser, "this master")
 
     submit_parser = sub.add_parser(

@@ -101,7 +101,7 @@ class Master:
     """
 
     def __init__(self, state_dir=None, socket_path=None, jobs=None,
-                 service=None, runners=None):
+                 service=None, runners=None, lease_timeout_s=60.0):
         self.state_dir = state_dir or sched.default_state_dir()
         self.socket_path = socket_path or os.path.join(self.state_dir,
                                                        SOCKET_NAME)
@@ -116,6 +116,7 @@ class Master:
         from repro.campaign.remote import RunnerHub
         self.hub = RunnerHub()
         self.runners_address = runners
+        self.lease_timeout_s = lease_timeout_s
         self.listener = None
         self.scheduler = None
         self._sock = None
@@ -537,7 +538,8 @@ class Master:
             transport = TcpRunnerTransport(
                 self.hub,
                 local_pool=((lambda: self.service.pool(local_jobs))
-                            if local_jobs > 1 else None))
+                            if local_jobs > 1 else None),
+                lease_timeout_s=self.lease_timeout_s)
         event_log().emit("serve_run_start", rid=rid, name=spec.name,
                          jobs=jobs,
                          runners=self.hub.active_count())

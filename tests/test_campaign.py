@@ -551,3 +551,44 @@ class TestAbort:
         hooked = run_campaign(spec, abort=lambda: False)
         assert ([r.metrics for r in plain.results]
                 == [r.metrics for r in hooked.results])
+
+
+@pytest.mark.quick
+class TestBatchGuardAlarm:
+    def test_batch_alarm_disarmed_before_scalar_fallback(
+            self, monkeypatch):
+        """A batch failure must disarm the batch itimer *before* the
+        scalar fallback runs: a still-pending batch alarm firing in a
+        gap between the per-point guards would escape every guard and
+        kill the whole evaluation loop (shard or remote runner)."""
+        import signal
+
+        from repro.campaign import work
+
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("platform has no SIGALRM")
+        before = signal.getsignal(signal.SIGALRM)
+        observed = []
+
+        def spy_eval(point, index, campaign_name, timeout_s, worker_id):
+            observed.append((signal.getitimer(signal.ITIMER_REAL),
+                             signal.getsignal(signal.SIGALRM)))
+            return PointResult(point_id=point.point_id, index=index,
+                               ok=True, metrics={})
+
+        def boom(points, campaign_name=""):
+            raise RuntimeError("kernel fell over")
+
+        monkeypatch.setattr(work, "evaluate_guarded", spy_eval)
+        monkeypatch.setattr(work, "run_inject_batch", boom)
+        group = [(i, CampaignPoint(task="test_echo", workload="w",
+                                   instructions=1, seed=i))
+                 for i in range(2)]
+        results, stats = work.evaluate_batch_guarded(group, "c", 5.0,
+                                                     "w0")
+        assert stats is None and len(results) == 2
+        for timer, handler in observed:
+            assert timer == (0.0, 0.0)
+            assert handler == before
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        assert signal.getsignal(signal.SIGALRM) == before

@@ -49,10 +49,24 @@ def _remote_echo(point, campaign_name=""):
     return {"value": point.seed * 10 + point.params.get("k", 0)}
 
 
+@task("remote_slow")
+def _remote_slow(point, campaign_name=""):
+    time.sleep(float(point.params.get("sleep_s", 0.5)))
+    return {"value": point.seed}
+
+
 def echo_spec(name="rem", n=10, k=0):
     return CampaignSpec(name=name, points=[
         CampaignPoint(task="remote_echo", workload="w",
                       instructions=100, seed=seed, params={"k": k})
+        for seed in range(n)])
+
+
+def slow_spec(name="rem-slow", n=2, sleep_s=0.5):
+    return CampaignSpec(name=name, points=[
+        CampaignPoint(task="remote_slow", workload="w",
+                      instructions=100, seed=seed,
+                      params={"sleep_s": sleep_s})
         for seed in range(n)])
 
 
@@ -246,6 +260,59 @@ class TestBitIdentity:
             read_bytes(coverage_path_for(ref_path))
 
 
+# -- lease renewal ----------------------------------------------------------
+
+
+class TestLeaseRenewal:
+    def test_in_evaluation_heartbeat_outlives_short_lease(self, tmp_path):
+        """A unit slower than the bare lease timeout completes anyway:
+        the runner's heartbeat thread renews the lease while the point
+        evaluates.  Before the fix this livelocked — the lease expired
+        mid-evaluation, its rows were blackholed by the epoch bump,
+        and the requeued chunk hit the same wall forever."""
+        spec = slow_spec(n=2, sleep_s=0.6)
+        serial_path, _ = run_to_store(spec, tmp_path, "serial")
+        with thread_fleet(1, heartbeat_s=0.05) as (hub, _):
+            # batch=1 keeps chunk_size honoured (auto lanes floor it).
+            path, result = run_to_store(
+                spec, tmp_path, "slow", chunk_size=1, batch=1,
+                transport=TcpRunnerTransport(hub, poll_s=0.01,
+                                             lease_timeout_s=0.25))
+        assert result.all_ok
+        assert rows_of(path) == rows_of(serial_path)
+
+    def test_local_pool_lease_renews_while_shards_alive(self, tmp_path):
+        """Mixed-mode local chunks outlive the bare lease timeout:
+        live shards renew the ``local`` lease every pump, so a chunk
+        whose total runtime exceeds the timeout streams to completion
+        instead of expiring mid-chunk and duplicating its tail."""
+        spec = slow_spec(name="rem-slow-local", n=3, sleep_s=0.2)
+        serial_path, _ = run_to_store(spec, tmp_path, "serial")
+        hub = RunnerHub()  # no runners: the pool is the only source
+        pool = WorkerPool(1)
+        try:
+            path, result = run_to_store(
+                spec, tmp_path, "local", chunk_size=3, batch=1,
+                transport=TcpRunnerTransport(hub, local_pool=pool,
+                                             poll_s=0.01,
+                                             lease_timeout_s=0.35))
+        finally:
+            pool.close()
+        assert result.all_ok
+        assert rows_of(path) == rows_of(serial_path)
+
+    @pytest.mark.quick
+    def test_effective_lease_timeout_scales_with_unit_budget(self):
+        from repro.campaign.transport import effective_lease_timeout
+        # No per-point budget (or no lease timeout at all): unchanged.
+        assert effective_lease_timeout(60.0, None, 16) == 60.0
+        assert effective_lease_timeout(None, 5.0, 16) is None
+        # With a budget, the deadline covers a full batch run plus the
+        # scalar re-run of the same group, on top of the base margin.
+        assert effective_lease_timeout(60.0, 5.0, 16) == 60.0 + 160.0
+        assert effective_lease_timeout(60.0, 5.0, 1) == 70.0
+
+
 # -- loss drills ------------------------------------------------------------
 
 
@@ -273,6 +340,79 @@ class TestLoss:
         assert result.all_ok
         assert rows_of(path) == rows_of(serial_path)
         assert workers_of(path) <= {"t0", "t1", "sweeper"}
+
+    def test_transient_total_runner_loss_waits_for_rejoin(self, tmp_path):
+        """All runners dropping is not instant death: the transport
+        grace-waits for a re-registration (the runner client retries
+        for ~30s on a blip), and a rejoining runner leases the
+        requeued chunks and finishes the campaign — before the fix
+        the whole remainder failed as WorkerDied the moment the last
+        connection closed."""
+        spec = echo_spec(name="rem-blip", n=6)
+        serial_path, _ = run_to_store(spec, tmp_path, "serial")
+        hub = RunnerHub()
+        listener = RunnerListener(hub, host="127.0.0.1", port=0).start()
+        try:
+            first = {}
+            t_first = threading.Thread(
+                target=_runner_main,
+                args=(listener.address, "first",
+                      {"poll_s": 0.01, "reconnect": False,
+                       "max_chunks": 1}, first),
+                daemon=True)
+            t_first.start()
+            assert hub.wait_for(1, timeout_s=15.0) >= 1
+            outcome = {}
+
+            def campaign():
+                try:
+                    # batch=1 keeps chunk_size honoured, so the first
+                    # runner's single chunk leaves work behind.
+                    outcome["path"], outcome["result"] = run_to_store(
+                        spec, tmp_path, "blip", chunk_size=2, batch=1,
+                        transport=TcpRunnerTransport(
+                            hub, poll_s=0.01, runner_grace_s=20.0))
+                except BaseException as exc:  # noqa: BLE001 — surface
+                    outcome["exc"] = exc      # in the main thread
+            t_campaign = threading.Thread(target=campaign, daemon=True)
+            t_campaign.start()
+            # The only runner evaluates one chunk and disconnects,
+            # leaving the fleet empty with work still pending.
+            t_first.join(timeout=15.0)
+            assert not t_first.is_alive(), "first runner never left"
+            assert t_campaign.is_alive(), \
+                "campaign ended while the fleet was empty"
+            # A replacement joins inside the grace window.
+            second = {}
+            t_second = threading.Thread(
+                target=_runner_main,
+                args=(listener.address, "second",
+                      {"poll_s": 0.01, "reconnect": False}, second),
+                daemon=True)
+            t_second.start()
+            t_campaign.join(timeout=30.0)
+            assert not t_campaign.is_alive(), "campaign wedged"
+            assert "exc" not in outcome, outcome.get("exc")
+        finally:
+            listener.stop()
+        assert outcome["result"].all_ok
+        assert rows_of(outcome["path"]) == rows_of(serial_path)
+        assert workers_of(outcome["path"]) <= {"first", "second"}
+
+    def test_no_fleet_ever_still_fails_fast(self, tmp_path):
+        """The grace window only applies to a fleet that existed: a
+        campaign pointed at a hub no runner ever registered with fails
+        its points as WorkerDied immediately, not after the grace."""
+        spec = echo_spec(name="rem-empty", n=4)
+        hub = RunnerHub()
+        start = time.monotonic()
+        path, result = run_to_store(
+            spec, tmp_path, "empty",
+            transport=TcpRunnerTransport(hub, poll_s=0.01,
+                                         runner_grace_s=30.0))
+        assert time.monotonic() - start < 5.0
+        assert not result.all_ok
+        assert all("WorkerDied" in r.error for r in result.results)
 
     def test_wedged_runner_lease_expires_and_requeues(self, tmp_path):
         """A registered runner that leases a chunk and then never
